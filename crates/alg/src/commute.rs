@@ -1,0 +1,171 @@
+//! Support for the commutativity-exploiting algorithm variant (paper §10.3).
+//!
+//! The `Commute` automaton (Fig. 11) is [`crate::Replica`] configured with
+//! [`crate::replica::ValueStrategy::EagerCommute`]
+//! (see [`crate::ReplicaConfig::commute`]): it maintains a *current state*
+//! `cs_r`, fixes each operation's value when the operation is done, and
+//! never recomputes nonstrict values. By Lemma 10.6 this is sound only when
+//! clients explicitly CSC-order every pair of **non-commuting** operations —
+//! the `SafeUsers` well-formedness condition.
+//!
+//! [`SafeSubmitter`] is the client-side half: it tracks issued operations
+//! and computes, for each new operation, the `prev` set that `SafeUsers`
+//! requires (all earlier non-commuting operations, pruned to the minimal
+//! frontier).
+
+use std::collections::BTreeSet;
+
+use esds_core::{CommutativitySpec, Digraph, OpId};
+
+/// Tracks the operations a set of cooperating clients has issued and
+/// produces the `prev` sets that make the workload a `SafeUsers` workload:
+/// every pair of non-commuting operations is ordered by the
+/// client-specified constraints.
+///
+/// The returned `prev` sets are pruned to the *frontier*: an earlier
+/// conflicting operation is omitted when another conflicting operation
+/// already follows it in the constraint graph (the constraint is implied by
+/// transitivity).
+///
+/// # Examples
+///
+/// ```
+/// use esds_alg::SafeSubmitter;
+/// use esds_core::{ClientId, OpId};
+/// use esds_datatypes::{Counter, CounterOp};
+///
+/// let mut s = SafeSubmitter::new(Counter);
+/// let a = OpId::new(ClientId(0), 0);
+/// let b = OpId::new(ClientId(0), 1);
+///
+/// // Increment conflicts with nothing issued yet.
+/// assert!(s.prev_for(&CounterOp::Increment(1)).is_empty());
+/// s.record(a, CounterOp::Increment(1));
+///
+/// // Double does not commute with the increment: must be ordered after it.
+/// let prev = s.prev_for(&CounterOp::Double);
+/// assert!(prev.contains(&a));
+/// s.record_with_prev(b, CounterOp::Double, prev);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SafeSubmitter<T: CommutativitySpec> {
+    dt: T,
+    issued: Vec<(OpId, T::Operator)>,
+    /// The CSC edges recorded so far (for frontier pruning).
+    csc: Digraph<OpId>,
+}
+
+impl<T: CommutativitySpec> SafeSubmitter<T> {
+    /// Creates a tracker for the given data type.
+    pub fn new(dt: T) -> Self {
+        SafeSubmitter {
+            dt,
+            issued: Vec::new(),
+            csc: Digraph::new(),
+        }
+    }
+
+    /// Number of operations recorded.
+    pub fn len(&self) -> usize {
+        self.issued.len()
+    }
+
+    /// Whether no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.issued.is_empty()
+    }
+
+    /// The `prev` set `SafeUsers` requires for a new operation `op`: the
+    /// frontier of earlier operations that do not commute with it.
+    pub fn prev_for(&self, op: &T::Operator) -> BTreeSet<OpId> {
+        let conflicting: BTreeSet<OpId> = self
+            .issued
+            .iter()
+            .filter(|(_, earlier)| !self.dt.commutes(earlier, op))
+            .map(|(id, _)| *id)
+            .collect();
+        // Frontier pruning: drop y when some other conflicting z follows it
+        // (y ≺ z already forces y ≺ op by transitivity).
+        conflicting
+            .iter()
+            .filter(|y| {
+                !conflicting
+                    .iter()
+                    .any(|z| z != *y && self.csc.precedes(y, z))
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Records an issued operation with no extra constraints.
+    pub fn record(&mut self, id: OpId, op: T::Operator) {
+        self.record_with_prev(id, op, BTreeSet::new());
+    }
+
+    /// Records an issued operation and the `prev` set it was issued with.
+    pub fn record_with_prev(&mut self, id: OpId, op: T::Operator, prev: BTreeSet<OpId>) {
+        self.csc.add_node(id);
+        for p in prev {
+            self.csc.add_edge(p, id);
+        }
+        self.issued.push((id, op));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+    use esds_datatypes::{Counter, CounterOp, GSet, GSetOp};
+
+    fn id(s: u64) -> OpId {
+        OpId::new(ClientId(0), s)
+    }
+
+    #[test]
+    fn commuting_ops_need_no_constraints() {
+        let mut s = SafeSubmitter::new(GSet);
+        for i in 0..5 {
+            let op = GSetOp::Add(i);
+            assert!(s.prev_for(&op).is_empty(), "adds all commute");
+            s.record(id(i), op);
+        }
+    }
+
+    #[test]
+    fn conflicting_ops_get_ordered() {
+        let mut s = SafeSubmitter::new(Counter);
+        s.record(id(0), CounterOp::Increment(1));
+        s.record(id(1), CounterOp::Increment(2));
+        let prev = s.prev_for(&CounterOp::Double);
+        // Double conflicts with both increments; neither is ordered after
+        // the other, so both stay in the frontier.
+        assert_eq!(prev, [id(0), id(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn frontier_pruning_drops_implied_constraints() {
+        use esds_datatypes::{Register, RegisterOp};
+        let mut s = SafeSubmitter::new(Register);
+        s.record(id(0), RegisterOp::Write(1));
+        let prev1 = s.prev_for(&RegisterOp::Write(2));
+        assert_eq!(prev1, [id(0)].into_iter().collect());
+        s.record_with_prev(id(1), RegisterOp::Write(2), prev1);
+
+        // A third write conflicts with both earlier writes, but write₀ ≺
+        // write₁ is recorded, so only write₁ remains in the frontier.
+        let prev2 = s.prev_for(&RegisterOp::Write(3));
+        assert_eq!(prev2, [id(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn reads_conflict_with_nothing_statewise() {
+        let mut s = SafeSubmitter::new(Counter);
+        s.record(id(0), CounterOp::Increment(1));
+        // Read commutes (state-wise) with everything: SafeUsers only
+        // requires ordering non-commuting pairs (Lemma 10.6 fixes the
+        // outcome; values of reads may still vary, which §10.3 permits for
+        // nonstrict operations).
+        assert!(s.prev_for(&CounterOp::Read).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! The front-end automaton (paper Fig. 6 / §6.2).
+//!
+//! Each client accesses the service through a front end that assigns unique
+//! operation identifiers, relays requests to one or more replicas, and
+//! relays the first response back. Front ends may retry requests —
+//! "repeatedly, requesting a response from different replicas, or even
+//! repeatedly from the same replica" — which the paper allows for
+//! performance and fault tolerance (footnote 3); the replicas tolerate
+//! duplicates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esds_core::{ClientId, OpDescriptor, OpId, ReplicaId};
+
+use crate::messages::{RequestMsg, ResponseMsg};
+
+/// Which replica(s) a front end relays each request to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RelayPolicy {
+    /// Always the same replica (the paper's locality note after Theorem
+    /// 9.3: a client talking to one replica gets its own operations applied
+    /// immediately).
+    Fixed(ReplicaId),
+    /// Rotate over all replicas (load balancing).
+    RoundRobin,
+    /// Send every request to every replica (maximum fault tolerance,
+    /// duplicate responses are deduplicated).
+    Broadcast,
+}
+
+/// A response delivered to the client (the `response(x, v)` output action).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClientDelivery<V> {
+    /// The operation answered.
+    pub id: OpId,
+    /// Its value.
+    pub value: V,
+}
+
+/// The front end of one client (paper Fig. 6).
+///
+/// Sans-IO: methods return the request messages to transmit; the harness or
+/// runtime owns actual channels and timers.
+#[derive(Clone, Debug)]
+pub struct FrontEnd<O, V> {
+    client: ClientId,
+    n_replicas: usize,
+    policy: RelayPolicy,
+    next_seq: u64,
+    rr_cursor: usize,
+    /// `wait_c`: requested but not yet responded to.
+    wait: BTreeMap<OpId, OpDescriptor<O>>,
+    /// Ids already answered (for deduplicating replica responses).
+    answered: BTreeSet<OpId>,
+    /// Completed operations and their values (client-side history,
+    /// used by experiments and checkers; not part of the paper automaton).
+    completed: BTreeMap<OpId, V>,
+}
+
+impl<O: Clone, V> FrontEnd<O, V> {
+    /// Creates a front end for `client` against `n_replicas` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero or the fixed policy names an unknown
+    /// replica.
+    pub fn new(client: ClientId, n_replicas: usize, policy: RelayPolicy) -> Self {
+        assert!(n_replicas > 0, "a service needs at least one replica");
+        if let RelayPolicy::Fixed(r) = policy {
+            assert!((r.0 as usize) < n_replicas, "fixed replica out of range");
+        }
+        FrontEnd {
+            client,
+            n_replicas,
+            policy,
+            next_seq: 0,
+            rr_cursor: client.0 as usize % n_replicas,
+            wait: BTreeMap::new(),
+            answered: BTreeSet::new(),
+            completed: BTreeMap::new(),
+        }
+    }
+
+    /// The client this front end serves.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// `wait_c`: operations awaiting a response.
+    pub fn waiting(&self) -> impl Iterator<Item = &OpDescriptor<O>> {
+        self.wait.values()
+    }
+
+    /// Ids of operations awaiting a response.
+    pub fn waiting_ids(&self) -> BTreeSet<OpId> {
+        self.wait.keys().copied().collect()
+    }
+
+    /// Completed operations and their values, in id order.
+    pub fn completed(&self) -> &BTreeMap<OpId, V> {
+        &self.completed
+    }
+
+    /// The value returned for `id`, if it completed.
+    pub fn value_of(&self, id: OpId) -> Option<&V> {
+        self.completed.get(&id)
+    }
+
+    /// Builds a descriptor for the next operation of this client (unique
+    /// identifier, given `prev`/`strict`), records it as waiting, and
+    /// returns it with the relay targets.
+    ///
+    /// Well-formedness (paper §4) of `prev` is the caller's duty: it may
+    /// only name operations already requested. The `Users`-automaton
+    /// checker in `esds-spec` enforces it in tests.
+    pub fn submit(
+        &mut self,
+        op: O,
+        prev: impl IntoIterator<Item = OpId>,
+        strict: bool,
+    ) -> (OpId, Vec<(ReplicaId, RequestMsg<O>)>) {
+        let id = OpId::new(self.client, self.next_seq);
+        self.next_seq += 1;
+        let desc = OpDescriptor::new(id, op)
+            .with_prev(prev)
+            .with_strict(strict);
+        let sends = self.relay(&desc);
+        self.wait.insert(id, desc);
+        (id, sends)
+    }
+
+    /// Re-sends every waiting request (retry timer / fault tolerance).
+    /// Round-robin policies rotate to the next replica on each retry, so a
+    /// crashed replica is eventually routed around.
+    pub fn resend_pending(&mut self) -> Vec<(ReplicaId, RequestMsg<O>)> {
+        let descs: Vec<OpDescriptor<O>> = self.wait.values().cloned().collect();
+        descs.iter().flat_map(|d| self.relay(d)).collect()
+    }
+
+    /// Handles a response message; returns the client delivery the first
+    /// time each operation is answered (`response(x, v)` action), `None`
+    /// for duplicates or answers to unknown/forgotten operations.
+    pub fn on_response(&mut self, msg: ResponseMsg<V>) -> Option<ClientDelivery<V>>
+    where
+        V: Clone,
+    {
+        let ResponseMsg { id, value, .. } = msg;
+        if self.wait.remove(&id).is_none() || !self.answered.insert(id) {
+            return None;
+        }
+        self.completed.insert(id, value.clone());
+        Some(ClientDelivery { id, value })
+    }
+
+    fn relay(&mut self, desc: &OpDescriptor<O>) -> Vec<(ReplicaId, RequestMsg<O>)> {
+        let msg = |d: &OpDescriptor<O>| RequestMsg { desc: d.clone() };
+        match self.policy {
+            RelayPolicy::Fixed(r) => vec![(r, msg(desc))],
+            RelayPolicy::RoundRobin => {
+                let r = ReplicaId(self.rr_cursor as u32);
+                self.rr_cursor = (self.rr_cursor + 1) % self.n_replicas;
+                vec![(r, msg(desc))]
+            }
+            RelayPolicy::Broadcast => (0..self.n_replicas as u32)
+                .map(|r| (ReplicaId(r), msg(desc)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(policy: RelayPolicy) -> FrontEnd<&'static str, i64> {
+        FrontEnd::new(ClientId(2), 3, policy)
+    }
+
+    #[test]
+    fn submit_assigns_sequential_unique_ids() {
+        let mut f = fe(RelayPolicy::Fixed(ReplicaId(0)));
+        let (a, _) = f.submit("x", [], false);
+        let (b, _) = f.submit("y", [a], true);
+        assert_eq!(a, OpId::new(ClientId(2), 0));
+        assert_eq!(b, OpId::new(ClientId(2), 1));
+        assert_eq!(f.waiting_ids().len(), 2);
+    }
+
+    #[test]
+    fn fixed_policy_targets_one_replica() {
+        let mut f = fe(RelayPolicy::Fixed(ReplicaId(1)));
+        let (_, sends) = f.submit("x", [], false);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, ReplicaId(1));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut f = fe(RelayPolicy::RoundRobin);
+        let targets: Vec<ReplicaId> = (0..4).map(|_| f.submit("x", [], false).1[0].0).collect();
+        assert_eq!(targets[0], targets[3]);
+        assert_ne!(targets[0], targets[1]);
+        assert_ne!(targets[1], targets[2]);
+    }
+
+    #[test]
+    fn broadcast_targets_all() {
+        let mut f = fe(RelayPolicy::Broadcast);
+        let (_, sends) = f.submit("x", [], false);
+        assert_eq!(sends.len(), 3);
+    }
+
+    #[test]
+    fn response_dedup_and_delivery() {
+        let mut f = fe(RelayPolicy::Broadcast);
+        let (id, _) = f.submit("x", [], false);
+        let msg = ResponseMsg {
+            id,
+            value: 9,
+            witness: None,
+        };
+        let d = f.on_response(msg.clone()).expect("first response delivers");
+        assert_eq!(d.value, 9);
+        assert!(f.on_response(msg).is_none(), "duplicate suppressed");
+        assert_eq!(f.value_of(id), Some(&9));
+        assert!(f.waiting_ids().is_empty());
+    }
+
+    #[test]
+    fn unknown_response_ignored() {
+        let mut f = fe(RelayPolicy::Fixed(ReplicaId(0)));
+        let msg = ResponseMsg {
+            id: OpId::new(ClientId(2), 77),
+            value: 1,
+            witness: None,
+        };
+        assert!(f.on_response(msg).is_none());
+    }
+
+    #[test]
+    fn resend_covers_all_waiting() {
+        let mut f = fe(RelayPolicy::RoundRobin);
+        let (a, _) = f.submit("x", [], false);
+        let (_b, _) = f.submit("y", [], false);
+        let resent = f.resend_pending();
+        assert_eq!(resent.len(), 2);
+        // Answer one; resend now covers only the other.
+        f.on_response(ResponseMsg {
+            id: a,
+            value: 0,
+            witness: None,
+        });
+        assert_eq!(f.resend_pending().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed replica out of range")]
+    fn fixed_policy_validated() {
+        let _ = fe(RelayPolicy::Fixed(ReplicaId(9)));
+    }
+}

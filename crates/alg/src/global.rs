@@ -1,0 +1,270 @@
+//! Whole-system derived variables (paper §6.4, Fig. 8).
+//!
+//! These are *bird's-eye* quantities defined over the state of every
+//! replica plus the messages in transit; the algorithm never computes them,
+//! but the invariant checks (Sections 7–8) and the conformance observer are
+//! phrased in terms of them:
+//!
+//! * `ops` — operations done at any replica;
+//! * `minlabel` — the system-wide minimum label per operation (its position
+//!   in the eventual total order);
+//! * `lc_r` — replica `r`'s local constraints (order by `label_r`);
+//! * `mc_r(m)` — the constraints `r` would have after receiving gossip `m`;
+//! * `sc` — the system constraints agreed by all replicas and messages;
+//! * `po` — the relation induced by `TC(CSC(ops) ∪ sc)` on `ops`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esds_core::{csc, Digraph, LabelSlot, OpDescriptor, OpId, ReplicaId, SerialDataType};
+
+use crate::messages::GossipMsg;
+use crate::replica::Replica;
+
+/// A snapshot of the whole system, assembled by the harness: every replica,
+/// every in-flight gossip message (with its destination), and the clients'
+/// view (requested / waiting / responded operation ids).
+pub struct SystemView<'a, T: SerialDataType> {
+    /// All replicas, indexed by `ReplicaId(i) == replicas[i].id()`.
+    pub replicas: Vec<&'a Replica<T>>,
+    /// Gossip messages in transit, tagged with their destination replica.
+    pub gossip_in_flight: Vec<(ReplicaId, GossipMsg<T::Operator>)>,
+    /// Every operation ever requested by a client (the `Users` automaton's
+    /// `requested` set).
+    pub requested: BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    /// Ids in some front end's `wait` set.
+    pub waiting: BTreeSet<OpId>,
+    /// Ids with a response recorded at a front end or in flight.
+    pub responded: BTreeSet<OpId>,
+}
+
+impl<'a, T: SerialDataType> SystemView<'a, T> {
+    /// `ops = ∪_r done_r[r]`: operations done at some replica.
+    pub fn ops(&self) -> BTreeSet<OpId> {
+        let mut out = BTreeSet::new();
+        for r in &self.replicas {
+            out.extend(r.done_here().iter().copied());
+        }
+        out
+    }
+
+    /// The descriptors of `ops` (they are always requested, Invariant 7.6).
+    pub fn op_descriptors(&self) -> BTreeMap<OpId, OpDescriptor<T::Operator>> {
+        self.ops()
+            .into_iter()
+            .filter_map(|id| self.requested.get(&id).map(|d| (id, d.clone())))
+            .collect()
+    }
+
+    /// `minlabel(id)`: the system-wide minimum label for `id` (`Inf` if no
+    /// replica has labeled it).
+    pub fn minlabel(&self, id: OpId) -> LabelSlot {
+        self.replicas
+            .iter()
+            .map(|r| r.labels().get(id))
+            .min()
+            .unwrap_or(LabelSlot::Inf)
+    }
+
+    /// The eventual total order as far as currently determined: done
+    /// operations sorted by `minlabel` (ties impossible — labels are
+    /// unique).
+    pub fn minlabel_order(&self) -> Vec<OpId> {
+        let mut v: Vec<(LabelSlot, OpId)> = self
+            .ops()
+            .into_iter()
+            .map(|id| (self.minlabel(id), id))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// `lc_r` restricted to the given id set, as a digraph.
+    pub fn lc(&self, r: ReplicaId, over: &BTreeSet<OpId>) -> Digraph<OpId> {
+        let rep = self.replicas[r.0 as usize];
+        let mut g = Digraph::new();
+        let ids: Vec<OpId> = over.iter().copied().collect();
+        for (i, a) in ids.iter().enumerate() {
+            g.add_node(*a);
+            for b in ids.iter().skip(i + 1) {
+                if rep.labels().lc_precedes(*a, *b) {
+                    g.add_edge(*a, *b);
+                } else if rep.labels().lc_precedes(*b, *a) {
+                    g.add_edge(*b, *a);
+                }
+            }
+        }
+        g
+    }
+
+    /// Whether `(a, b) ∈ mc_r(m)`: `min(label_r, L_m)(a) < min(label_r,
+    /// L_m)(b)` — the constraints `r` would hold right after receiving `m`.
+    pub fn mc_precedes(
+        &self,
+        dest: ReplicaId,
+        msg: &GossipMsg<T::Operator>,
+        a: OpId,
+        b: OpId,
+    ) -> bool {
+        let rep = self.replicas[dest.0 as usize];
+        let msg_label = |id: OpId| -> LabelSlot {
+            msg.labels
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, l)| LabelSlot::Fin(*l))
+                .unwrap_or(LabelSlot::Inf)
+        };
+        let la = rep.labels().get(a).min(msg_label(a));
+        let lb = rep.labels().get(b).min(msg_label(b));
+        la < lb
+    }
+
+    /// The system constraints `sc = (∩_r lc_r) ∩ (∩_{m→r} mc_r(m))` over
+    /// the current `ops` (paper Fig. 8). Quadratic in `|ops|`; intended for
+    /// checker-sized systems.
+    pub fn sc(&self) -> Digraph<OpId> {
+        let ops: Vec<OpId> = self.ops().into_iter().collect();
+        let mut g = Digraph::new();
+        for a in &ops {
+            g.add_node(*a);
+        }
+        for (i, a) in ops.iter().enumerate() {
+            'pair: for b in ops.iter().skip(i + 1) {
+                for (x, y) in [(*a, *b), (*b, *a)] {
+                    // (x, y) ∈ sc iff every replica and every in-flight
+                    // message agrees x precedes y.
+                    let all_lc = self.replicas.iter().all(|r| r.labels().lc_precedes(x, y));
+                    if !all_lc {
+                        continue;
+                    }
+                    let all_mc = self
+                        .gossip_in_flight
+                        .iter()
+                        .all(|(dest, m)| self.mc_precedes(*dest, m, x, y));
+                    if all_mc {
+                        g.add_edge(x, y);
+                        continue 'pair;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// `po`: the relation induced by `TC(CSC(ops) ∪ sc)` on `ops` — the
+    /// specification-level partial order the algorithm maintains
+    /// (Invariant 8.1 guarantees it is a strict partial order).
+    pub fn po(&self) -> Digraph<OpId> {
+        let descs = self.op_descriptors();
+        let mut g = self.sc();
+        for (a, b) in csc(descs.values()) {
+            g.add_edge(a, b);
+        }
+        let ops = self.ops();
+        g.induced_on(&ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::ReplicaConfig;
+    use esds_core::ClientId;
+
+    #[derive(Clone, Copy, Debug)]
+    struct Ctr;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+    }
+    impl SerialDataType for Ctr {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, _op: &Op) -> (i64, i64) {
+            (s + 1, s + 1)
+        }
+    }
+
+    fn id(c: u32, s: u64) -> OpId {
+        OpId::new(ClientId(c), s)
+    }
+
+    #[test]
+    fn derived_variables_on_small_system() {
+        let mut a = Replica::new(Ctr, ReplicaId(0), 2, ReplicaConfig::default());
+        let mut b = Replica::new(Ctr, ReplicaId(1), 2, ReplicaConfig::default());
+        let da = OpDescriptor::new(id(0, 0), Op::Inc);
+        let db = OpDescriptor::new(id(1, 0), Op::Inc);
+        let _ = a.on_request(da.clone());
+        let _ = b.on_request(db.clone());
+
+        let mut requested = BTreeMap::new();
+        requested.insert(da.id, da.clone());
+        requested.insert(db.id, db.clone());
+
+        // Before gossip: each replica knows only its own op; sc has no
+        // cross-constraints (the other replica has ∞ for the unseen op, and
+        // ∞ < ∞ is false, so disagreement).
+        let view = SystemView {
+            replicas: vec![&a, &b],
+            gossip_in_flight: Vec::new(),
+            requested: requested.clone(),
+            waiting: BTreeSet::new(),
+            responded: [da.id, db.id].into_iter().collect(),
+        };
+        assert_eq!(view.ops().len(), 2);
+        assert_eq!(view.sc().edge_count(), 0);
+        assert!(view.po().is_strict_partial_order());
+
+        // After full gossip both agree; sc totally orders the two ops.
+        let g = a.make_gossip(ReplicaId(1));
+        let _ = b.on_gossip(g);
+        let g = b.make_gossip(ReplicaId(0));
+        let _ = a.on_gossip(g);
+        let view = SystemView {
+            replicas: vec![&a, &b],
+            gossip_in_flight: Vec::new(),
+            requested,
+            waiting: BTreeSet::new(),
+            responded: [da.id, db.id].into_iter().collect(),
+        };
+        assert_eq!(view.sc().edge_count(), 1);
+        let order = view.minlabel_order();
+        assert_eq!(order.len(), 2);
+        assert!(view.sc().precedes(&order[0], &order[1]));
+    }
+
+    #[test]
+    fn in_flight_message_weakens_sc() {
+        let mut a = Replica::new(Ctr, ReplicaId(0), 2, ReplicaConfig::default());
+        let mut b = Replica::new(Ctr, ReplicaId(1), 2, ReplicaConfig::default());
+        let da = OpDescriptor::new(id(0, 0), Op::Inc);
+        let db = OpDescriptor::new(id(1, 0), Op::Inc);
+        let _ = a.on_request(da.clone());
+        // Sync so both know op a.
+        let g = a.make_gossip(ReplicaId(1));
+        let _ = b.on_gossip(g);
+        // b now also does op b and sends gossip that is still in flight.
+        let _ = b.on_request(db.clone());
+        let in_flight = b.make_gossip(ReplicaId(0));
+        let g2 = b.make_gossip(ReplicaId(0));
+        let _ = a.on_gossip(g2);
+
+        let mut requested = BTreeMap::new();
+        requested.insert(da.id, da);
+        requested.insert(db.id, db);
+        let view = SystemView {
+            replicas: vec![&a, &b],
+            gossip_in_flight: vec![(ReplicaId(0), in_flight)],
+            requested,
+            waiting: BTreeSet::new(),
+            responded: BTreeSet::new(),
+        };
+        // Even with the message in flight, sc is consistent (message labels
+        // only confirm the agreed order here).
+        assert!(view.po().is_strict_partial_order());
+    }
+}

@@ -1,0 +1,1377 @@
+//! The replica automaton (paper Fig. 7) with the Section 10 optimizations.
+//!
+//! A replica is a *sans-IO* state machine: inputs are requests, gossip
+//! messages, and "make a gossip message now" prompts; outputs are response
+//! effects. Both the discrete-event simulator (`esds-harness`) and the
+//! threaded runtime (`esds-runtime`) drive this same type, so properties
+//! verified under simulation transfer to the deployment.
+//!
+//! State (paper §6.3):
+//! * `pending_r` — requests awaiting a response;
+//! * `rcvd_r`    — every operation received (directly or via gossip);
+//! * `done_r[i]` — operations `r` knows are done at replica `i`;
+//! * `stable_r[i]` — operations `r` knows are stable at `i`;
+//! * `label_r`   — the minimum label seen per operation (`∞` if none).
+//!
+//! The paper's fine-grained actions (`do_it`, `send_response`) are run to
+//! fixpoint inside each event handler; this batching is a refinement that
+//! the conformance observer in `esds-harness` checks against `ESDS-II`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esds_core::{
+    ClientId, Digraph, Label, LabelGenerator, LabelMap, OpDescriptor, OpId, ReplicaId,
+    SerialDataType,
+};
+
+use crate::messages::{GossipMsg, ResponseMsg};
+
+/// Which gossip construction [`Replica::make_gossip`] uses (paper §10.4).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum GossipStrategy {
+    /// The paper's algorithm: every gossip message carries the full
+    /// `(R, D, L, S)` snapshot.
+    #[default]
+    Full,
+    /// Send only what changed since the last gossip to that peer. Safe on
+    /// reliable channels (the components are merged with commutative set
+    /// unions / label minima, so reordering is harmless), unsafe under
+    /// message loss.
+    Incremental,
+}
+
+/// How response values are produced (paper §10.1 / §10.3).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ValueStrategy {
+    /// Recompute along the local label order on demand, starting from the
+    /// memoized prefix when available (`ESDS-Alg` / `ESDS-Alg′`).
+    #[default]
+    Recompute,
+    /// The `Commute` automaton of Fig. 11: maintain a *current state* `cs_r`
+    /// updated as each operation is done (in a CSC-consistent order) and fix
+    /// every value at do-time. Sound only for `SafeUsers` workloads that
+    /// CSC-order all non-commuting operations (Lemma 10.6); see
+    /// [`crate::commute`].
+    EagerCommute,
+}
+
+/// Configuration of one replica.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ReplicaConfig {
+    /// Enable the §10.1 memoization of the solid prefix (`ESDS-Alg′`).
+    pub memoize: bool,
+    /// Value production strategy (§10.3).
+    pub value_strategy: ValueStrategy,
+    /// Gossip construction strategy (§10.4).
+    pub gossip: GossipStrategy,
+    /// Prune from gossip to peer `p` the `R`/`D`/`L` entries of operations
+    /// `r` knows are stable at `p` (§10.2/§10.4 memory & message GC). The
+    /// `S` component is never pruned (peers still count stability votes).
+    /// Incompatible with crash-recovery experiments (see `DESIGN.md`).
+    pub gc_gossip: bool,
+    /// Attach to each response a witness: the local label order up to the
+    /// answered operation (used by the `esds-spec` checkers; costs memory).
+    pub record_witness: bool,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            memoize: true,
+            value_strategy: ValueStrategy::Recompute,
+            gossip: GossipStrategy::Full,
+            gc_gossip: false,
+            record_witness: false,
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// The paper's base algorithm, no optimizations (used as the ablation
+    /// baseline).
+    pub fn basic() -> Self {
+        ReplicaConfig {
+            memoize: false,
+            value_strategy: ValueStrategy::Recompute,
+            gossip: GossipStrategy::Full,
+            gc_gossip: false,
+            record_witness: false,
+        }
+    }
+
+    /// The `Commute` automaton of Fig. 11 (§10.3): eager values plus
+    /// memoization (strict responses use the memoized, eventual-order
+    /// value). Only sound for `SafeUsers` workloads.
+    pub fn commute() -> Self {
+        ReplicaConfig {
+            memoize: true,
+            value_strategy: ValueStrategy::EagerCommute,
+            gossip: GossipStrategy::Full,
+            gc_gossip: false,
+            record_witness: false,
+        }
+    }
+
+    /// Enables witness recording (checker support).
+    #[must_use]
+    pub fn with_witness(mut self) -> Self {
+        self.record_witness = true;
+        self
+    }
+
+    /// Sets the gossip strategy.
+    #[must_use]
+    pub fn with_gossip(mut self, g: GossipStrategy) -> Self {
+        self.gossip = g;
+        self
+    }
+
+    /// Enables gossip GC.
+    #[must_use]
+    pub fn with_gc(mut self) -> Self {
+        self.gc_gossip = true;
+        self
+    }
+}
+
+/// An output of the replica: send a response message to a client's front
+/// end.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RespondEffect<V> {
+    /// Destination front end.
+    pub client: ClientId,
+    /// The response message.
+    pub msg: ResponseMsg<V>,
+}
+
+/// Counters for the experiments (ablations A1/A3 in `DESIGN.md`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReplicaStats {
+    /// `do_it` actions performed.
+    pub do_its: u64,
+    /// Responses computed.
+    pub responses: u64,
+    /// Data-type `apply` calls spent computing response values (the cost
+    /// memoization attacks; excludes applies spent building memo state).
+    pub response_applies: u64,
+    /// Data-type `apply` calls spent advancing the memo prefix.
+    pub memo_applies: u64,
+    /// Data-type `apply` calls spent maintaining the eager current state
+    /// (`cs_r` of Fig. 11; §10.3 mode only).
+    pub eager_applies: u64,
+    /// Gossip messages received.
+    pub gossip_in: u64,
+    /// Gossip messages produced.
+    pub gossip_out: u64,
+    /// Total approximate bytes of produced gossip.
+    pub gossip_out_bytes: u64,
+    /// Descriptors purged by §10.2 local compaction ([`Replica::compact`]).
+    pub compacted: u64,
+}
+
+/// What a crashed replica retains in stable storage (paper §9.3): its label
+/// counter and the locally-generated labels that were system minima.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryStub {
+    /// The replica's identity.
+    pub id: ReplicaId,
+    /// Label-counter floor, so fresh labels never collide with pre-crash
+    /// ones.
+    pub next_counter: u64,
+    /// Locally-generated labels that were the replica's current minima:
+    /// without these, a recovered replica could assign a *larger* label to
+    /// an operation whose system-wide minimum it previously held, changing
+    /// the eventual total order retroactively.
+    pub local_min_labels: Vec<(OpId, Label)>,
+}
+
+/// Memoization state (paper §10.1, `ESDS-Alg′`): the *solid* prefix of the
+/// local label order — operations at or below the largest stable label —
+/// whose values and cumulative state never change (Lemma 10.2).
+#[derive(Clone, Debug)]
+struct Memo<T: SerialDataType> {
+    /// Ids in memoized order (= label order restricted to the prefix).
+    order: Vec<OpId>,
+    /// Label of the last memoized operation.
+    last_label: Option<Label>,
+    /// `ms_r`: state after applying the memoized prefix.
+    state: T::State,
+    /// `mv_r`: fixed values of memoized operations.
+    values: BTreeMap<OpId, T::Value>,
+}
+
+/// §10.3 eager-value state (Fig. 11): the current state `cs_r` and the
+/// do-time values `val_r`.
+#[derive(Clone, Debug)]
+struct EagerState<T: SerialDataType> {
+    cs: T::State,
+    vals: BTreeMap<OpId, T::Value>,
+}
+
+/// Per-peer incremental-gossip watermark: what has already been sent.
+#[derive(Clone, Debug, Default)]
+struct Watermark {
+    rcvd: BTreeSet<OpId>,
+    done: BTreeSet<OpId>,
+    labels: BTreeMap<OpId, Label>,
+    stable: BTreeSet<OpId>,
+}
+
+/// The replica automaton of paper Fig. 7 (see module docs).
+#[derive(Clone, Debug)]
+pub struct Replica<T: SerialDataType> {
+    dt: T,
+    id: ReplicaId,
+    n: usize,
+    config: ReplicaConfig,
+
+    pending: BTreeSet<OpId>,
+    rcvd: BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    done: Vec<BTreeSet<OpId>>,
+    stable: Vec<BTreeSet<OpId>>,
+    labels: LabelMap,
+    gen: LabelGenerator,
+
+    /// Count of replicas `i` with `x ∈ done[i]` — when it reaches `n` the
+    /// operation is done everywhere `r` knows of, i.e. stable at `r`
+    /// (Invariant 7.2).
+    done_at_count: BTreeMap<OpId, u32>,
+    /// Count of replicas `i` with `x ∈ stable[i]`.
+    stable_at_count: BTreeMap<OpId, u32>,
+    /// `∩ᵢ stable_r[i]` — the strict-response gate.
+    stable_everywhere: BTreeSet<OpId>,
+
+    /// Dependency bookkeeping: ops blocked on a prev not yet done, and the
+    /// reverse map from a missing prev to its dependents.
+    blocked_on: BTreeMap<OpId, usize>,
+    blockers: BTreeMap<OpId, Vec<OpId>>,
+    ready: Vec<OpId>,
+
+    memo: Option<Memo<T>>,
+    /// §10.3 state: `cs_r` (current state over all done ops in do-order)
+    /// and `val_r` (values fixed at do-time).
+    eager: Option<EagerState<T>>,
+    /// Ops newly done at this replica and not yet folded into `cs_r`.
+    eager_backlog: Vec<OpId>,
+    /// Ops newly done at this replica since the last [`Replica::take_newly_done`]
+    /// drain (harness instrumentation for the Lemma 9.2 experiments).
+    newly_done: Vec<OpId>,
+    watermarks: BTreeMap<ReplicaId, Watermark>,
+
+    /// Labels restored from stable storage after a crash (see
+    /// [`RecoveryStub`]); consulted by `do_it`.
+    persisted_labels: BTreeMap<OpId, Label>,
+    /// Peers not yet heard from since recovery; `Some` = still recovering
+    /// (the replica neither labels nor responds until this empties).
+    recovering: Option<BTreeSet<ReplicaId>>,
+
+    stats: ReplicaStats,
+}
+
+impl<T: SerialDataType> Replica<T> {
+    /// Creates replica `id` of a service with `n` replicas (ids `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside `0..n` or `n == 0`.
+    pub fn new(dt: T, id: ReplicaId, n: usize, config: ReplicaConfig) -> Self {
+        assert!(n > 0, "a service needs at least one replica");
+        assert!((id.0 as usize) < n, "replica id out of range");
+        if config.value_strategy == ValueStrategy::EagerCommute {
+            assert!(
+                config.memoize,
+                "eager-commute mode needs memoization for strict responses (Fig. 11)"
+            );
+        }
+        let memo = config.memoize.then(|| Memo {
+            order: Vec::new(),
+            last_label: None,
+            state: dt.initial_state(),
+            values: BTreeMap::new(),
+        });
+        let eager = (config.value_strategy == ValueStrategy::EagerCommute).then(|| EagerState {
+            cs: dt.initial_state(),
+            vals: BTreeMap::new(),
+        });
+        Replica {
+            id,
+            n,
+            config,
+            pending: BTreeSet::new(),
+            rcvd: BTreeMap::new(),
+            done: vec![BTreeSet::new(); n],
+            stable: vec![BTreeSet::new(); n],
+            labels: LabelMap::new(),
+            gen: LabelGenerator::new(id),
+            done_at_count: BTreeMap::new(),
+            stable_at_count: BTreeMap::new(),
+            stable_everywhere: BTreeSet::new(),
+            blocked_on: BTreeMap::new(),
+            blockers: BTreeMap::new(),
+            ready: Vec::new(),
+            memo,
+            eager,
+            eager_backlog: Vec::new(),
+            newly_done: Vec::new(),
+            watermarks: BTreeMap::new(),
+            persisted_labels: BTreeMap::new(),
+            recovering: None,
+            dt,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Recreates a replica from its stable-storage stub after a crash
+    /// (paper §9.3). The replica stays passive — no labeling, no responses,
+    /// no gossip content — until it has received gossip from every peer.
+    pub fn recover(dt: T, stub: RecoveryStub, n: usize, config: ReplicaConfig) -> Self {
+        assert!(
+            !config.gc_gossip,
+            "crash recovery requires ungarbage-collected gossip (see DESIGN.md)"
+        );
+        let mut r = Replica::new(dt, stub.id, n, config);
+        r.gen = LabelGenerator::from_counter(stub.id, stub.next_counter);
+        r.persisted_labels = stub.local_min_labels.into_iter().collect();
+        let peers: BTreeSet<ReplicaId> = (0..n as u32)
+            .map(ReplicaId)
+            .filter(|p| *p != stub.id)
+            .collect();
+        r.recovering = if peers.is_empty() { None } else { Some(peers) };
+        r
+    }
+
+    /// Simulates a crash with volatile memory: returns the stable-storage
+    /// stub, consuming the replica.
+    pub fn crash(self) -> RecoveryStub {
+        let local_min_labels = self
+            .labels
+            .iter()
+            .filter(|(_, l)| l.replica == self.id)
+            .collect();
+        RecoveryStub {
+            id: self.id,
+            next_counter: self.gen.next_counter(),
+            local_min_labels,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (used by checkers, experiments, and tests)
+    // ------------------------------------------------------------------
+
+    /// This replica's identity.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Number of replicas in the service.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ReplicaConfig {
+        self.config
+    }
+
+    /// `pending_r`: requests not yet answered.
+    pub fn pending(&self) -> &BTreeSet<OpId> {
+        &self.pending
+    }
+
+    /// `rcvd_r`: all received operation descriptors.
+    pub fn rcvd(&self) -> &BTreeMap<OpId, OpDescriptor<T::Operator>> {
+        &self.rcvd
+    }
+
+    /// `done_r[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a replica of this service.
+    pub fn done(&self, i: ReplicaId) -> &BTreeSet<OpId> {
+        &self.done[self.idx(i)]
+    }
+
+    /// `done_r[r]` — operations done at this replica.
+    pub fn done_here(&self) -> &BTreeSet<OpId> {
+        &self.done[self.idx(self.id)]
+    }
+
+    /// `stable_r[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a replica of this service.
+    pub fn stable(&self, i: ReplicaId) -> &BTreeSet<OpId> {
+        &self.stable[self.idx(i)]
+    }
+
+    /// `stable_r[r]` — operations stable at this replica.
+    pub fn stable_here(&self) -> &BTreeSet<OpId> {
+        &self.stable[self.idx(self.id)]
+    }
+
+    /// `∩ᵢ stable_r[i]` — operations this replica knows are stable at every
+    /// replica (the strict-response gate).
+    pub fn stable_everywhere(&self) -> &BTreeSet<OpId> {
+        &self.stable_everywhere
+    }
+
+    /// The label function `label_r`.
+    pub fn labels(&self) -> &LabelMap {
+        &self.labels
+    }
+
+    /// The local total order on done operations (ids sorted by label) —
+    /// `lc_r` restricted to `done_r[r]` (Invariant 7.15).
+    pub fn local_order(&self) -> Vec<OpId> {
+        self.labels.ids_in_label_order()
+    }
+
+    /// Whether the replica is still waiting for post-recovery gossip.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Drains and returns the operations that became done at this replica
+    /// since the last drain (harness instrumentation: the Lemma 9.2
+    /// stabilization-time experiment watches these).
+    pub fn take_newly_done(&mut self) -> Vec<OpId> {
+        std::mem::take(&mut self.newly_done)
+    }
+
+    /// The ids of the memoized prefix, in order (empty when memoization is
+    /// off). Exposed for the §10.1 invariant checks.
+    pub fn memo_order(&self) -> &[OpId] {
+        self.memo.as_ref().map_or(&[], |m| &m.order)
+    }
+
+    /// The memoized state `ms_r` (None when memoization is off).
+    pub fn memo_state(&self) -> Option<&T::State> {
+        self.memo.as_ref().map(|m| &m.state)
+    }
+
+    /// The memoized value of `id`, if memoized.
+    pub fn memo_value(&self, id: OpId) -> Option<&T::Value> {
+        self.memo.as_ref().and_then(|m| m.values.get(&id))
+    }
+
+    /// The §10.3 do-time value of `id` (eager-commute mode only).
+    pub fn eager_value(&self, id: OpId) -> Option<&T::Value> {
+        self.eager.as_ref().and_then(|e| e.vals.get(&id))
+    }
+
+    /// The §10.3 current state `cs_r` (eager-commute mode only).
+    pub fn eager_state(&self) -> Option<&T::State> {
+        self.eager.as_ref().map(|e| &e.cs)
+    }
+
+    /// The state after applying **all** currently-done operations in local
+    /// label order — the replica's current view of the object. Used by
+    /// convergence checks; linear in the number of unmemoized operations.
+    pub fn current_state(&self) -> T::State {
+        let (start_state, start_label) = match &self.memo {
+            Some(m) => (m.state.clone(), m.last_label),
+            None => (self.dt.initial_state(), None),
+        };
+        let mut s = start_state;
+        let mut cursor = start_label;
+        while let Some((l, id)) = self.labels.next_after(cursor) {
+            let d = self.rcvd.get(&id).expect("done op has descriptor");
+            s = self.dt.apply(&s, &d.op).0;
+            cursor = Some(l);
+        }
+        s
+    }
+
+    fn idx(&self, i: ReplicaId) -> usize {
+        let k = i.0 as usize;
+        assert!(k < self.n, "unknown replica {i}");
+        k
+    }
+
+    // ------------------------------------------------------------------
+    // Input actions
+    // ------------------------------------------------------------------
+
+    /// Handles `receive_cr(⟨"request", x⟩)`: records the request as pending
+    /// (even if previously received — the front end may legitimately retry,
+    /// paper footnote 4) and runs the internal actions to fixpoint.
+    pub fn on_request(&mut self, desc: OpDescriptor<T::Operator>) -> Vec<RespondEffect<T::Value>> {
+        self.pending.insert(desc.id);
+        self.admit(desc);
+        self.step()
+    }
+
+    /// Handles `receive_{r'r}(⟨"gossip", R, D, L, S⟩)` (paper Fig. 7) and
+    /// runs the internal actions to fixpoint.
+    pub fn on_gossip(&mut self, g: GossipMsg<T::Operator>) -> Vec<RespondEffect<T::Value>> {
+        self.stats.gossip_in += 1;
+        let GossipMsg {
+            from,
+            rcvd,
+            done,
+            labels,
+            stable,
+        } = g;
+        let from_idx = self.idx(from);
+        let here = self.idx(self.id);
+
+        // rcvd ← rcvd ∪ R.
+        for d in rcvd {
+            self.admit(d);
+        }
+        // label_r ← min(label_r, L) — before the done-set updates so every
+        // newly-done operation is labeled (Invariant 7.5).
+        for (id, l) in labels {
+            let l = match self.persisted_labels.get(&id) {
+                Some(p) if *p < l => *p,
+                _ => l,
+            };
+            self.labels.merge_min(id, l);
+        }
+        // done_r[r'] ∪= D ∪ S ; done_r[r] ∪= D ∪ S ; done_r[i] ∪= S ∀i.
+        for x in done.iter().chain(stable.iter()) {
+            self.mark_done_at(*x, from_idx);
+            self.mark_done_at(*x, here);
+        }
+        for x in &stable {
+            for i in 0..self.n {
+                self.mark_done_at(*x, i);
+            }
+        }
+        // stable_r[r'] ∪= S ; stable_r[r] ∪= S (the ∩ᵢ done_r[i] part is
+        // maintained incrementally by mark_done_at).
+        for x in &stable {
+            self.mark_stable_at(*x, from_idx);
+            self.mark_stable_at(*x, here);
+        }
+
+        if let Some(waiting) = &mut self.recovering {
+            waiting.remove(&from);
+            if waiting.is_empty() {
+                self.recovering = None;
+            }
+        }
+        self.step()
+    }
+
+    /// Builds the gossip message for `peer` (`send_{rr'}` in Fig. 7) and
+    /// updates incremental watermarks. A recovering replica gossips an
+    /// empty message (it has nothing trustworthy to say yet, but peers
+    /// learn it is alive).
+    pub fn make_gossip(&mut self, peer: ReplicaId) -> GossipMsg<T::Operator> {
+        let here = self.idx(self.id);
+        let msg = if self.recovering.is_some() {
+            GossipMsg {
+                from: self.id,
+                rcvd: Vec::new(),
+                done: Vec::new(),
+                labels: Vec::new(),
+                stable: Vec::new(),
+            }
+        } else {
+            match self.config.gossip {
+                GossipStrategy::Full => {
+                    let peer_stable = &self.stable[self.idx(peer)];
+                    let skip =
+                        |id: &OpId| -> bool { self.config.gc_gossip && peer_stable.contains(id) };
+                    GossipMsg {
+                        from: self.id,
+                        rcvd: self
+                            .rcvd
+                            .values()
+                            .filter(|d| !skip(&d.id))
+                            .cloned()
+                            .collect(),
+                        done: self.done[here]
+                            .iter()
+                            .filter(|x| !skip(x))
+                            .copied()
+                            .collect(),
+                        labels: self.labels.iter().filter(|(id, _)| !skip(id)).collect(),
+                        // S is never pruned: peers still need stability votes.
+                        stable: self.stable[here].iter().copied().collect(),
+                    }
+                }
+                GossipStrategy::Incremental => {
+                    let wm = self.watermarks.entry(peer).or_default();
+                    let rcvd: Vec<_> = self
+                        .rcvd
+                        .values()
+                        .filter(|d| !wm.rcvd.contains(&d.id))
+                        .cloned()
+                        .collect();
+                    let done: Vec<_> = self.done[here]
+                        .iter()
+                        .filter(|x| !wm.done.contains(x))
+                        .copied()
+                        .collect();
+                    let labels: Vec<_> = self
+                        .labels
+                        .iter()
+                        .filter(|(id, l)| wm.labels.get(id).is_none_or(|sent| l < sent))
+                        .collect();
+                    let stable: Vec<_> = self.stable[here]
+                        .iter()
+                        .filter(|x| !wm.stable.contains(x))
+                        .copied()
+                        .collect();
+                    wm.rcvd.extend(rcvd.iter().map(|d| d.id));
+                    wm.done.extend(done.iter().copied());
+                    for (id, l) in &labels {
+                        wm.labels.insert(*id, *l);
+                    }
+                    wm.stable.extend(stable.iter().copied());
+                    GossipMsg {
+                        from: self.id,
+                        rcvd,
+                        done,
+                        labels,
+                        stable,
+                    }
+                }
+            }
+        };
+        self.stats.gossip_out += 1;
+        self.stats.gossip_out_bytes += msg.approx_bytes() as u64;
+        msg
+    }
+
+    /// Forgets the incremental watermark for `peer` — the harness calls
+    /// this at every healthy replica when `peer` recovers from a crash, so
+    /// the next gossip to it is full ("requesting new gossip", §9.3).
+    pub fn reset_watermark(&mut self, peer: ReplicaId) {
+        self.watermarks.remove(&peer);
+    }
+
+    /// §10.2 local compaction: purges the full descriptors (operator and
+    /// `prev` set) of operations that are **stable at this replica**,
+    /// **memoized**, and **not pending**, keeping only what the paper says
+    /// must survive — the identifier, its label, and its memoized value.
+    /// Returns the number of descriptors purged.
+    ///
+    /// Soundness: stability at `r` means the operation is done at *every*
+    /// replica (Invariant 7.2), so no replica will ever run `do_it` for it
+    /// again — and `do_it` is the only consumer of `prev` (§10.2). The
+    /// memoized prefix supplies the operation's fixed value and the state
+    /// it folds into (Lemma 10.2), so the operator is never reapplied. A
+    /// purged descriptor simply stops appearing in gossip `R` components;
+    /// receivers only need `R` for their own `do_it`, which they have all
+    /// performed.
+    ///
+    /// Interaction with crash recovery (§9.3): a replica that loses its
+    /// volatile memory rebuilds `rcvd` from peers' gossip, so if **every**
+    /// peer compacted an operation the recovering replica cannot replay it
+    /// and would need a state-snapshot transfer instead. The paper presents
+    /// the §9.3 recovery scheme and the §10.2 optimizations independently;
+    /// so do we — deployments using [`Replica::crash`]/[`Replica::recover`]
+    /// should leave at least one replica uncompacted or skip compaction,
+    /// as `tests/faults.rs` does.
+    ///
+    /// No-op (returning 0) when memoization is disabled or the replica is
+    /// recovering.
+    pub fn compact(&mut self) -> usize {
+        if self.recovering.is_some() {
+            return 0;
+        }
+        let here = self.idx(self.id);
+        let Some(memo) = &self.memo else {
+            return 0;
+        };
+        let victims: Vec<OpId> = self.stable[here]
+            .iter()
+            .filter(|x| memo.values.contains_key(x))
+            .filter(|x| !self.pending.contains(x))
+            .filter(|x| self.rcvd.contains_key(x))
+            .copied()
+            .collect();
+        for x in &victims {
+            self.rcvd.remove(x);
+        }
+        self.stats.compacted += victims.len() as u64;
+        victims.len()
+    }
+
+    /// Descriptors currently held in `rcvd` — the §10.2 memory-growth
+    /// metric (`tab_memory` experiment).
+    pub fn retained_descriptors(&self) -> usize {
+        self.rcvd.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal actions
+    // ------------------------------------------------------------------
+
+    /// Adds a descriptor to `rcvd` and updates dependency bookkeeping.
+    fn admit(&mut self, desc: OpDescriptor<T::Operator>) {
+        let id = desc.id;
+        if self.rcvd.contains_key(&id) {
+            return;
+        }
+        let here = self.idx(self.id);
+        let missing: Vec<OpId> = desc
+            .prev
+            .iter()
+            .filter(|p| !self.done[here].contains(p))
+            .copied()
+            .collect();
+        self.rcvd.insert(id, desc);
+        if self.done[here].contains(&id) {
+            // Already done via gossip D/S before the descriptor arrived in
+            // R of the same message — nothing to schedule.
+            return;
+        }
+        if missing.is_empty() {
+            self.ready.push(id);
+        } else {
+            self.blocked_on.insert(id, missing.len());
+            for m in missing {
+                self.blockers.entry(m).or_default().push(id);
+            }
+        }
+    }
+
+    /// Marks `x` done at replica index `i`, maintaining the done-counts and
+    /// the derived `stable_r[r] = ∩ᵢ done_r[i]` (Invariant 7.2).
+    fn mark_done_at(&mut self, x: OpId, i: usize) {
+        if !self.done[i].insert(x) {
+            return;
+        }
+        debug_assert!(
+            i != self.idx(self.id) || self.labels.is_labeled(x),
+            "done op {x} must be labeled (Invariant 7.5)"
+        );
+        let c = self.done_at_count.entry(x).or_insert(0);
+        *c += 1;
+        if *c as usize == self.n {
+            let here = self.idx(self.id);
+            self.mark_stable_at(x, here);
+        }
+        let here = self.idx(self.id);
+        if i == here {
+            self.newly_done.push(x);
+            if self.eager.is_some() {
+                self.eager_backlog.push(x);
+            }
+            // x became done here: unblock dependents.
+            if let Some(deps) = self.blockers.remove(&x) {
+                for y in deps {
+                    if let Some(left) = self.blocked_on.get_mut(&y) {
+                        *left -= 1;
+                        if *left == 0 {
+                            self.blocked_on.remove(&y);
+                            if !self.done[here].contains(&y) {
+                                self.ready.push(y);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks `x` stable at replica index `i`, maintaining stable-counts and
+    /// `∩ᵢ stable_r[i]`.
+    fn mark_stable_at(&mut self, x: OpId, i: usize) {
+        if !self.stable[i].insert(x) {
+            return;
+        }
+        let c = self.stable_at_count.entry(x).or_insert(0);
+        *c += 1;
+        if *c as usize == self.n {
+            self.stable_everywhere.insert(x);
+        }
+    }
+
+    /// Runs `do_it` to fixpoint, advances the memo prefix, and computes
+    /// responses for satisfiable pending requests.
+    fn step(&mut self) -> Vec<RespondEffect<T::Value>> {
+        if self.recovering.is_some() {
+            return Vec::new();
+        }
+        // do_it: label every ready operation (ready ⇒ x ∈ rcvd − done[r]
+        // and x.prev ⊆ done[r].id — exactly Fig. 7's precondition).
+        while let Some(x) = self.ready.pop() {
+            let here = self.idx(self.id);
+            if self.done[here].contains(&x) {
+                continue; // became done via gossip meanwhile
+            }
+            let l = match self.persisted_labels.get(&x) {
+                // Our own pre-crash minimum: reuse it so the eventual order
+                // is unchanged by the crash.
+                Some(p) => *p,
+                None => self.gen.fresh_above(self.labels.max_label()),
+            };
+            self.labels.merge_min(x, l);
+            self.stats.do_its += 1;
+            self.mark_done_at(x, here);
+        }
+        self.process_eager_backlog();
+        self.advance_memo();
+        self.respond_pending()
+    }
+
+    /// Folds newly-done operations into the eager current state `cs_r` in a
+    /// CSC-consistent order (Fig. 11's "in any order consistent with
+    /// CSC(D)"), fixing each operation's do-time value.
+    fn process_eager_backlog(&mut self) {
+        if self.eager.is_none() || self.eager_backlog.is_empty() {
+            return;
+        }
+        let batch: Vec<OpId> = std::mem::take(&mut self.eager_backlog);
+        let batch_set: BTreeSet<OpId> = batch.iter().copied().collect();
+        let mut g: Digraph<OpId> = Digraph::new();
+        for x in &batch {
+            g.add_node(*x);
+            for p in &self.rcvd[x].prev {
+                if batch_set.contains(p) {
+                    g.add_edge(*p, *x);
+                }
+            }
+        }
+        let order = g
+            .topo_sort()
+            .expect("client-specified constraints are acyclic");
+        let eager = self.eager.as_mut().expect("checked above");
+        for x in order {
+            if eager.vals.contains_key(&x) {
+                continue;
+            }
+            let d = self.rcvd.get(&x).expect("done op has descriptor");
+            let (ns, v) = self.dt.apply(&eager.cs, &d.op);
+            self.stats.eager_applies += 1;
+            eager.cs = ns;
+            eager.vals.insert(x, v);
+        }
+    }
+
+    /// Advances the memoized prefix over all *solid* operations: those with
+    /// label ≤ the largest stable label (Invariant 10.1). Solid labels are
+    /// frozen (Lemma 10.2), so the prefix never has to be recomputed.
+    fn advance_memo(&mut self) {
+        let here = self.idx(self.id);
+        let Some(memo) = &mut self.memo else {
+            return;
+        };
+        // Boundary: largest label of a stable op. Stable ops hold their
+        // system-minimum labels (Invariant 7.19), so this max is stable too.
+        let boundary = self.stable[here]
+            .iter()
+            .filter_map(|x| self.labels.get(*x).finite())
+            .max();
+        let Some(boundary) = boundary else { return };
+        while let Some((l, id)) = self.labels.next_after(memo.last_label) {
+            if l > boundary {
+                break;
+            }
+            let d = self.rcvd.get(&id).expect("done op has descriptor");
+            let (ns, v) = self.dt.apply(&memo.state, &d.op);
+            self.stats.memo_applies += 1;
+            memo.state = ns;
+            memo.values.insert(id, v);
+            memo.order.push(id);
+            memo.last_label = Some(l);
+        }
+    }
+
+    /// `send_cr(⟨"response", x, v⟩)` for every satisfiable pending request:
+    /// `x ∈ pending ∩ done[r]`, and strict operations must be stable at all
+    /// replicas. The value is computed from the local label order
+    /// (`valset(x, done_r[r], ≺_{lc_r})` is a singleton by Invariant 7.16).
+    fn respond_pending(&mut self) -> Vec<RespondEffect<T::Value>> {
+        let here = self.idx(self.id);
+        let candidates: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|x| self.done[here].contains(x))
+            .copied()
+            .collect();
+        let mut out = Vec::new();
+        for x in candidates {
+            let strict = self.rcvd[&x].strict;
+            if strict && !self.stable_everywhere.contains(&x) {
+                continue;
+            }
+            let value = self.compute_value(x);
+            let witness = self.config.record_witness.then(|| self.witness_for(x));
+            self.pending.remove(&x);
+            self.stats.responses += 1;
+            out.push(RespondEffect {
+                client: x.client(),
+                msg: ResponseMsg {
+                    id: x,
+                    value,
+                    witness,
+                },
+            });
+        }
+        out
+    }
+
+    /// The value of done operation `x` under the local label order: the
+    /// memoized value if fixed, else recomputed from the memo state (or
+    /// initial state) over the unmemoized suffix.
+    fn compute_value(&mut self, x: OpId) -> T::Value {
+        // Memoized (eventual-order) values take precedence: strict
+        // operations are always memoized by the time they respond.
+        if let Some(m) = &self.memo {
+            if let Some(v) = m.values.get(&x) {
+                return v.clone();
+            }
+        }
+        // §10.3 eager mode: the do-time value (sound under SafeUsers).
+        if let Some(e) = &self.eager {
+            return e
+                .vals
+                .get(&x)
+                .cloned()
+                .expect("eager value is fixed when the op is done");
+        }
+        let (mut s, mut cursor) = match &self.memo {
+            Some(m) => (m.state.clone(), m.last_label),
+            None => (self.dt.initial_state(), None),
+        };
+        let target = self
+            .labels
+            .get(x)
+            .finite()
+            .expect("responding to an unlabeled op");
+        loop {
+            let (l, id) = self
+                .labels
+                .next_after(cursor)
+                .expect("target label must be reachable");
+            let d = self.rcvd.get(&id).expect("done op has descriptor");
+            let (ns, v) = self.dt.apply(&s, &d.op);
+            self.stats.response_applies += 1;
+            if l == target {
+                debug_assert_eq!(id, x);
+                return v;
+            }
+            s = ns;
+            cursor = Some(l);
+        }
+    }
+
+    /// Checks the §10.1 memoization invariants (Invariants 10.1, 10.4):
+    /// the memoized prefix is exactly a label-order prefix of solid
+    /// operations, `ms_r` equals the outcome of replaying it, and every
+    /// memoized value matches a from-scratch recomputation. Returns a
+    /// description of the first violation, if any. Intended for tests and
+    /// the invariant harness; linear in the number of done operations.
+    pub fn check_memo_consistency(&self) -> Result<(), String> {
+        let Some(memo) = &self.memo else {
+            return Ok(());
+        };
+        let here = self.idx(self.id);
+        // Invariant 10.1: memoized ⊆ solid (labels ≤ the largest stable
+        // label) and the prefix is in label order.
+        let boundary = self.stable[here]
+            .iter()
+            .filter_map(|x| self.labels.get(*x).finite())
+            .max();
+        let mut prev: Option<Label> = None;
+        for x in &memo.order {
+            let l = self
+                .labels
+                .get(*x)
+                .finite()
+                .ok_or_else(|| format!("memoized op {x} has no label"))?;
+            if let Some(p) = prev {
+                if l <= p {
+                    return Err(format!("memo order not label-sorted at {x}"));
+                }
+            }
+            match boundary {
+                Some(b) if l <= b => {}
+                _ => return Err(format!("memoized op {x} is not solid (Invariant 10.1)")),
+            }
+            prev = Some(l);
+        }
+        if prev != memo.last_label {
+            return Err("memo.last_label out of sync with memo.order".to_string());
+        }
+        // Invariant 10.4: ms = outcome(memoized, lc order) and mv matches a
+        // recomputation from scratch. §10.2 compaction purges exactly the
+        // replay material this diagnostic needs, so a compacted replica
+        // skips the replay (the invariant held when the value was fixed;
+        // Lemma 10.2 says it cannot change afterwards).
+        if memo.order.iter().any(|x| !self.rcvd.contains_key(x)) {
+            return Ok(());
+        }
+        let mut s = self.dt.initial_state();
+        for x in &memo.order {
+            let d = self
+                .rcvd
+                .get(x)
+                .ok_or_else(|| format!("memoized op {x} missing descriptor"))?;
+            let (ns, v) = self.dt.apply(&s, &d.op);
+            if memo.values.get(x) != Some(&v) {
+                return Err(format!("memoized value of {x} diverges (Invariant 10.4)"));
+            }
+            s = ns;
+        }
+        if s != memo.state {
+            return Err("memo state diverges from replay (Invariant 10.4)".to_string());
+        }
+        Ok(())
+    }
+
+    /// The local label order up to and including `x` (checker witness).
+    fn witness_for(&self, x: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for id in self.local_order() {
+            out.push(id);
+            if id == x {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal counter datatype for replica unit tests.
+    #[derive(Clone, Copy, Debug)]
+    struct Ctr;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+        Read,
+    }
+    impl SerialDataType for Ctr {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+            match op {
+                Op::Inc => (s + 1, s + 1),
+                Op::Read => (*s, *s),
+            }
+        }
+    }
+
+    fn id(c: u32, s: u64) -> OpId {
+        OpId::new(ClientId(c), s)
+    }
+
+    fn two_replicas(config: ReplicaConfig) -> (Replica<Ctr>, Replica<Ctr>) {
+        (
+            Replica::new(Ctr, ReplicaId(0), 2, config),
+            Replica::new(Ctr, ReplicaId(1), 2, config),
+        )
+    }
+
+    /// Fully exchange gossip between two replicas once in each direction.
+    fn sync(a: &mut Replica<Ctr>, b: &mut Replica<Ctr>) -> Vec<RespondEffect<i64>> {
+        let mut effects = Vec::new();
+        let ga = a.make_gossip(b.id());
+        effects.extend(b.on_gossip(ga));
+        let gb = b.make_gossip(a.id());
+        effects.extend(a.on_gossip(gb));
+        effects
+    }
+
+    #[test]
+    fn nonstrict_request_answered_immediately() {
+        let (mut a, _) = two_replicas(ReplicaConfig::default());
+        let d = OpDescriptor::new(id(0, 0), Op::Inc);
+        let fx = a.on_request(d);
+        assert_eq!(fx.len(), 1);
+        assert_eq!(fx[0].msg.id, id(0, 0));
+        assert_eq!(fx[0].msg.value, 1);
+        assert_eq!(fx[0].client, ClientId(0));
+        assert!(a.pending().is_empty());
+    }
+
+    #[test]
+    fn strict_request_waits_for_global_stability() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        let d = OpDescriptor::new(id(0, 0), Op::Inc).with_strict(true);
+        let fx = a.on_request(d);
+        assert!(fx.is_empty(), "strict op must not answer before stability");
+
+        // Round 1: b learns the op and does it; a learns b has it done →
+        // a: done everywhere → stable at a. But a doesn't know b knows.
+        let mut fx = sync(&mut a, &mut b);
+        // Round 2: b learns a's stability, b stabilizes; a learns b's
+        // stability → stable everywhere at a → respond.
+        fx.extend(sync(&mut a, &mut b));
+        // At most one extra round for the response.
+        fx.extend(sync(&mut a, &mut b));
+        let resp: Vec<_> = fx.iter().filter(|e| e.msg.id == id(0, 0)).collect();
+        assert_eq!(resp.len(), 1, "exactly one response for the strict op");
+        assert_eq!(resp[0].msg.value, 1);
+    }
+
+    #[test]
+    fn prev_constraint_defers_do_it() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        // y depends on x, but y is sent to b which has never seen x.
+        let x = OpDescriptor::new(id(0, 0), Op::Inc);
+        let y = OpDescriptor::new(id(0, 1), Op::Read).with_prev([id(0, 0)]);
+        let fx = b.on_request(y);
+        assert!(fx.is_empty(), "y must wait for x");
+        assert!(b.done_here().is_empty());
+
+        let _ = a.on_request(x);
+        let fx = sync(&mut a, &mut b);
+        // b now has x via gossip, does x then y; read sees the increment.
+        let resp: Vec<_> = fx.iter().filter(|e| e.msg.id == id(0, 1)).collect();
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].msg.value, 1);
+    }
+
+    #[test]
+    fn labels_converge_to_minimum() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        // Both replicas label the same op independently; after gossip both
+        // hold the minimum.
+        let d = OpDescriptor::new(id(0, 0), Op::Inc);
+        let _ = a.on_request(d.clone());
+        let _ = b.on_request(d);
+        let la = a.labels().get(id(0, 0));
+        let lb = b.labels().get(id(0, 0));
+        let min = la.min(lb);
+        sync(&mut a, &mut b);
+        assert_eq!(a.labels().get(id(0, 0)), min);
+        assert_eq!(b.labels().get(id(0, 0)), min);
+    }
+
+    #[test]
+    fn duplicate_request_reanswered() {
+        let (mut a, _) = two_replicas(ReplicaConfig::default());
+        let d = OpDescriptor::new(id(0, 0), Op::Inc);
+        let fx1 = a.on_request(d.clone());
+        let fx2 = a.on_request(d);
+        assert_eq!(fx1.len(), 1);
+        assert_eq!(fx2.len(), 1, "retried request gets a fresh response");
+        assert_eq!(fx1[0].msg.value, fx2[0].msg.value);
+        assert_eq!(a.stats().do_its, 1, "but the op is done only once");
+    }
+
+    #[test]
+    fn replicas_converge_after_gossip() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let _ = b.on_request(OpDescriptor::new(id(1, 0), Op::Inc));
+        sync(&mut a, &mut b);
+        sync(&mut a, &mut b);
+        assert_eq!(a.local_order(), b.local_order());
+        assert_eq!(a.current_state(), b.current_state());
+        assert_eq!(a.current_state(), 2);
+    }
+
+    #[test]
+    fn memoization_matches_basic_values() {
+        let mut basic = Replica::new(Ctr, ReplicaId(0), 2, ReplicaConfig::basic());
+        let mut memo = Replica::new(Ctr, ReplicaId(0), 2, ReplicaConfig::default());
+        let mut peer_b = Replica::new(Ctr, ReplicaId(1), 2, ReplicaConfig::basic());
+        let mut peer_m = Replica::new(Ctr, ReplicaId(1), 2, ReplicaConfig::default());
+
+        for s in 0..20 {
+            let op = if s % 3 == 0 { Op::Read } else { Op::Inc };
+            let d = OpDescriptor::new(id(0, s), op);
+            let fb = basic.on_request(d.clone());
+            let fm = memo.on_request(d);
+            assert_eq!(
+                fb.iter()
+                    .map(|e| (e.msg.id, e.msg.value))
+                    .collect::<Vec<_>>(),
+                fm.iter()
+                    .map(|e| (e.msg.id, e.msg.value))
+                    .collect::<Vec<_>>()
+            );
+            if s % 5 == 0 {
+                sync(&mut basic, &mut peer_b);
+                sync(&mut memo, &mut peer_m);
+            }
+        }
+        sync(&mut memo, &mut peer_m);
+        sync(&mut memo, &mut peer_m);
+        // After enough gossip the memo prefix covers everything stable.
+        assert!(!memo.memo_order().is_empty());
+        assert_eq!(memo.current_state(), basic.current_state());
+    }
+
+    #[test]
+    fn incremental_gossip_carries_only_deltas() {
+        let cfg = ReplicaConfig::default().with_gossip(GossipStrategy::Incremental);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let g1 = a.make_gossip(ReplicaId(1));
+        assert_eq!(g1.rcvd.len(), 1);
+        let g2 = a.make_gossip(ReplicaId(1));
+        assert!(g2.is_empty(), "nothing changed since last gossip");
+        let _ = b.on_gossip(g1);
+        let _ = b.on_gossip(g2);
+        assert!(b.done_here().contains(&id(0, 0)));
+    }
+
+    #[test]
+    fn gc_gossip_prunes_for_knowing_peer() {
+        let cfg = ReplicaConfig::default().with_gc();
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync(&mut a, &mut b);
+        }
+        assert!(a.stable(ReplicaId(1)).contains(&id(0, 0)));
+        let g = a.make_gossip(ReplicaId(1));
+        assert!(
+            g.rcvd.is_empty(),
+            "R pruned for peers that have the op stable"
+        );
+        assert!(g.done.is_empty());
+        assert!(g.labels.is_empty());
+        assert_eq!(g.stable.len(), 1, "S is never pruned");
+    }
+
+    #[test]
+    fn compact_purges_only_stable_memoized_descriptors() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let _ = a.on_request(OpDescriptor::new(id(0, 1), Op::Inc));
+        // Nothing is stable yet: compaction must be a no-op.
+        assert_eq!(a.compact(), 0);
+        for _ in 0..4 {
+            sync(&mut a, &mut b);
+        }
+        assert!(a.stable_here().contains(&id(0, 0)));
+        let purged = a.compact();
+        assert_eq!(purged, 2, "both stable memoized ops purged");
+        assert_eq!(a.retained_descriptors(), 0);
+        assert_eq!(a.stats().compacted, 2);
+        // Values, labels, and the object state survive the purge.
+        assert_eq!(a.memo_value(id(0, 1)), Some(&2));
+        assert!(a.labels().is_labeled(id(0, 0)));
+        assert_eq!(a.current_state(), 2);
+        // Fresh operations still work on the compacted replica.
+        let fx = a.on_request(OpDescriptor::new(id(0, 2), Op::Read));
+        assert_eq!(fx.len(), 1);
+        assert_eq!(fx[0].msg.value, 2, "read sees the compacted history");
+    }
+
+    #[test]
+    fn compacted_op_can_still_be_answered_on_retry() {
+        // A front end may retry an already-answered request (footnote 4);
+        // the memoized value answers it even after compaction.
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        let d = OpDescriptor::new(id(0, 0), Op::Inc);
+        let _ = a.on_request(d.clone());
+        for _ in 0..4 {
+            sync(&mut a, &mut b);
+        }
+        assert_eq!(a.compact(), 1);
+        let fx = a.on_request(d);
+        assert_eq!(fx.len(), 1);
+        assert_eq!(fx[0].msg.value, 1, "retry answered from the memoized value");
+    }
+
+    #[test]
+    fn compact_requires_memoization() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::basic());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync(&mut a, &mut b);
+        }
+        // basic() disables memoization: nothing can be purged safely.
+        assert_eq!(a.compact(), 0);
+        assert_eq!(a.retained_descriptors(), 1);
+    }
+
+    #[test]
+    fn compacted_replica_keeps_gossiping_ids_and_labels() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::default());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync(&mut a, &mut b);
+        }
+        let _ = a.compact();
+        let g = a.make_gossip(ReplicaId(1));
+        assert!(g.rcvd.is_empty(), "descriptor purged from R");
+        assert!(g.done.contains(&id(0, 0)), "D still carries the id");
+        assert!(
+            g.labels.iter().any(|(i, _)| *i == id(0, 0)),
+            "L still carries the label"
+        );
+        assert!(g.stable.contains(&id(0, 0)), "S still carries the vote");
+        // The peer absorbs it without issue.
+        let _ = b.on_gossip(g);
+    }
+
+    #[test]
+    fn crash_recovery_preserves_minimum_labels() {
+        let (mut a, mut b) = two_replicas(ReplicaConfig::basic());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let pre_label = a.labels().get(id(0, 0));
+        sync(&mut a, &mut b);
+
+        let stub = a.crash();
+        assert_eq!(stub.local_min_labels.len(), 1);
+        let mut a = Replica::recover(Ctr, stub, 2, ReplicaConfig::basic());
+        assert!(a.is_recovering());
+
+        // Requests during recovery are buffered, not answered.
+        let fx = a.on_request(OpDescriptor::new(id(0, 1), Op::Read));
+        assert!(fx.is_empty());
+
+        b.reset_watermark(ReplicaId(0));
+        let g = b.make_gossip(ReplicaId(0));
+        let fx = a.on_gossip(g);
+        assert!(!a.is_recovering());
+        // The buffered read now answers and sees the pre-crash increment.
+        let resp: Vec<_> = fx.iter().filter(|e| e.msg.id == id(0, 1)).collect();
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].msg.value, 1);
+        // The op's label is unchanged by the crash.
+        assert_eq!(a.labels().get(id(0, 0)), pre_label);
+    }
+
+    #[test]
+    fn recovering_replica_gossips_empty() {
+        let (a, _) = two_replicas(ReplicaConfig::basic());
+        let stub = a.crash();
+        let mut a = Replica::recover(Ctr, stub, 2, ReplicaConfig::basic());
+        let g = a.make_gossip(ReplicaId(1));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn witness_records_local_prefix() {
+        let cfg = ReplicaConfig::default().with_witness();
+        let (mut a, _) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let fx = a.on_request(OpDescriptor::new(id(0, 1), Op::Read));
+        let w = fx[0].msg.witness.as_ref().expect("witness recorded");
+        assert_eq!(w, &vec![id(0, 0), id(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica id out of range")]
+    fn bad_replica_id_rejected() {
+        let _ = Replica::new(Ctr, ReplicaId(5), 2, ReplicaConfig::default());
+    }
+
+    #[test]
+    fn single_replica_service_stabilizes_alone() {
+        let mut a = Replica::new(Ctr, ReplicaId(0), 1, ReplicaConfig::default());
+        let d = OpDescriptor::new(id(0, 0), Op::Inc).with_strict(true);
+        let fx = a.on_request(d);
+        assert_eq!(fx.len(), 1, "n=1: done ⇒ stable everywhere");
+        assert_eq!(fx[0].msg.value, 1);
+    }
+}

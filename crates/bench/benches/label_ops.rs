@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the label machinery (paper §6.3): fresh-label
+//! generation and minimum-merge — the per-operation bookkeeping cost of
+//! the algorithm's ordering substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esds_core::{ClientId, Label, LabelGenerator, LabelMap, OpId, ReplicaId};
+
+fn id(s: u64) -> OpId {
+    OpId::new(ClientId(0), s)
+}
+
+fn bench_fresh_labels(c: &mut Criterion) {
+    c.bench_function("label_generator_fresh_above", |b| {
+        let mut gen = LabelGenerator::new(ReplicaId(0));
+        let mut floor = None;
+        b.iter(|| {
+            let l = gen.fresh_above(floor);
+            floor = Some(l);
+            l
+        });
+    });
+}
+
+fn bench_merge_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_map_merge_min");
+    for n in [100u64, 1_000, 10_000] {
+        group.bench_function(format!("fresh_inserts_{n}"), |b| {
+            b.iter_batched(
+                LabelMap::new,
+                |mut m| {
+                    for i in 0..n {
+                        m.merge_min(id(i), Label::new(i, ReplicaId(0)));
+                    }
+                    m
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Lowering an existing label (the gossip merge hot path).
+    group.bench_function("lowering_merge", |b| {
+        let mut m = LabelMap::new();
+        for i in 0..10_000u64 {
+            m.merge_min(id(i), Label::new(i * 2 + 1, ReplicaId(1)));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = i % 10_000;
+            // Alternates between a lowering merge and a no-op merge.
+            m.merge_min(id(k), Label::new(k * 2, ReplicaId(0)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_label_order_iteration(c: &mut Criterion) {
+    let mut m = LabelMap::new();
+    for i in 0..10_000u64 {
+        m.merge_min(id(i), Label::new(i, ReplicaId(0)));
+    }
+    c.bench_function("label_map_order_walk_10k", |b| {
+        b.iter(|| {
+            let mut cursor = None;
+            let mut count = 0u64;
+            while let Some((l, _)) = m.next_after(cursor) {
+                cursor = Some(l);
+                count += 1;
+            }
+            count
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fresh_labels,
+    bench_merge_min,
+    bench_label_order_iteration
+);
+criterion_main!(benches);

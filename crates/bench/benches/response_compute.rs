@@ -1,0 +1,80 @@
+//! The A1/A2 ablations as micro-benchmarks: cost of computing one response
+//! as a function of history length, for the naive recompute (`ESDS-Alg`),
+//! the memoized solid prefix (`ESDS-Alg′`, §10.1), and the eager-commute
+//! variant (Fig. 11, §10.3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esds_alg::{Replica, ReplicaConfig};
+use esds_core::{ClientId, OpDescriptor, OpId, ReplicaId, SerialDataType};
+
+#[derive(Clone, Copy, Debug)]
+struct Ctr;
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Op {
+    Inc,
+    Read,
+}
+impl SerialDataType for Ctr {
+    type State = i64;
+    type Operator = Op;
+    type Value = i64;
+    fn initial_state(&self) -> i64 {
+        0
+    }
+    fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+        match op {
+            Op::Inc => (s + 1, s + 1),
+            Op::Read => (*s, *s),
+        }
+    }
+}
+
+/// Builds a 2-replica pair with `history` increments done and fully
+/// gossiped (so memoized prefixes cover everything); returns the first
+/// replica, primed so the next read is answered from a `history`-deep log.
+fn primed(history: u64, config: ReplicaConfig) -> Replica<Ctr> {
+    let mut a = Replica::new(Ctr, ReplicaId(0), 2, config);
+    let mut b = Replica::new(Ctr, ReplicaId(1), 2, config);
+    for i in 0..history {
+        let _ = a.on_request(OpDescriptor::new(OpId::new(ClientId(0), i), Op::Inc));
+    }
+    // Three gossip rounds stabilize everything at both replicas.
+    for _ in 0..3 {
+        let g = a.make_gossip(ReplicaId(1));
+        let _ = b.on_gossip(g);
+        let g = b.make_gossip(ReplicaId(0));
+        let _ = a.on_gossip(g);
+    }
+    a
+}
+
+fn bench_response(c: &mut Criterion) {
+    for (name, config) in [
+        ("naive", ReplicaConfig::basic()),
+        ("memoized", ReplicaConfig::default()),
+        ("commute", ReplicaConfig::commute()),
+    ] {
+        let mut group = c.benchmark_group(format!("respond_read_{name}"));
+        for history in [100u64, 1_000, 4_000] {
+            let replica = primed(history, config);
+            group.bench_function(format!("history_{history}"), |b| {
+                let mut seq = 1_000_000u64;
+                b.iter_batched(
+                    || {
+                        seq += 1;
+                        (
+                            replica.clone(),
+                            OpDescriptor::new(OpId::new(ClientId(1), seq), Op::Read),
+                        )
+                    },
+                    |(mut r, d)| r.on_request(d),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_response);
+criterion_main!(benches);

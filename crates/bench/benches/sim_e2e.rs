@@ -1,0 +1,41 @@
+//! End-to-end simulation throughput: full workloads through the simulated
+//! deployment (F1/F2 in miniature). Measures the harness itself, so the
+//! experiment binaries' runtimes stay predictable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esds_datatypes::Counter;
+use esds_harness::{apply_open_loop, CounterSource, OpenLoopWorkload, SimSystem, SystemConfig};
+use esds_sim::SimDuration;
+
+fn run_once(n_replicas: usize, strict: f64, ops: usize) -> usize {
+    let cfg = SystemConfig::new(n_replicas).with_seed(3);
+    let mut sys = SimSystem::new(Counter, cfg);
+    let w = OpenLoopWorkload::new(n_replicas, ops, SimDuration::from_millis(10))
+        .with_strict_fraction(strict);
+    let mut src = CounterSource::new(0.5, 11);
+    apply_open_loop(&mut sys, &w, &mut src);
+    sys.run_until_quiescent();
+    sys.completed_count()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_e2e");
+    group.sample_size(10);
+    for (name, n, strict) in [
+        ("3r_nonstrict", 3usize, 0.0f64),
+        ("3r_half_strict", 3, 0.5),
+        ("6r_nonstrict", 6, 0.0),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let done = run_once(n, strict, 20);
+                assert_eq!(done, n * 20);
+                done
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

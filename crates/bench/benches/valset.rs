@@ -1,0 +1,63 @@
+//! Cost of the specification-level `valset` enumeration (paper §2.3): the
+//! reason the checkers use witness orders instead of exhaustive
+//! enumeration. Grows factorially with the antichain width.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esds_core::{valset, ClientId, Digraph, OpDescriptor, OpId, SerialDataType};
+
+#[derive(Clone, Copy, Debug)]
+struct Ctr;
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Op {
+    Inc,
+    Read,
+}
+impl SerialDataType for Ctr {
+    type State = i64;
+    type Operator = Op;
+    type Value = i64;
+    fn initial_state(&self) -> i64 {
+        0
+    }
+    fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+        match op {
+            Op::Inc => (s + 1, s + 1),
+            Op::Read => (*s, *s),
+        }
+    }
+}
+
+fn id(s: u64) -> OpId {
+    OpId::new(ClientId(0), s)
+}
+
+fn bench_valset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valset_antichain");
+    group.sample_size(10);
+    for n in [4u64, 6, 7] {
+        // n unordered increments plus one read: n!·(n+1) extensions.
+        let mut ops: BTreeMap<OpId, OpDescriptor<Op>> = (0..n)
+            .map(|i| (id(i), OpDescriptor::new(id(i), Op::Inc)))
+            .collect();
+        ops.insert(id(n), OpDescriptor::new(id(n), Op::Read));
+        let po = Digraph::new();
+        group.bench_function(format!("width_{n}"), |b| {
+            b.iter(|| valset(&Ctr, &0, &ops, &po, id(n), usize::MAX));
+        });
+    }
+    // Chain: linear despite size — constraints collapse the enumeration.
+    group.bench_function("chain_64", |b| {
+        let n = 64u64;
+        let ops: BTreeMap<OpId, OpDescriptor<Op>> = (0..n)
+            .map(|i| (id(i), OpDescriptor::new(id(i), Op::Inc)))
+            .collect();
+        let po = Digraph::chain((0..n).map(id));
+        b.iter(|| valset(&Ctr, &0, &ops, &po, id(n - 1), usize::MAX));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_valset);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! F1 — regenerates the §11.1 scalability figure: throughput vs replicas.
+fn main() {
+    esds_bench::experiments::fig_scalability(10, 200);
+}

@@ -1,0 +1,4 @@
+//! F2 — regenerates the §11.1 strict-ratio figure: latency vs % strict.
+fn main() {
+    esds_bench::experiments::fig_strict_latency(5, 40);
+}

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (see `DESIGN.md` §5 and `EXPERIMENTS.md`).
+use esds_bench::experiments as ex;
+
+fn main() {
+    println!("# ESDS experiment suite (paper: Fekete et al., PODC'96/TCS'99)");
+    ex::fig_scalability(10, 150);
+    ex::fig_strict_latency(5, 30);
+    ex::tab_response_bounds(1);
+    ex::tab_stabilization(1);
+    ex::tab_fault_recovery(5);
+    ex::tab_memoization(60);
+    ex::tab_commute(25);
+    ex::tab_gossip_strategies(40);
+    ex::tab_id_summary(200);
+    ex::tab_gossip_interval(30);
+    ex::tab_memory(1000);
+    ex::tab_baseline_compare(40);
+}

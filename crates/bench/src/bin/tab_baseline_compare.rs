@@ -1,0 +1,4 @@
+//! B1 — consistency/performance trade-off vs baselines.
+fn main() {
+    esds_bench::experiments::tab_baseline_compare(40);
+}

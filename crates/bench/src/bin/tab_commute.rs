@@ -1,0 +1,4 @@
+//! A2 — §10.3 commutativity-exploitation ablation.
+fn main() {
+    esds_bench::experiments::tab_commute(25);
+}

@@ -1,0 +1,4 @@
+//! T3 — verifies Theorem 9.4: timing bounds hold after a failure period.
+fn main() {
+    esds_bench::experiments::tab_fault_recovery(5);
+}

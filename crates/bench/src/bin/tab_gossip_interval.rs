@@ -1,0 +1,4 @@
+//! A5 — gossip-interval sensitivity ablation.
+fn main() {
+    esds_bench::experiments::tab_gossip_interval(30);
+}

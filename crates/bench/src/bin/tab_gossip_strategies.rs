@@ -1,0 +1,4 @@
+//! A3 — §10.4 gossip-strategy ablation.
+fn main() {
+    esds_bench::experiments::tab_gossip_strategies(40);
+}

@@ -1,0 +1,4 @@
+//! A4 — §10.2 identifier summarization ablation.
+fn main() {
+    esds_bench::experiments::tab_id_summary(200);
+}

@@ -1,0 +1,4 @@
+//! A1 — §10.1 memoization ablation.
+fn main() {
+    esds_bench::experiments::tab_memoization(60);
+}

@@ -1,0 +1,4 @@
+//! A6 — §10.2 local compaction ablation.
+fn main() {
+    esds_bench::experiments::tab_memory(1000);
+}

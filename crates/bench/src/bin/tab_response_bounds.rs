@@ -1,0 +1,6 @@
+//! T1 — verifies the Theorem 9.3 response-time bounds.
+fn main() {
+    for seed in [1, 2, 3] {
+        esds_bench::experiments::tab_response_bounds(seed);
+    }
+}

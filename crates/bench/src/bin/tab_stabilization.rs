@@ -1,0 +1,6 @@
+//! T2 — verifies the Lemma 9.2 done-at-every-replica bound.
+fn main() {
+    for seed in [1, 2, 3] {
+        esds_bench::experiments::tab_stabilization(seed);
+    }
+}

@@ -1,0 +1,235 @@
+//! Serial data types (paper §2.2).
+//!
+//! A *serial data type* consists of a set Σ of object states, a
+//! distinguished initial state σ₀, a set V of reportable values, a set O of
+//! operators, and a transition function τ : Σ × O → Σ × V. The data service
+//! is parameterized by such a type and makes **no assumptions about its
+//! semantics** — any implementation of [`SerialDataType`] works.
+
+use std::fmt::Debug;
+
+use crate::op::OpDescriptor;
+
+/// A serial data type: the tuple (Σ, σ₀, V, O, τ) of paper §2.2.
+///
+/// Implementors are typically zero-sized marker types (e.g. a counter), but
+/// the trait takes `&self` so parameterized types (e.g. a bounded log) work
+/// too.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::SerialDataType;
+///
+/// /// A saturating 8-bit counter.
+/// struct Nibble;
+/// #[derive(Clone, PartialEq, Eq, Debug)]
+/// enum NibbleOp { Inc, Get }
+///
+/// impl SerialDataType for Nibble {
+///     type State = u8;
+///     type Operator = NibbleOp;
+///     type Value = u8;
+///     fn initial_state(&self) -> u8 { 0 }
+///     fn apply(&self, s: &u8, op: &NibbleOp) -> (u8, u8) {
+///         match op {
+///             NibbleOp::Inc => (s.saturating_add(1), s.saturating_add(1)),
+///             NibbleOp::Get => (*s, *s),
+///         }
+///     }
+/// }
+///
+/// let d = Nibble;
+/// let (s, v) = d.apply(&d.initial_state(), &NibbleOp::Inc);
+/// assert_eq!((s, v), (1, 1));
+/// ```
+pub trait SerialDataType {
+    /// Object states Σ.
+    type State: Clone + PartialEq + Debug;
+    /// Operators O.
+    type Operator: Clone + PartialEq + Debug;
+    /// Reportable values V.
+    type Value: Clone + PartialEq + Debug;
+
+    /// The initial state σ₀.
+    fn initial_state(&self) -> Self::State;
+
+    /// The transition function τ(σ, op) = (τ(σ,op).s, τ(σ,op).v).
+    fn apply(&self, state: &Self::State, op: &Self::Operator) -> (Self::State, Self::Value);
+
+    /// τ⁺ restricted to its state component: the state after applying a
+    /// sequence of operators in order (paper §2.2's repeated application).
+    fn outcome_of_ops<'a>(
+        &self,
+        from: &Self::State,
+        ops: impl IntoIterator<Item = &'a Self::Operator>,
+    ) -> Self::State
+    where
+        Self::Operator: 'a,
+    {
+        let mut s = from.clone();
+        for op in ops {
+            s = self.apply(&s, op).0;
+        }
+        s
+    }
+
+    /// Applies a sequence of descriptors in order, returning the final state
+    /// and every intermediate return value (one per descriptor, in order).
+    /// This is the workhorse for computing responses along a witness total
+    /// order.
+    fn run<'a>(
+        &self,
+        from: &Self::State,
+        ops: impl IntoIterator<Item = &'a OpDescriptor<Self::Operator>>,
+    ) -> (Self::State, Vec<Self::Value>)
+    where
+        Self::Operator: 'a,
+    {
+        let mut s = from.clone();
+        let mut vals = Vec::new();
+        for d in ops {
+            let (ns, v) = self.apply(&s, &d.op);
+            s = ns;
+            vals.push(v);
+        }
+        (s, vals)
+    }
+}
+
+/// Dynamic commutativity interface (paper §10.3).
+///
+/// Two operators *commute* when applying them in either order yields the
+/// same state; `a` is *oblivious to* `b` when prepending `b` does not change
+/// `a`'s return value; two operators are *independent* when they commute and
+/// are mutually oblivious.
+///
+/// Implementations should be **sound**: returning `true` must be justified
+/// for every state. Returning `false` conservatively is always allowed.
+/// `esds-datatypes` validates its implementations against brute force on
+/// random states.
+pub trait CommutativitySpec: SerialDataType {
+    /// Whether `τ⁺(σ,(a,b)).s = τ⁺(σ,(b,a)).s` for all σ.
+    fn commutes(&self, a: &Self::Operator, b: &Self::Operator) -> bool;
+
+    /// Whether `τ⁺(σ,(b,a)).v = τ(σ,a).v` for all σ — i.e. `a`'s return
+    /// value is unaffected by `b` being applied first.
+    fn oblivious_to(&self, a: &Self::Operator, b: &Self::Operator) -> bool;
+
+    /// Whether `a` and `b` commute and are mutually oblivious (paper §10.3).
+    fn independent(&self, a: &Self::Operator, b: &Self::Operator) -> bool {
+        self.commutes(a, b) && self.oblivious_to(a, b) && self.oblivious_to(b, a)
+    }
+}
+
+/// Brute-force commutativity check on a specific state: used by tests to
+/// validate [`CommutativitySpec`] implementations (the spec must imply this
+/// for every state).
+pub fn commutes_at<T: SerialDataType>(
+    dt: &T,
+    state: &T::State,
+    a: &T::Operator,
+    b: &T::Operator,
+) -> bool {
+    let ab = dt.outcome_of_ops(state, [a, b]);
+    let ba = dt.outcome_of_ops(state, [b, a]);
+    ab == ba
+}
+
+/// Brute-force obliviousness check on a specific state: whether `a`'s value
+/// is the same with and without `b` applied first.
+pub fn oblivious_at<T: SerialDataType>(
+    dt: &T,
+    state: &T::State,
+    a: &T::Operator,
+    b: &T::Operator,
+) -> bool {
+    let direct = dt.apply(state, a).1;
+    let after_b = {
+        let s1 = dt.apply(state, b).0;
+        dt.apply(&s1, a).1
+    };
+    direct == after_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Integer register with read/write — the canonical non-commuting type.
+    struct Reg;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum RegOp {
+        Write(i64),
+        Read,
+    }
+    impl SerialDataType for Reg {
+        type State = i64;
+        type Operator = RegOp;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &RegOp) -> (i64, i64) {
+            match op {
+                RegOp::Write(v) => (*v, *v),
+                RegOp::Read => (*s, *s),
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_applies_in_order() {
+        let d = Reg;
+        let s = d.outcome_of_ops(&0, [&RegOp::Write(3), &RegOp::Write(7)]);
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn brute_force_commute_detects_conflict() {
+        let d = Reg;
+        assert!(!commutes_at(&d, &0, &RegOp::Write(1), &RegOp::Write(2)));
+        assert!(commutes_at(&d, &0, &RegOp::Read, &RegOp::Read));
+        // Write(5) twice commutes with itself.
+        assert!(commutes_at(&d, &0, &RegOp::Write(5), &RegOp::Write(5)));
+    }
+
+    #[test]
+    fn brute_force_oblivious() {
+        let d = Reg;
+        // A read is not oblivious to a write.
+        assert!(!oblivious_at(&d, &0, &RegOp::Read, &RegOp::Write(9)));
+        // A write's value is its argument: oblivious to anything.
+        assert!(oblivious_at(&d, &0, &RegOp::Write(4), &RegOp::Write(9)));
+    }
+
+    #[test]
+    fn increment_double_example_from_paper_10_3() {
+        // Paper §10.3: from state 1, inc-then-double gives 4 but
+        // double-then-inc gives 3.
+        struct C;
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        enum COp {
+            Inc,
+            Double,
+        }
+        impl SerialDataType for C {
+            type State = i64;
+            type Operator = COp;
+            type Value = i64;
+            fn initial_state(&self) -> i64 {
+                1
+            }
+            fn apply(&self, s: &i64, op: &COp) -> (i64, i64) {
+                match op {
+                    COp::Inc => (s + 1, s + 1),
+                    COp::Double => (s * 2, s * 2),
+                }
+            }
+        }
+        let d = C;
+        assert_eq!(d.outcome_of_ops(&1, [&COp::Inc, &COp::Double]), 4);
+        assert_eq!(d.outcome_of_ops(&1, [&COp::Double, &COp::Inc]), 3);
+        assert!(!commutes_at(&d, &1, &COp::Inc, &COp::Double));
+    }
+}

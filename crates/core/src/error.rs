@@ -1,0 +1,110 @@
+//! Error types shared across the ESDS crates.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::OpId;
+
+/// Violations of the well-formedness assumptions on clients (paper §4) and
+/// of automata preconditions, surfaced by the executable specifications and
+/// checkers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WellFormednessError {
+    /// An operation identifier was reused (violates Invariant 4.1).
+    DuplicateId(OpId),
+    /// A `prev` set names an identifier never requested (violates the
+    /// `x.prev ⊆ requested.id` assumption).
+    UnknownPrev {
+        /// The operation whose `prev` set is invalid.
+        op: OpId,
+        /// The unknown identifier it names.
+        missing: OpId,
+    },
+    /// The client-specified constraints have a cycle, so `TC(CSC)` is not a
+    /// strict partial order (violates Invariant 4.2).
+    CyclicConstraints(OpId),
+}
+
+impl fmt::Display for WellFormednessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormednessError::DuplicateId(id) => {
+                write!(f, "operation identifier {id} was already requested")
+            }
+            WellFormednessError::UnknownPrev { op, missing } => {
+                write!(f, "operation {op} depends on unknown operation {missing}")
+            }
+            WellFormednessError::CyclicConstraints(id) => {
+                write!(
+                    f,
+                    "request {id} makes the client-specified constraints cyclic"
+                )
+            }
+        }
+    }
+}
+
+impl Error for WellFormednessError {}
+
+/// A specification-automaton precondition that failed to hold when an action
+/// was attempted (used by `esds-spec` and the conformance observer to report
+/// *which* proof obligation broke).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PreconditionError {
+    /// The automaton action that was attempted (e.g. `"enter"`).
+    pub action: &'static str,
+    /// The clause that failed, quoted from the paper's precondition.
+    pub clause: &'static str,
+    /// Human-readable detail (ids involved, etc.).
+    pub detail: String,
+}
+
+impl PreconditionError {
+    /// Creates a precondition failure record.
+    pub fn new(action: &'static str, clause: &'static str, detail: impl Into<String>) -> Self {
+        PreconditionError {
+            action,
+            clause,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PreconditionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precondition of {} failed: {} ({})",
+            self.action, self.clause, self.detail
+        )
+    }
+}
+
+impl Error for PreconditionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let id = OpId::new(ClientId(1), 2);
+        let e = WellFormednessError::DuplicateId(id);
+        assert!(e.to_string().contains("c1:2"));
+        let e = WellFormednessError::UnknownPrev {
+            op: id,
+            missing: OpId::new(ClientId(0), 0),
+        };
+        assert!(e.to_string().contains("c0:0"));
+        let e = PreconditionError::new("enter", "x.prev ⊆ ops.id", "missing c0:0");
+        assert!(e.to_string().contains("enter"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WellFormednessError>();
+        assert_send_sync::<PreconditionError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! Outcomes, values, and value sets of operation sets under orders
+//! (paper §2.3).
+//!
+//! Given a finite set `X` of operations and a *total* order on it, the
+//! *outcome* is the state after applying all operators in that order, and the
+//! *value* of `x ∈ X` is the value returned by `x` in that application. Given
+//! a *partial* order `≺`, `valset(x, X, ≺)` is the set of values of `x` over
+//! all total orders consistent with `≺` — the set of legal responses.
+//!
+//! `valset` is exponential in `|X|` in the worst case; it exists for
+//! checkers, tests, and the specification automata, all of which operate on
+//! small windows. The algorithm itself (crate `esds-alg`) always computes
+//! values along a concrete total order (the local label order), which is
+//! linear.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::data_type::SerialDataType;
+use crate::ids::OpId;
+use crate::op::OpDescriptor;
+use crate::order::Digraph;
+
+/// The outcome (final state) of applying descriptors in the given total
+/// order, starting from `from` (paper: `outcome_σ(X, ≺)`).
+pub fn outcome<'a, T: SerialDataType>(
+    dt: &T,
+    from: &T::State,
+    order: impl IntoIterator<Item = &'a OpDescriptor<T::Operator>>,
+) -> T::State
+where
+    T::Operator: 'a,
+{
+    let mut s = from.clone();
+    for d in order {
+        s = dt.apply(&s, &d.op).0;
+    }
+    s
+}
+
+/// The value of the operation with identifier `x` when the descriptors are
+/// applied in the given total order (paper: `val_σ(x, X, ≺)`).
+///
+/// Returns `None` if `x` does not appear in the order. Operations after `x`
+/// do not affect `x`'s value, so only the prefix up to `x` is applied.
+pub fn value_along<'a, T: SerialDataType>(
+    dt: &T,
+    from: &T::State,
+    order: impl IntoIterator<Item = &'a OpDescriptor<T::Operator>>,
+    x: OpId,
+) -> Option<T::Value>
+where
+    T::Operator: 'a,
+{
+    let mut s = from.clone();
+    for d in order {
+        let (ns, v) = dt.apply(&s, &d.op);
+        if d.id == x {
+            return Some(v);
+        }
+        s = ns;
+    }
+    None
+}
+
+/// Applies descriptors in the given total order and returns the value of
+/// *every* operation, keyed by id, together with the final state. Used by
+/// checkers that validate many responses against one witness order
+/// (Theorem 5.8's eventual total order).
+pub fn values_along<'a, T: SerialDataType>(
+    dt: &T,
+    from: &T::State,
+    order: impl IntoIterator<Item = &'a OpDescriptor<T::Operator>>,
+) -> (T::State, BTreeMap<OpId, T::Value>)
+where
+    T::Operator: 'a,
+{
+    let mut s = from.clone();
+    let mut vals = BTreeMap::new();
+    for d in order {
+        let (ns, v) = dt.apply(&s, &d.op);
+        vals.insert(d.id, v);
+        s = ns;
+    }
+    (s, vals)
+}
+
+/// The set of values `valset_σ(x, X, ≺)` of `x` over all total orders on `X`
+/// consistent with the partial order `po` (paper §2.3), starting from state
+/// `from`.
+///
+/// `po` may relate identifiers outside `X`; only its restriction to `X`'s
+/// identifiers matters (the paper's abuse of notation after Lemma 2.4).
+/// Values are deduplicated with `PartialEq`; at most `cap` linear extensions
+/// are explored.
+///
+/// Returns an empty vector iff `po` restricted to `X` is cyclic — for a
+/// genuine partial order the result is nonempty (Lemma 2.5).
+pub fn valset<T: SerialDataType>(
+    dt: &T,
+    from: &T::State,
+    ops: &BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    po: &Digraph<OpId>,
+    x: OpId,
+    cap: usize,
+) -> Vec<T::Value> {
+    let keys: BTreeSet<OpId> = ops.keys().copied().collect();
+    let mut induced = po.induced_on(&keys);
+    for k in &keys {
+        induced.add_node(*k);
+    }
+    let mut out: Vec<T::Value> = Vec::new();
+    for ext in induced.linear_extensions(cap) {
+        if let Some(v) = value_along(dt, from, ext.iter().map(|id| &ops[id]), x) {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `v` is a member of `valset_σ(x, X, ≺)` — i.e. whether some total
+/// order consistent with `po` *explains* the response `(x, v)` (paper §4).
+///
+/// Exact but exponential; `cap` bounds the number of extensions explored, so
+/// `false` answers are definite only when the cap was not hit. Checkers that
+/// need certainty use witness orders instead (see `esds-spec`).
+pub fn valset_contains<T: SerialDataType>(
+    dt: &T,
+    from: &T::State,
+    ops: &BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    po: &Digraph<OpId>,
+    x: OpId,
+    v: &T::Value,
+    cap: usize,
+) -> bool {
+    let keys: BTreeSet<OpId> = ops.keys().copied().collect();
+    let mut induced = po.induced_on(&keys);
+    for k in &keys {
+        induced.add_node(*k);
+    }
+    induced
+        .linear_extensions(cap)
+        .into_iter()
+        .any(|ext| value_along(dt, from, ext.iter().map(|id| &ops[id]), x).as_ref() == Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    /// Counter with increment / double / read (paper §10.3's example type).
+    struct Counter;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+        Double,
+        Read,
+    }
+    impl SerialDataType for Counter {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+            match op {
+                Op::Inc => (s + 1, s + 1),
+                Op::Double => (s * 2, s * 2),
+                Op::Read => (*s, *s),
+            }
+        }
+    }
+
+    fn id(s: u64) -> OpId {
+        OpId::new(ClientId(0), s)
+    }
+
+    fn desc(s: u64, op: Op) -> OpDescriptor<Op> {
+        OpDescriptor::new(id(s), op)
+    }
+
+    fn opmap(ds: impl IntoIterator<Item = OpDescriptor<Op>>) -> BTreeMap<OpId, OpDescriptor<Op>> {
+        ds.into_iter().map(|d| (d.id, d)).collect()
+    }
+
+    #[test]
+    fn outcome_and_value_along() {
+        let dt = Counter;
+        let order = vec![desc(0, Op::Inc), desc(1, Op::Inc), desc(2, Op::Read)];
+        assert_eq!(outcome(&dt, &0, &order), 2);
+        assert_eq!(value_along(&dt, &0, &order, id(2)), Some(2));
+        assert_eq!(value_along(&dt, &0, &order, id(0)), Some(1));
+        assert_eq!(value_along(&dt, &0, &order, id(9)), None);
+    }
+
+    #[test]
+    fn values_along_matches_value_along() {
+        let dt = Counter;
+        let order = vec![desc(0, Op::Inc), desc(1, Op::Double), desc(2, Op::Read)];
+        let (state, vals) = values_along(&dt, &1, &order);
+        assert_eq!(state, 4);
+        for d in &order {
+            assert_eq!(
+                Some(&vals[&d.id]),
+                value_along(&dt, &1, &order, d.id).as_ref()
+            );
+        }
+    }
+
+    #[test]
+    fn valset_unordered_inc_double() {
+        // From state 1: {inc, double} unordered. Read's valset after both
+        // exists only under orders; reading BETWEEN them varies. valset of
+        // the read with read unordered w.r.t. both: many values.
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(1, Op::Double), desc(2, Op::Read)]);
+        let po = Digraph::new(); // no constraints at all
+        let vs = valset(&dt, &1, &ops, &po, id(2), 1000);
+        // Orders: read can see 1 (first), 2 (after inc), 2 (after double),
+        // 3 (double;inc), 4 (inc;double).
+        let mut sorted = vs.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn valset_shrinks_with_more_constraints_lemma_2_6() {
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(1, Op::Double), desc(2, Op::Read)]);
+        let weak = Digraph::new();
+        let mut strong = Digraph::new();
+        strong.add_edge(id(0), id(1));
+        strong.add_edge(id(1), id(2));
+        let vs_weak = valset(&dt, &1, &ops, &weak, id(2), 1000);
+        let vs_strong = valset(&dt, &1, &ops, &strong, id(2), 1000);
+        assert_eq!(vs_strong, vec![4]);
+        for v in &vs_strong {
+            assert!(
+                vs_weak.contains(v),
+                "Lemma 2.6: valset(strong) ⊆ valset(weak)"
+            );
+        }
+    }
+
+    #[test]
+    fn valset_total_order_is_singleton_lemma_2_7() {
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(1, Op::Double), desc(2, Op::Read)]);
+        let total = Digraph::chain([id(0), id(1), id(2)]);
+        for x in [id(0), id(1), id(2)] {
+            assert_eq!(valset(&dt, &1, &ops, &total, x, 1000).len(), 1);
+        }
+    }
+
+    #[test]
+    fn valset_nonempty_lemma_2_5() {
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(1, Op::Inc)]);
+        let po = Digraph::new();
+        assert!(!valset(&dt, &0, &ops, &po, id(0), 10).is_empty());
+    }
+
+    #[test]
+    fn valset_contains_agrees_with_valset() {
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(1, Op::Double), desc(2, Op::Read)]);
+        let po = Digraph::new();
+        for v in valset(&dt, &1, &ops, &po, id(2), 1000) {
+            assert!(valset_contains(&dt, &1, &ops, &po, id(2), &v, 1000));
+        }
+        assert!(!valset_contains(&dt, &1, &ops, &po, id(2), &99, 1000));
+    }
+
+    #[test]
+    fn valset_respects_external_constraint_nodes() {
+        // po mentions an id outside X; the restriction must ignore it but
+        // keep paths through it (1 → ghost → 2 still orders 1 before 2).
+        let dt = Counter;
+        let ops = opmap([desc(0, Op::Inc), desc(2, Op::Read)]);
+        let mut po = Digraph::new();
+        po.add_edge(id(0), id(1)); // id(1) not in X
+        po.add_edge(id(1), id(2));
+        let vs = valset(&dt, &0, &ops, &po, id(2), 1000);
+        assert_eq!(vs, vec![1]); // read always after inc
+    }
+}

@@ -1,0 +1,593 @@
+//! Binary relations and (strict) partial orders over operation identifiers
+//! (paper §2.1).
+//!
+//! The paper manipulates relations `R ⊆ ℐ × ℐ` and their transitive closures
+//! `TC(R)`, asking whether `TC(R)` is a (strict) partial order, whether two
+//! relations are *consistent* (`TC(R ∪ R′)` is a partial order), and for
+//! total orders on subsets. [`Digraph`] represents a relation by its
+//! generating edges; `precedes` answers reachability, i.e. membership in the
+//! transitive closure, so that:
+//!
+//! * `TC(R)` is irreflexive (hence a strict partial order, Lemma 2.1) iff the
+//!   digraph is acyclic;
+//! * the relation induced by `TC(R)` on a subset `S` is computed by
+//!   [`Digraph::induced_on`];
+//! * total orders are topological sorts ([`Digraph::topo_sort`],
+//!   [`Digraph::linear_extensions`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Debug;
+
+/// A finite binary relation represented as a directed graph: an edge
+/// `a → b` means `(a, b) ∈ R`, read "`a` precedes `b`".
+///
+/// The *relation of interest* is usually the transitive closure of the
+/// stored edges; [`Digraph::precedes`] and friends are all defined on the
+/// closure. Nodes may exist without edges (operations not yet ordered).
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::Digraph;
+/// let mut g = Digraph::new();
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert!(g.precedes(&1, &3)); // via transitivity
+/// assert!(g.is_strict_partial_order());
+/// assert_eq!(g.topo_sort(), Some(vec![1, 2, 3]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Digraph<N: Ord + Copy> {
+    succ: BTreeMap<N, BTreeSet<N>>,
+    pred: BTreeMap<N, BTreeSet<N>>,
+    nodes: BTreeSet<N>,
+}
+
+impl<N: Ord + Copy + Debug> Digraph<N> {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Digraph {
+            succ: BTreeMap::new(),
+            pred: BTreeMap::new(),
+            nodes: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from `(before, after)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (N, N)>) -> Self {
+        let mut g = Self::new();
+        for (a, b) in pairs {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Builds the total order `items[0] ≺ items[1] ≺ …` (chain edges only;
+    /// the closure supplies the rest).
+    pub fn chain(items: impl IntoIterator<Item = N>) -> Self {
+        let mut g = Self::new();
+        let mut prev: Option<N> = None;
+        for n in items {
+            g.add_node(n);
+            if let Some(p) = prev {
+                g.add_edge(p, n);
+            }
+            prev = Some(n);
+        }
+        g
+    }
+
+    /// Adds a node with no constraints (idempotent).
+    pub fn add_node(&mut self, n: N) {
+        self.nodes.insert(n);
+    }
+
+    /// Adds the pair `(a, b)` — "a precedes b" — to the relation
+    /// (idempotent). Also registers both nodes.
+    pub fn add_edge(&mut self, a: N, b: N) {
+        self.nodes.insert(a);
+        self.nodes.insert(b);
+        self.succ.entry(a).or_default().insert(b);
+        self.pred.entry(b).or_default().insert(a);
+    }
+
+    /// Whether the pair `(a, b)` is a *generating* edge (not closure
+    /// membership; see [`Digraph::precedes`] for that).
+    pub fn has_edge(&self, a: &N, b: &N) -> bool {
+        self.succ.get(a).is_some_and(|s| s.contains(b))
+    }
+
+    /// All nodes mentioned by the relation.
+    pub fn nodes(&self) -> &BTreeSet<N> {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the relation mentions no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of generating edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.values().map(|s| s.len()).sum()
+    }
+
+    /// Iterates over generating edges in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (N, N)> + '_ {
+        self.succ
+            .iter()
+            .flat_map(|(a, bs)| bs.iter().map(move |b| (*a, *b)))
+    }
+
+    /// The *span* of the relation (paper §2.1): all nodes appearing on
+    /// either side of some pair.
+    pub fn span(&self) -> BTreeSet<N> {
+        let mut s: BTreeSet<N> = self.succ.keys().copied().collect();
+        s.extend(self.pred.keys().copied());
+        s
+    }
+
+    /// Whether `a` strictly precedes `b` in the transitive closure
+    /// (a nonempty path from `a` to `b` exists).
+    pub fn precedes(&self, a: &N, b: &N) -> bool {
+        if !self.nodes.contains(a) || !self.nodes.contains(b) {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<N> = self
+            .succ
+            .get(a)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(n) = stack.pop() {
+            if n == *b {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = self.succ.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `a` and `b` are comparable in the closure (or equal).
+    pub fn comparable(&self, a: &N, b: &N) -> bool {
+        a == b || self.precedes(a, b) || self.precedes(b, a)
+    }
+
+    /// All nodes reachable from `n` (its strict successors in the closure).
+    pub fn descendants(&self, n: &N) -> BTreeSet<N> {
+        self.reach(n, &self.succ)
+    }
+
+    /// All nodes that reach `n`: the set `S|≺n = {y : y ≺ n}` of the paper.
+    pub fn ancestors(&self, n: &N) -> BTreeSet<N> {
+        self.reach(n, &self.pred)
+    }
+
+    fn reach(&self, n: &N, adj: &BTreeMap<N, BTreeSet<N>>) -> BTreeSet<N> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<N> = adj
+            .get(n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(m) = stack.pop() {
+            if seen.insert(m) {
+                if let Some(next) = adj.get(&m) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether the closure contains a cycle (equivalently: `TC(R)` is *not*
+    /// irreflexive, so no strict partial order contains `R`).
+    pub fn has_cycle(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// Whether `TC(R)` is a strict partial order (Lemma 2.1: irreflexive and
+    /// transitive). Since the closure is transitive by construction, this is
+    /// exactly acyclicity.
+    pub fn is_strict_partial_order(&self) -> bool {
+        !self.has_cycle()
+    }
+
+    /// Whether this relation and `other` are *consistent* (paper §2.1):
+    /// `TC(R ∪ R′)` is a partial order, i.e. the union is acyclic.
+    pub fn consistent_with(&self, other: &Digraph<N>) -> bool {
+        let mut union = self.clone();
+        for (a, b) in other.edges() {
+            union.add_edge(a, b);
+        }
+        for n in other.nodes() {
+            union.add_node(*n);
+        }
+        !union.has_cycle()
+    }
+
+    /// Whether this relation contains every pair of `other` *in its
+    /// closure*: `TC(other) ⊆ TC(self)`. Used for `po ⊆ new-po` checks.
+    pub fn contains_relation(&self, other: &Digraph<N>) -> bool {
+        other.edges().all(|(a, b)| self.precedes(&a, &b))
+    }
+
+    /// The explicit transitive closure as a new digraph (every closure pair
+    /// becomes a generating edge). O(V·E); intended for checker-sized inputs.
+    pub fn transitive_closure(&self) -> Digraph<N> {
+        let mut out = Self::new();
+        for n in &self.nodes {
+            out.add_node(*n);
+            for d in self.descendants(n) {
+                out.add_edge(*n, d);
+            }
+        }
+        out
+    }
+
+    /// The relation induced by `TC(R)` on `keep`: pairs `(a, b) ∈ keep²`
+    /// with a path from `a` to `b` (possibly through dropped nodes).
+    pub fn induced_on(&self, keep: &BTreeSet<N>) -> Digraph<N> {
+        let mut out = Self::new();
+        for n in keep {
+            if self.nodes.contains(n) {
+                out.add_node(*n);
+                for d in self.descendants(n) {
+                    if keep.contains(&d) {
+                        out.add_edge(*n, d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the closure totally orders `set`: all pairs comparable.
+    pub fn is_total_on(&self, set: &BTreeSet<N>) -> bool {
+        let v: Vec<&N> = set.iter().collect();
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                if !self.comparable(v[i], v[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A deterministic topological sort (`None` if cyclic): Kahn's algorithm
+    /// always choosing the smallest available node, so equal inputs yield
+    /// equal outputs.
+    pub fn topo_sort(&self) -> Option<Vec<N>> {
+        let mut indeg: BTreeMap<N, usize> = self.nodes.iter().map(|n| (*n, 0)).collect();
+        for (_, b) in self.edges() {
+            *indeg.get_mut(&b).expect("edge endpoint registered") += 1;
+        }
+        let mut ready: BTreeSet<N> = indeg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = ready.iter().next().copied() {
+            ready.remove(&n);
+            out.push(n);
+            if let Some(next) = self.succ.get(&n) {
+                for m in next {
+                    let d = indeg.get_mut(m).expect("registered");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.insert(*m);
+                    }
+                }
+            }
+        }
+        (out.len() == self.nodes.len()).then_some(out)
+    }
+
+    /// All linear extensions (total orders consistent with the closure), up
+    /// to `cap` many. Exponential in general — intended for checker-sized
+    /// inputs (the `valset` of paper §2.3 quantifies over exactly these).
+    ///
+    /// Returns an empty vector iff the relation is cyclic (Lemma 2.5: a
+    /// partial order always has at least one extension).
+    pub fn linear_extensions(&self, cap: usize) -> Vec<Vec<N>> {
+        let mut indeg: BTreeMap<N, usize> = self.nodes.iter().map(|n| (*n, 0)).collect();
+        for (_, b) in self.edges() {
+            *indeg.get_mut(&b).expect("registered") += 1;
+        }
+        let mut out = Vec::new();
+        let mut prefix = Vec::with_capacity(self.nodes.len());
+        self.extend_rec(&mut indeg, &mut prefix, &mut out, cap);
+        out
+    }
+
+    fn extend_rec(
+        &self,
+        indeg: &mut BTreeMap<N, usize>,
+        prefix: &mut Vec<N>,
+        out: &mut Vec<Vec<N>>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if prefix.len() == self.nodes.len() {
+            out.push(prefix.clone());
+            return;
+        }
+        let ready: Vec<N> = indeg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        for n in ready {
+            // Choose n next.
+            indeg.remove(&n);
+            prefix.push(n);
+            if let Some(next) = self.succ.get(&n) {
+                for m in next {
+                    *indeg.get_mut(m).expect("registered") -= 1;
+                }
+            }
+            self.extend_rec(indeg, prefix, out, cap);
+            // Undo.
+            prefix.pop();
+            if let Some(next) = self.succ.get(&n) {
+                for m in next {
+                    *indeg.get_mut(m).expect("registered") += 1;
+                }
+            }
+            indeg.insert(n, 0);
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+
+    /// Minimal nodes of the closure (no predecessors).
+    pub fn minimal(&self) -> BTreeSet<N> {
+        self.nodes
+            .iter()
+            .filter(|n| self.pred.get(n).is_none_or(|p| p.is_empty()))
+            .copied()
+            .collect()
+    }
+
+    /// Removes a set of nodes and all edges touching them. Used by memory
+    /// compaction (paper §10.2).
+    pub fn remove_nodes(&mut self, drop: &BTreeSet<N>) {
+        for n in drop {
+            self.nodes.remove(n);
+            if let Some(next) = self.succ.remove(n) {
+                for m in next {
+                    if let Some(p) = self.pred.get_mut(&m) {
+                        p.remove(n);
+                    }
+                }
+            }
+            if let Some(prevs) = self.pred.remove(n) {
+                for m in prevs {
+                    if let Some(s) = self.succ.get_mut(&m) {
+                        s.remove(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Breadth-first distances from `n` along successor edges; handy for
+    /// diagnostics and tests.
+    pub fn bfs_depths(&self, n: &N) -> BTreeMap<N, usize> {
+        let mut depth = BTreeMap::new();
+        let mut q = VecDeque::new();
+        depth.insert(*n, 0usize);
+        q.push_back(*n);
+        while let Some(m) = q.pop_front() {
+            let d = depth[&m];
+            if let Some(next) = self.succ.get(&m) {
+                for s in next {
+                    if !depth.contains_key(s) {
+                        depth.insert(*s, d + 1);
+                        q.push_back(*s);
+                    }
+                }
+            }
+        }
+        depth
+    }
+}
+
+/// Checks Lemma 2.3 concretely: a total order `total` on a set and a partial
+/// order `partial` are consistent iff whenever `x ≺_partial y` and `y ≤_total
+/// x`, then `x = y`. Exposed for checker reuse and tested against
+/// [`Digraph::consistent_with`].
+pub fn total_order_consistent<N: Ord + Copy + Debug>(total: &[N], partial: &Digraph<N>) -> bool {
+    let position: BTreeMap<N, usize> = total.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    for (a, b) in partial.transitive_closure().edges() {
+        if let (Some(pa), Some(pb)) = (position.get(&a), position.get(&b)) {
+            if pa >= pb {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedes_is_transitive() {
+        let g = Digraph::from_pairs([(1, 2), (2, 3), (3, 4)]);
+        assert!(g.precedes(&1, &4));
+        assert!(!g.precedes(&4, &1));
+        assert!(!g.precedes(&1, &1));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Digraph::from_pairs([(1, 2), (2, 3)]);
+        assert!(g.is_strict_partial_order());
+        g.add_edge(3, 1);
+        assert!(g.has_cycle());
+        assert!(!g.is_strict_partial_order());
+        assert_eq!(g.topo_sort(), None);
+        assert!(g.linear_extensions(10).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = Digraph::new();
+        g.add_edge(1, 1);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn topo_sort_deterministic_smallest_first() {
+        let mut g = Digraph::new();
+        g.add_node(3);
+        g.add_node(1);
+        g.add_node(2);
+        assert_eq!(g.topo_sort(), Some(vec![1, 2, 3]));
+        g.add_edge(3, 1);
+        assert_eq!(g.topo_sort(), Some(vec![2, 3, 1]));
+    }
+
+    #[test]
+    fn linear_extensions_of_antichain() {
+        let mut g = Digraph::new();
+        g.add_node(1);
+        g.add_node(2);
+        g.add_node(3);
+        let exts = g.linear_extensions(100);
+        assert_eq!(exts.len(), 6); // 3! orders
+                                   // All are permutations.
+        for e in &exts {
+            let s: BTreeSet<_> = e.iter().copied().collect();
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn linear_extensions_respects_cap() {
+        let mut g = Digraph::new();
+        for n in 0..6 {
+            g.add_node(n);
+        }
+        let exts = g.linear_extensions(10);
+        assert_eq!(exts.len(), 10);
+    }
+
+    #[test]
+    fn linear_extensions_nonempty_for_partial_order_lemma_2_5() {
+        let g = Digraph::from_pairs([(1, 2), (1, 3)]);
+        let exts = g.linear_extensions(100);
+        assert_eq!(exts.len(), 2);
+        assert!(exts.contains(&vec![1, 2, 3]));
+        assert!(exts.contains(&vec![1, 3, 2]));
+    }
+
+    #[test]
+    fn consistency_lemma_2_3_agreement() {
+        // total: 1,2,3 ; partial: 3 ≺ 2 → inconsistent
+        let total = vec![1, 2, 3];
+        let bad = Digraph::from_pairs([(3, 2)]);
+        assert!(!total_order_consistent(&total, &bad));
+        let good = Digraph::from_pairs([(1, 3)]);
+        assert!(total_order_consistent(&total, &good));
+
+        // Cross-check with consistent_with on the chain digraph.
+        let chain = Digraph::chain(total.clone());
+        assert!(!chain.consistent_with(&bad));
+        assert!(chain.consistent_with(&good));
+    }
+
+    #[test]
+    fn induced_relation_keeps_paths_through_dropped_nodes() {
+        // 1 → 2 → 3 with 2 dropped: induced on {1,3} still has 1 ≺ 3
+        // (Lemma 2.2: induced relation of a partial order is a partial order).
+        let g = Digraph::from_pairs([(1, 2), (2, 3)]);
+        let keep: BTreeSet<_> = [1, 3].into_iter().collect();
+        let ind = g.induced_on(&keep);
+        assert!(ind.precedes(&1, &3));
+        assert!(ind.is_strict_partial_order());
+        assert_eq!(ind.nodes().len(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = Digraph::from_pairs([(1, 2), (2, 3), (4, 3)]);
+        assert_eq!(g.ancestors(&3), [1, 2, 4].into_iter().collect());
+        assert_eq!(g.descendants(&1), [2, 3].into_iter().collect());
+        assert!(g.ancestors(&1).is_empty());
+    }
+
+    #[test]
+    fn total_on_set() {
+        let g = Digraph::from_pairs([(1, 2), (2, 3)]);
+        let all: BTreeSet<_> = [1, 2, 3].into_iter().collect();
+        assert!(g.is_total_on(&all));
+        let mut g2 = g.clone();
+        g2.add_node(4);
+        let with4: BTreeSet<_> = [1, 2, 3, 4].into_iter().collect();
+        assert!(!g2.is_total_on(&with4));
+    }
+
+    #[test]
+    fn transitive_closure_explicit() {
+        let g = Digraph::from_pairs([(1, 2), (2, 3)]);
+        let tc = g.transitive_closure();
+        assert!(tc.has_edge(&1, &3));
+        assert_eq!(tc.edge_count(), 3);
+    }
+
+    #[test]
+    fn contains_relation_uses_closure() {
+        let big = Digraph::from_pairs([(1, 2), (2, 3)]);
+        let small = Digraph::from_pairs([(1, 3)]);
+        assert!(big.contains_relation(&small));
+        assert!(!small.contains_relation(&big));
+    }
+
+    #[test]
+    fn remove_nodes_cleans_edges() {
+        let mut g = Digraph::from_pairs([(1, 2), (2, 3)]);
+        g.remove_nodes(&[2].into_iter().collect());
+        assert!(!g.precedes(&1, &3)); // path through 2 is gone
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn minimal_elements() {
+        let g = Digraph::from_pairs([(1, 3), (2, 3)]);
+        assert_eq!(g.minimal(), [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn span_excludes_isolated_nodes() {
+        let mut g = Digraph::from_pairs([(1, 2)]);
+        g.add_node(9);
+        assert_eq!(g.span(), [1, 2].into_iter().collect());
+        assert!(g.nodes().contains(&9));
+    }
+
+    #[test]
+    fn bfs_depths_levels() {
+        let g = Digraph::from_pairs([(1, 2), (2, 3), (1, 3)]);
+        let d = g.bfs_depths(&1);
+        assert_eq!(d[&1], 0);
+        assert_eq!(d[&2], 1);
+        assert_eq!(d[&3], 1); // direct edge wins
+    }
+}

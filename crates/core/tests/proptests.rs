@@ -1,0 +1,391 @@
+//! Property-based tests for the core algebra: partial orders (paper §2.1),
+//! value sets (§2.3), and labels (§6.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esds_core::{
+    csc, total_order_consistent, valset, ClientId, Digraph, Label, LabelGenerator, LabelMap,
+    OpDescriptor, OpId, ReplicaId, SerialDataType,
+};
+use proptest::prelude::*;
+
+fn oid(s: u64) -> OpId {
+    OpId::new(ClientId(0), s)
+}
+
+/// A small DAG generator: edges only from lower to higher node index, so
+/// the result is always acyclic.
+fn dag(max_nodes: u64) -> impl Strategy<Value = Digraph<OpId>> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let pairs = proptest::collection::vec((0..n, 0..n), 0..(n as usize * 2));
+            (Just(n), pairs)
+        })
+        .prop_map(|(n, pairs)| {
+            let mut g = Digraph::new();
+            for i in 0..n {
+                g.add_node(oid(i));
+            }
+            for (a, b) in pairs {
+                if a < b {
+                    g.add_edge(oid(a), oid(b));
+                }
+            }
+            g
+        })
+}
+
+/// An arbitrary digraph (may be cyclic).
+fn any_digraph(max_nodes: u64) -> impl Strategy<Value = Digraph<OpId>> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| proptest::collection::vec((0..n, 0..n), 0..(n as usize * 2)))
+        .prop_map(|pairs| {
+            let mut g = Digraph::new();
+            for (a, b) in pairs {
+                g.add_edge(oid(a), oid(b));
+            }
+            g
+        })
+}
+
+proptest! {
+    /// Lemma 2.1 / acyclicity: a DAG built low→high is always a strict
+    /// partial order, and gains a topo sort.
+    #[test]
+    fn dags_are_strict_partial_orders(g in dag(8)) {
+        prop_assert!(g.is_strict_partial_order());
+        let sorted = g.topo_sort().expect("acyclic");
+        prop_assert_eq!(sorted.len(), g.nodes().len());
+        prop_assert!(total_order_consistent(&sorted, &g));
+    }
+
+    /// Every linear extension is consistent with the generating order, and
+    /// the deterministic topo_sort is among them when all fit under the cap.
+    #[test]
+    fn linear_extensions_are_consistent(g in dag(6)) {
+        let exts = g.linear_extensions(5000);
+        prop_assert!(!exts.is_empty());
+        for e in &exts {
+            prop_assert!(total_order_consistent(e, &g));
+        }
+        let topo = g.topo_sort().expect("acyclic");
+        if exts.len() < 5000 {
+            prop_assert!(exts.contains(&topo));
+        }
+    }
+
+    /// Transitive closure: precedes(a,b) on the original equals edge
+    /// membership in the closure; closure is idempotent.
+    #[test]
+    fn closure_matches_reachability(g in dag(8)) {
+        let tc = g.transitive_closure();
+        for a in g.nodes() {
+            for b in g.nodes() {
+                prop_assert_eq!(g.precedes(a, b), tc.has_edge(a, b));
+            }
+        }
+        prop_assert_eq!(tc.transitive_closure().edge_count(), tc.edge_count());
+    }
+
+    /// Consistency is symmetric and implied by subset (Lemma 2.4 flavour).
+    #[test]
+    fn consistency_symmetric(a in any_digraph(6), b in any_digraph(6)) {
+        prop_assert_eq!(a.consistent_with(&b), b.consistent_with(&a));
+        prop_assert_eq!(a.consistent_with(&a), !a.has_cycle());
+    }
+
+    /// The induced relation of a partial order is a partial order
+    /// (Lemma 2.2), and induced ⊆ original closure.
+    #[test]
+    fn induced_is_partial_order(g in dag(8), keep_mask in proptest::collection::vec(any::<bool>(), 8)) {
+        let keep: BTreeSet<OpId> = g
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, n)| *n)
+            .collect();
+        let ind = g.induced_on(&keep);
+        prop_assert!(ind.is_strict_partial_order());
+        for (a, b) in ind.edges() {
+            prop_assert!(g.precedes(&a, &b));
+        }
+    }
+
+    /// Labels: generators never collide across replicas and always grow.
+    #[test]
+    fn label_generation_unique_and_monotone(
+        replicas in 1u32..5,
+        steps in proptest::collection::vec(0u32..5, 1..50),
+    ) {
+        let mut gens: Vec<LabelGenerator> =
+            (0..replicas).map(|r| LabelGenerator::new(ReplicaId(r))).collect();
+        let mut seen: BTreeSet<Label> = BTreeSet::new();
+        let mut last: BTreeMap<u32, Label> = BTreeMap::new();
+        for s in steps {
+            let r = s % replicas;
+            let l = gens[r as usize].fresh_above(None);
+            prop_assert!(seen.insert(l), "label collision");
+            if let Some(prev) = last.get(&r) {
+                prop_assert!(l > *prev, "labels at a replica must increase");
+            }
+            last.insert(r, l);
+        }
+    }
+
+    /// LabelMap.merge_min is commutative/associative/idempotent in effect:
+    /// merging any permutation of the same multiset of (id,label) pairs
+    /// yields the same map.
+    #[test]
+    fn label_map_merge_order_independent(
+        entries in proptest::collection::vec((0u64..6, 0u64..8, 0u32..3), 1..20),
+    ) {
+        // Build labels that are unique per (counter, replica); an id may
+        // receive several labels, the minimum must win. To respect global
+        // label uniqueness (one label names one op), key the counter by id.
+        let labeled: Vec<(OpId, Label)> = entries
+            .iter()
+            .map(|(id, c, r)| (oid(*id), Label::new(c * 10 + id, ReplicaId(*r))))
+            .collect();
+        let forward: LabelMap = labeled.iter().copied().collect();
+        let backward: LabelMap = labeled.iter().rev().copied().collect();
+        prop_assert_eq!(forward, backward);
+    }
+}
+
+/// Counter data type used by the valset properties below.
+struct Counter;
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum COp {
+    Inc,
+    Read,
+}
+impl SerialDataType for Counter {
+    type State = i64;
+    type Operator = COp;
+    type Value = i64;
+    fn initial_state(&self) -> i64 {
+        0
+    }
+    fn apply(&self, s: &i64, op: &COp) -> (i64, i64) {
+        match op {
+            COp::Inc => (s + 1, s + 1),
+            COp::Read => (*s, *s),
+        }
+    }
+}
+
+proptest! {
+    /// Lemma 2.6 as a property: adding constraints shrinks valsets.
+    #[test]
+    fn valset_monotone_under_constraints(
+        n in 2u64..5,
+        extra_edges in proptest::collection::vec((0u64..5, 0u64..5), 0..4),
+    ) {
+        let dt = Counter;
+        let ops: BTreeMap<OpId, OpDescriptor<COp>> = (0..n)
+            .map(|i| {
+                let op = if i % 2 == 0 { COp::Inc } else { COp::Read };
+                (oid(i), OpDescriptor::new(oid(i), op))
+            })
+            .collect();
+        let weak = Digraph::new();
+        let mut strong = Digraph::new();
+        for (a, b) in extra_edges {
+            if a < b && b < n {
+                strong.add_edge(oid(a), oid(b));
+            }
+        }
+        for x in ops.keys() {
+            let vs_weak = valset(&dt, &0, &ops, &weak, *x, 10_000);
+            let vs_strong = valset(&dt, &0, &ops, &strong, *x, 10_000);
+            prop_assert!(!vs_strong.is_empty(), "Lemma 2.5");
+            for v in &vs_strong {
+                prop_assert!(vs_weak.contains(v), "Lemma 2.6 violated");
+            }
+        }
+    }
+
+    /// CSC of a prefix-closed workload is acyclic (Invariant 4.2 precursor):
+    /// prev sets only reference earlier ids.
+    #[test]
+    fn csc_from_ordered_prevs_is_acyclic(
+        prevs in proptest::collection::vec(proptest::collection::vec(0u64..20, 0..3), 1..20),
+    ) {
+        let ops: Vec<OpDescriptor<()>> = prevs
+            .iter()
+            .enumerate()
+            .map(|(i, ps)| {
+                let i = i as u64;
+                OpDescriptor::new(oid(i), ())
+                    .with_prev(ps.iter().filter(|p| **p < i).map(|p| oid(*p)))
+            })
+            .collect();
+        let g = Digraph::from_pairs(csc(&ops));
+        prop_assert!(g.is_strict_partial_order());
+    }
+
+    /// Lemma 2.7 as a property: when ≺ totally orders a prefix X and every
+    /// element of X precedes every element of Y−X, the valset of x ∈ X over
+    /// all of Y collapses to the single value along the prefix, and the
+    /// valset of y ∈ Y−X equals its valset over Y−X alone computed from the
+    /// prefix outcome — the factorization that makes memoization (§10.1)
+    /// sound.
+    #[test]
+    fn lemma_2_7_prefix_factorization(
+        prefix_len in 1u64..4,
+        suffix_len in 1u64..3,
+        suffix_edge in proptest::option::of((0u64..3, 0u64..3)),
+    ) {
+        let dt = Counter;
+        let total = prefix_len + suffix_len;
+        let ops: BTreeMap<OpId, OpDescriptor<COp>> = (0..total)
+            .map(|i| {
+                let op = if i % 2 == 0 { COp::Inc } else { COp::Read };
+                (oid(i), OpDescriptor::new(oid(i), op))
+            })
+            .collect();
+        // ≺: chain over the prefix, prefix ≺ suffix, optional suffix edge.
+        let mut po = Digraph::chain((0..prefix_len).map(oid));
+        for x in 0..prefix_len {
+            for y in prefix_len..total {
+                po.add_edge(oid(x), oid(y));
+            }
+        }
+        if let Some((a, b)) = suffix_edge {
+            let (a, b) = (prefix_len + a, prefix_len + b);
+            if a < b && b < total {
+                po.add_edge(oid(a), oid(b));
+            }
+        }
+
+        // Prefix part: valset(x, Y, ≺) = {val(x, X, chain)}.
+        let prefix_descs: Vec<&OpDescriptor<COp>> =
+            (0..prefix_len).map(|i| &ops[&oid(i)]).collect();
+        let (prefix_outcome, prefix_vals) = dt.run(&0, prefix_descs.iter().copied());
+        for (i, want) in prefix_vals.iter().enumerate() {
+            let vs = valset(&dt, &0, &ops, &po, oid(i as u64), 10_000);
+            prop_assert_eq!(
+                vs.len(), 1,
+                "Lemma 2.7: prefix op must have a unique value over all of Y"
+            );
+            prop_assert_eq!(&vs[0], want);
+        }
+
+        // Suffix part: valset(y, Y, ≺) = valset_{σ'}(y, Y−X, ≺) with
+        // σ' = the prefix outcome.
+        let suffix_ops: BTreeMap<OpId, OpDescriptor<COp>> = (prefix_len..total)
+            .map(|i| (oid(i), ops[&oid(i)].clone()))
+            .collect();
+        let keep: BTreeSet<OpId> = suffix_ops.keys().copied().collect();
+        let suffix_po = po.induced_on(&keep);
+        for y in prefix_len..total {
+            let whole: BTreeSet<_> =
+                valset(&dt, &0, &ops, &po, oid(y), 10_000).into_iter().collect();
+            let factored: BTreeSet<_> =
+                valset(&dt, &prefix_outcome, &suffix_ops, &suffix_po, oid(y), 10_000)
+                    .into_iter()
+                    .collect();
+            prop_assert_eq!(&whole, &factored, "Lemma 2.7 suffix factorization");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// IdSummary (§10.2): model-based equivalence with a plain set
+// ---------------------------------------------------------------------
+
+/// A command against both the summary and a `BTreeSet` reference model.
+#[derive(Clone, Debug)]
+enum SummaryCmd {
+    Insert(OpId),
+    MergeRandom(Vec<OpId>),
+}
+
+fn summary_cmds() -> impl Strategy<Value = Vec<SummaryCmd>> {
+    let id = (0u32..4, 0u64..24).prop_map(|(c, s)| OpId::new(ClientId(c), s));
+    let cmd = prop_oneof![
+        3 => id.clone().prop_map(SummaryCmd::Insert),
+        1 => proptest::collection::vec(id, 0..12).prop_map(SummaryCmd::MergeRandom),
+    ];
+    proptest::collection::vec(cmd, 0..40)
+}
+
+proptest! {
+    /// After any command sequence, the summary and the reference set agree
+    /// on membership, cardinality, and iteration order, and the summary's
+    /// explicit storage never exceeds the reference's.
+    #[test]
+    fn id_summary_matches_set_model(cmds in summary_cmds()) {
+        use esds_core::IdSummary;
+        let mut summary = IdSummary::new();
+        let mut model: BTreeSet<OpId> = BTreeSet::new();
+        for cmd in cmds {
+            match cmd {
+                SummaryCmd::Insert(id) => {
+                    let fresh = summary.insert(id);
+                    prop_assert_eq!(fresh, model.insert(id));
+                }
+                SummaryCmd::MergeRandom(ids) => {
+                    let other = IdSummary::from_ids(ids.iter().copied());
+                    summary.merge(&other);
+                    model.extend(ids);
+                }
+            }
+            prop_assert_eq!(summary.len(), model.len());
+            prop_assert_eq!(summary.is_empty(), model.is_empty());
+        }
+        // Exact membership, in the same (client-major) order.
+        let got: Vec<OpId> = summary.iter().collect();
+        let want: Vec<OpId> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // Spot-check membership of absent ids too.
+        for c in 0..4u32 {
+            for s in 0..26u64 {
+                let id = OpId::new(ClientId(c), s);
+                prop_assert_eq!(summary.contains(id), model.contains(&id));
+            }
+        }
+        prop_assert!(summary.exception_count() <= model.len());
+    }
+
+    /// `covers` is exactly set inclusion.
+    #[test]
+    fn id_summary_covers_is_inclusion(
+        a in proptest::collection::btree_set((0u32..3, 0u64..12), 0..20),
+        b in proptest::collection::btree_set((0u32..3, 0u64..12), 0..20),
+    ) {
+        use esds_core::IdSummary;
+        let to_ids = |s: &BTreeSet<(u32, u64)>| -> BTreeSet<OpId> {
+            s.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect()
+        };
+        let sa = to_ids(&a);
+        let sb = to_ids(&b);
+        let suma = IdSummary::from_ids(sa.iter().copied());
+        let sumb = IdSummary::from_ids(sb.iter().copied());
+        prop_assert_eq!(suma.covers(&sumb), sb.is_subset(&sa));
+        prop_assert!(suma.covers(&suma));
+    }
+
+    /// Merge is idempotent, commutative, and associative (it is set union).
+    #[test]
+    fn id_summary_merge_is_union(
+        a in proptest::collection::btree_set((0u32..3, 0u64..12), 0..15),
+        b in proptest::collection::btree_set((0u32..3, 0u64..12), 0..15),
+    ) {
+        use esds_core::IdSummary;
+        let sa: IdSummary = a.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect();
+        let sb: IdSummary = b.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect();
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let mut again = ab.clone();
+        again.merge(&sb);
+        prop_assert_eq!(&again, &ab);
+        // Dense union compacts: watermark coverage implies few exceptions.
+        let union: BTreeSet<OpId> = ab.iter().collect();
+        prop_assert_eq!(union.len(), ab.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! # esds-harness
+//!
+//! The experiment harness: the ESDS algorithm composed under the
+//! discrete-event simulator, plus workload generation, fault scripts,
+//! timing probes (Section 9), and the ESDS-II conformance observer
+//! (Theorem 8.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod conformance;
+mod system;
+mod workload;
+
+pub use conformance::{ConformanceError, ConformanceObserver};
+pub use system::{
+    FaultEvent, OpClass, OpTiming, ProcessingModel, SimSystem, StepReport, SystemConfig,
+};
+pub use workload::{
+    apply_open_loop, CounterSource, DirectorySource, GSetSource, KvSource, OpenLoopWorkload,
+    OperatorSource, RegisterSource,
+};

@@ -1,0 +1,311 @@
+//! Workload generation for the experiments (paper §11.1).
+//!
+//! Cheiner's evaluation drives the service with a constant request
+//! frequency per replica and a controlled percentage of strict requests.
+//! [`OpenLoopWorkload`] reproduces that: each client submits operations at
+//! a fixed period, with configurable strict and `prev`-dependency
+//! fractions; [`OperatorSource`] implementations supply data-type-specific
+//! operator mixes.
+
+use esds_core::{ClientId, OpId, SerialDataType};
+use esds_datatypes::{
+    Counter, CounterOp, Directory, DirectoryOp, GSet, GSetOp, KvOp, KvStore, Register, RegisterOp,
+};
+use esds_sim::{derive_seed, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::system::SimSystem;
+
+/// Supplies the operator stream of one workload.
+pub trait OperatorSource<T: SerialDataType> {
+    /// The operator for `client`'s `seq`-th operation.
+    fn next_op(&mut self, client: ClientId, seq: u64) -> T::Operator;
+}
+
+/// Counter workload: reads with probability `read_fraction`, else
+/// increments.
+#[derive(Clone, Debug)]
+pub struct CounterSource {
+    /// Fraction of reads.
+    pub read_fraction: f64,
+    rng: SmallRng,
+}
+
+impl CounterSource {
+    /// Creates a source with the given read mix.
+    pub fn new(read_fraction: f64, seed: u64) -> Self {
+        CounterSource {
+            read_fraction,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorSource<Counter> for CounterSource {
+    fn next_op(&mut self, _client: ClientId, _seq: u64) -> CounterOp {
+        if self.rng.gen_bool(self.read_fraction) {
+            CounterOp::Read
+        } else {
+            CounterOp::Increment(1)
+        }
+    }
+}
+
+/// Register workload: reads vs writes of small integers.
+#[derive(Clone, Debug)]
+pub struct RegisterSource {
+    /// Fraction of reads.
+    pub read_fraction: f64,
+    rng: SmallRng,
+}
+
+impl RegisterSource {
+    /// Creates a source with the given read mix.
+    pub fn new(read_fraction: f64, seed: u64) -> Self {
+        RegisterSource {
+            read_fraction,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorSource<Register> for RegisterSource {
+    fn next_op(&mut self, _client: ClientId, _seq: u64) -> RegisterOp {
+        if self.rng.gen_bool(self.read_fraction) {
+            RegisterOp::Read
+        } else {
+            RegisterOp::Write(self.rng.gen_range(0..1000))
+        }
+    }
+}
+
+/// Grow-only-set workload: membership queries vs adds over a small key
+/// universe (fully commutative mutations — the §10.3 showcase).
+#[derive(Clone, Debug)]
+pub struct GSetSource {
+    /// Fraction of queries.
+    pub query_fraction: f64,
+    /// Universe size.
+    pub universe: u64,
+    rng: SmallRng,
+}
+
+impl GSetSource {
+    /// Creates a source over `universe` elements.
+    pub fn new(query_fraction: f64, universe: u64, seed: u64) -> Self {
+        GSetSource {
+            query_fraction,
+            universe,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorSource<GSet> for GSetSource {
+    fn next_op(&mut self, _client: ClientId, _seq: u64) -> GSetOp {
+        let e = self.rng.gen_range(0..self.universe);
+        if self.rng.gen_bool(self.query_fraction) {
+            GSetOp::Contains(e)
+        } else {
+            GSetOp::Add(e)
+        }
+    }
+}
+
+/// Key-value workload: gets vs puts over `keys` keys.
+#[derive(Clone, Debug)]
+pub struct KvSource {
+    /// Fraction of gets.
+    pub read_fraction: f64,
+    /// Number of distinct keys.
+    pub keys: u32,
+    rng: SmallRng,
+}
+
+impl KvSource {
+    /// Creates a source over `keys` keys.
+    pub fn new(read_fraction: f64, keys: u32, seed: u64) -> Self {
+        KvSource {
+            read_fraction,
+            keys,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorSource<KvStore> for KvSource {
+    fn next_op(&mut self, _client: ClientId, seq: u64) -> KvOp {
+        let k = format!("k{}", self.rng.gen_range(0..self.keys));
+        if self.rng.gen_bool(self.read_fraction) {
+            KvOp::Get(k)
+        } else {
+            KvOp::Put(k, format!("v{seq}"))
+        }
+    }
+}
+
+/// Directory-service workload (paper §11.2): query-dominated, occasional
+/// name creation and attribute updates.
+#[derive(Clone, Debug)]
+pub struct DirectorySource {
+    /// Fraction of lookups (the paper: "access … is dominated by queries").
+    pub query_fraction: f64,
+    /// Number of distinct names.
+    pub names: u32,
+    rng: SmallRng,
+}
+
+impl DirectorySource {
+    /// Creates a source over `names` names.
+    pub fn new(query_fraction: f64, names: u32, seed: u64) -> Self {
+        DirectorySource {
+            query_fraction,
+            names,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorSource<Directory> for DirectorySource {
+    fn next_op(&mut self, _client: ClientId, _seq: u64) -> DirectoryOp {
+        let name = format!("n{}", self.rng.gen_range(0..self.names));
+        if self.rng.gen_bool(self.query_fraction) {
+            DirectoryOp::lookup(name, "addr")
+        } else {
+            match self.rng.gen_range(0..3u8) {
+                0 => DirectoryOp::create(name),
+                1 => DirectoryOp::set_attr(
+                    name,
+                    "addr",
+                    format!("10.0.0.{}", self.rng.gen_range(0..255)),
+                ),
+                _ => DirectoryOp::remove(name),
+            }
+        }
+    }
+}
+
+/// An open-loop workload: every client submits `ops_per_client` operations
+/// at a fixed period, starting at `start` (staggered by client to avoid a
+/// thundering herd).
+#[derive(Clone, Debug)]
+pub struct OpenLoopWorkload {
+    /// Clients to create (each attached per the system's relay policy).
+    pub clients: usize,
+    /// Operations per client.
+    pub ops_per_client: usize,
+    /// Submission period per client.
+    pub period: SimDuration,
+    /// Probability an operation is strict (the §11.1 knob).
+    pub strict_fraction: f64,
+    /// Probability a nonstrict operation depends (`prev`) on the client's
+    /// previous operation.
+    pub prev_fraction: f64,
+    /// First submission time.
+    pub start: SimTime,
+}
+
+impl OpenLoopWorkload {
+    /// A workload with the given shape and no constraints.
+    pub fn new(clients: usize, ops_per_client: usize, period: SimDuration) -> Self {
+        OpenLoopWorkload {
+            clients,
+            ops_per_client,
+            period,
+            strict_fraction: 0.0,
+            prev_fraction: 0.0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the strict fraction.
+    #[must_use]
+    pub fn with_strict_fraction(mut self, f: f64) -> Self {
+        self.strict_fraction = f;
+        self
+    }
+
+    /// Sets the `prev`-dependency fraction.
+    #[must_use]
+    pub fn with_prev_fraction(mut self, f: f64) -> Self {
+        self.prev_fraction = f;
+        self
+    }
+}
+
+/// Schedules the whole workload into the system. Returns all submitted
+/// operation ids. Deterministic given the system seed.
+pub fn apply_open_loop<T, S>(
+    sys: &mut SimSystem<T>,
+    workload: &OpenLoopWorkload,
+    source: &mut S,
+) -> Vec<OpId>
+where
+    T: SerialDataType + Clone,
+    S: OperatorSource<T>,
+{
+    let mut rng = SmallRng::seed_from_u64(derive_seed(sys.config().seed, 0xB10B));
+    let mut ids = Vec::with_capacity(workload.clients * workload.ops_per_client);
+    let clients: Vec<ClientId> = (0..workload.clients)
+        .map(|i| sys.add_client(i as u32))
+        .collect();
+    let stagger = workload.period / (workload.clients.max(1) as u64);
+    let mut last_op: Vec<Option<OpId>> = vec![None; workload.clients];
+    for seq in 0..workload.ops_per_client {
+        for (ci, c) in clients.iter().enumerate() {
+            let at = workload.start + workload.period * seq as u64 + stagger * ci as u64;
+            let op = source.next_op(*c, seq as u64);
+            let strict = rng.gen_bool(workload.strict_fraction);
+            let prev: Vec<OpId> = if !strict && rng.gen_bool(workload.prev_fraction) {
+                last_op[ci].into_iter().collect()
+            } else {
+                Vec::new()
+            };
+            let id = sys.submit_at(at, *c, op, &prev, strict);
+            last_op[ci] = Some(id);
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use esds_spec::check_converged;
+
+    #[test]
+    fn open_loop_counter_workload_runs_to_convergence() {
+        let cfg = SystemConfig::new(3).with_seed(9);
+        let mut sys = SimSystem::new(Counter, cfg);
+        let w = OpenLoopWorkload::new(3, 10, SimDuration::from_millis(10))
+            .with_strict_fraction(0.3)
+            .with_prev_fraction(0.4);
+        let mut src = CounterSource::new(0.5, 77);
+        let ids = apply_open_loop(&mut sys, &w, &mut src);
+        assert_eq!(ids.len(), 30);
+        sys.run_until_quiescent();
+        assert_eq!(sys.completed_count(), 30);
+        assert!(check_converged(&sys.local_orders(), &sys.replica_states()).is_ok());
+    }
+
+    #[test]
+    fn sources_are_deterministic() {
+        let mut a = KvSource::new(0.5, 4, 3);
+        let mut b = KvSource::new(0.5, 4, 3);
+        for s in 0..20 {
+            assert_eq!(a.next_op(ClientId(0), s), b.next_op(ClientId(0), s));
+        }
+    }
+
+    #[test]
+    fn directory_source_is_query_dominated() {
+        let mut src = DirectorySource::new(0.9, 8, 1);
+        let queries = (0..200)
+            .filter(|s| src.next_op(ClientId(0), *s).is_query())
+            .count();
+        assert!(queries > 150, "expected ~90% queries, got {queries}/200");
+    }
+}

@@ -1,0 +1,545 @@
+//! Bounded exhaustive exploration of the specification automata.
+//!
+//! `ESDS-I` and `ESDS-II` (paper Figs. 2–3) are small enough to model
+//! check directly for bounded workloads: this module enumerates *every*
+//! reachable state of the automaton under an action-bounding policy (see
+//! [`SpecScope`]), and at each state
+//!
+//! 1. evaluates Invariants 5.2–5.6, and
+//! 2. drives a *shadow* copy of the other automaton through the same
+//!    action, realizing the two halves of the §5.3 equivalence:
+//!    - primary `ESDS-I`, shadow `ESDS-II`: every `ESDS-I` action must be
+//!      accepted verbatim ("every execution of ESDS-I is an execution of
+//!      ESDS-II");
+//!    - primary `ESDS-II`, shadow `ESDS-I`: a `stabilize(x)` with gaps is
+//!      mapped to the *sequence* of `ESDS-I` stabilizations of every
+//!      unstable predecessor in prefix order, then `x` — exactly the
+//!      forward simulation of Fig. 4 — and every step must be accepted.
+//!
+//! A rejected shadow action or a violated invariant is reported as a
+//! counterexample with the action trace that reached it.
+//!
+//! ## Action bounding
+//!
+//! `enter`'s `new-po` parameter ranges over an infinite set; the explorer
+//! considers the *minimal* extension (old `po` + the client-specified and
+//! stability constraints) plus every single-edge refinement against an
+//! incomparable entered operation. Multi-edge refinements are reachable
+//! through subsequent `add_constraints` actions (also enumerated one edge
+//! at a time), so the reachable *state* set is unaffected by the bounding
+//! — only path multiplicity is reduced.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use esds_core::{valset, Digraph, OpDescriptor, OpId, SerialDataType};
+use esds_spec::{EsdsSpec, SpecVariant};
+
+/// A bounded workload for spec exploration.
+///
+/// Keep it tiny: state counts grow roughly exponentially in the number of
+/// operations. Three operations with one constraint explore in well under
+/// a second; five is the practical ceiling.
+#[derive(Clone, Debug)]
+pub struct SpecScope<T: SerialDataType> {
+    /// The serial data type.
+    pub dt: T,
+    /// The operations, requested in this order (so `prev` sets may only
+    /// name earlier entries, per the `Users` well-formedness assumptions).
+    pub ops: Vec<OpDescriptor<T::Operator>>,
+    /// Exploration cap on distinct states (reported as truncation).
+    pub max_states: usize,
+    /// Cap on linear extensions enumerated per `calculate`.
+    pub valset_cap: usize,
+}
+
+impl<T: SerialDataType> SpecScope<T> {
+    /// A scope with default caps (100 000 states).
+    pub fn new(dt: T, ops: Vec<OpDescriptor<T::Operator>>) -> Self {
+        SpecScope {
+            dt,
+            ops,
+            max_states: 100_000,
+            valset_cap: 10_000,
+        }
+    }
+}
+
+/// Outcome of an exhaustive spec exploration.
+#[derive(Clone, Debug)]
+pub struct SpecCheckReport {
+    /// Which automaton was primary.
+    pub primary: SpecVariant,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Whether `max_states` cut the exploration short.
+    pub truncated: bool,
+    /// Invariant violations and shadow-simulation failures, each with the
+    /// action trace that exposed it. Empty = all checks passed.
+    pub violations: Vec<String>,
+}
+
+impl SpecCheckReport {
+    /// Whether the exploration found no violations.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One explored state: the primary automaton, its shadow, and how many of
+/// the scope's operations have been requested.
+#[derive(Clone)]
+struct Node<T: SerialDataType> {
+    primary: EsdsSpec<T>,
+    shadow: EsdsSpec<T>,
+    requested: usize,
+    trace: Vec<String>,
+}
+
+/// Exhaustively explores `scope` with `primary` as the automaton under
+/// test and the other variant as the shadow (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{ClientId, OpDescriptor, OpId, SerialDataType};
+/// use esds_mc::{explore_spec, SpecScope};
+/// use esds_spec::SpecVariant;
+///
+/// #[derive(Clone)]
+/// struct Reg;
+/// impl SerialDataType for Reg {
+///     type State = i64;
+///     type Operator = i64;
+///     type Value = i64;
+///     fn initial_state(&self) -> i64 { 0 }
+///     fn apply(&self, s: &i64, op: &i64) -> (i64, i64) { (*op, *s) }
+/// }
+///
+/// let ops = vec![
+///     OpDescriptor::new(OpId::new(ClientId(0), 0), 7),
+///     OpDescriptor::new(OpId::new(ClientId(0), 1), 9).with_strict(true),
+/// ];
+/// let report = explore_spec(SpecScope::new(Reg, ops), SpecVariant::EsdsI);
+/// assert!(report.passed());
+/// assert!(report.states > 10);
+/// ```
+pub fn explore_spec<T>(scope: SpecScope<T>, primary: SpecVariant) -> SpecCheckReport
+where
+    T: SerialDataType + Clone,
+{
+    let shadow_variant = match primary {
+        SpecVariant::EsdsI => SpecVariant::EsdsII,
+        SpecVariant::EsdsII => SpecVariant::EsdsI,
+    };
+    let mut report = SpecCheckReport {
+        primary,
+        states: 0,
+        transitions: 0,
+        truncated: false,
+        violations: Vec::new(),
+    };
+    let root = Node {
+        primary: EsdsSpec::new(scope.dt.clone(), primary),
+        shadow: EsdsSpec::new(scope.dt.clone(), shadow_variant),
+        requested: 0,
+        trace: Vec::new(),
+    };
+    let mut visited: HashSet<String> = HashSet::new();
+    visited.insert(fingerprint(&root));
+    let mut frontier: VecDeque<Node<T>> = VecDeque::from([root]);
+
+    while let Some(node) = frontier.pop_front() {
+        report.states += 1;
+        if report.states >= scope.max_states {
+            report.truncated = true;
+            break;
+        }
+        check_state(&node, scope.valset_cap, &mut report);
+        for (label, next) in successors(&scope, &node, &mut report) {
+            report.transitions += 1;
+            let mut next = next;
+            next.trace.push(label);
+            let fp = fingerprint(&next);
+            if visited.insert(fp) {
+                frontier.push_back(next);
+            }
+        }
+    }
+    report
+}
+
+/// Evaluates the §5.2 invariants (including the Invariant 5.6 uniqueness
+/// of stable values, which is cheap at model-checking scopes) on the
+/// primary automaton.
+fn check_state<T>(node: &Node<T>, valset_cap: usize, report: &mut SpecCheckReport)
+where
+    T: SerialDataType + Clone,
+{
+    for v in node.primary.check_invariants() {
+        report
+            .violations
+            .push(format!("{v} after {:?}", node.trace));
+    }
+    for v in node.primary.check_unique_stable_values(valset_cap) {
+        report
+            .violations
+            .push(format!("{v} after {:?}", node.trace));
+    }
+}
+
+/// Enumerates every enabled action under the bounding policy, applying it
+/// to primary and shadow. Shadow rejections are recorded as violations.
+fn successors<T>(
+    scope: &SpecScope<T>,
+    node: &Node<T>,
+    report: &mut SpecCheckReport,
+) -> Vec<(String, Node<T>)>
+where
+    T: SerialDataType + Clone,
+{
+    let mut out = Vec::new();
+
+    // request(next): requests are issued in scope order (well-formedness).
+    if node.requested < scope.ops.len() {
+        let desc = scope.ops[node.requested].clone();
+        let mut next = node.clone();
+        next.primary.request(desc.clone());
+        next.shadow.request(desc.clone());
+        next.requested += 1;
+        out.push((format!("request({})", desc.id), next));
+    }
+
+    let entered: BTreeSet<OpId> = node.primary.ops().keys().copied().collect();
+
+    // enter(x, new-po) for waiting, unentered x with prev satisfied.
+    for x in node.primary.waiting() {
+        if entered.contains(&x) {
+            continue;
+        }
+        let desc = scope
+            .ops
+            .iter()
+            .find(|d| d.id == x)
+            .expect("waiting ops come from the scope");
+        if !desc.prev.iter().all(|p| entered.contains(p)) {
+            continue;
+        }
+        for new_po in enter_po_candidates(node, desc) {
+            let mut next = node.clone();
+            match next.primary.enter(x, new_po.clone()) {
+                Ok(()) => {}
+                Err(_) => continue, // bounding generated an inapplicable po
+            }
+            match next.shadow.enter(x, new_po.clone()) {
+                Ok(()) => {}
+                Err(e) => {
+                    report.violations.push(format!(
+                        "shadow rejected enter({x}): {e} after {:?}",
+                        node.trace
+                    ));
+                    continue;
+                }
+            }
+            out.push((format!("enter({x})"), next));
+        }
+    }
+
+    // add_constraints(po + one edge) for each incomparable entered pair.
+    let ids: Vec<OpId> = entered.iter().copied().collect();
+    for (i, a) in ids.iter().enumerate() {
+        for b in ids.iter().skip(i + 1) {
+            if node.primary.po().comparable(a, b) {
+                continue;
+            }
+            for (lo, hi) in [(*a, *b), (*b, *a)] {
+                let mut po = node.primary.po().clone();
+                po.add_edge(lo, hi);
+                if !po.is_strict_partial_order() {
+                    continue;
+                }
+                let mut next = node.clone();
+                if next.primary.add_constraints(po.clone()).is_err() {
+                    continue;
+                }
+                if let Err(e) = next.shadow.add_constraints(po) {
+                    report.violations.push(format!(
+                        "shadow rejected add_constraints({lo}≺{hi}): {e} after {:?}",
+                        node.trace
+                    ));
+                    continue;
+                }
+                out.push((format!("constrain({lo}≺{hi})"), next));
+            }
+        }
+    }
+
+    // stabilize(x) for each eligible x.
+    for x in &entered {
+        if node.primary.stabilized().contains(x) {
+            continue;
+        }
+        let mut next = node.clone();
+        if next.primary.stabilize(*x).is_err() {
+            continue;
+        }
+        if let Err(e) = apply_shadow_stabilize(&mut next.shadow, *x) {
+            report.violations.push(format!(
+                "shadow rejected stabilize({x}): {e} after {:?}",
+                node.trace
+            ));
+            continue;
+        }
+        out.push((format!("stabilize({x})"), next));
+    }
+
+    // calculate(x, v) for every waiting entered x and every legal value.
+    for x in node.primary.waiting() {
+        if !entered.contains(&x) {
+            continue;
+        }
+        let values = valset(
+            &scope.dt,
+            &scope.dt.initial_state(),
+            node.primary.ops(),
+            node.primary.po(),
+            x,
+            scope.valset_cap,
+        );
+        for v in values {
+            let mut next = node.clone();
+            if next.primary.calculate(x, &v, None).is_err() {
+                continue; // e.g. strict and not yet stable
+            }
+            if let Err(e) = next.shadow.calculate(x, &v, None) {
+                report.violations.push(format!(
+                    "shadow rejected calculate({x}, {v:?}): {e} after {:?}",
+                    node.trace
+                ));
+                continue;
+            }
+            out.push((format!("calculate({x},{v:?})"), next));
+        }
+    }
+
+    // response(x, v) for every computed candidate (explore each value;
+    // dedup by equality — T::Value need not be Ord).
+    let mut candidates: Vec<(OpId, T::Value)> = Vec::new();
+    for (id, v) in node.primary.rept() {
+        if !candidates.iter().any(|(i, u)| i == id && u == v) {
+            candidates.push((*id, v.clone()));
+        }
+    }
+    for (x, v) in candidates {
+        let mut next = node.clone();
+        if next.primary.respond_with(x, &v).is_err() {
+            continue;
+        }
+        if let Err(e) = next.shadow.respond_with(x, &v) {
+            report.violations.push(format!(
+                "shadow rejected response({x}, {v:?}): {e} after {:?}",
+                node.trace
+            ));
+            continue;
+        }
+        out.push((format!("response({x},{v:?})"), next));
+    }
+
+    out
+}
+
+/// `new-po` candidates for entering `x` (see module docs, "Action
+/// bounding"): the minimal legal extension plus every single-edge
+/// refinement against an incomparable entered operation.
+fn enter_po_candidates<T>(node: &Node<T>, desc: &OpDescriptor<T::Operator>) -> Vec<Digraph<OpId>>
+where
+    T: SerialDataType + Clone,
+{
+    let x = desc.id;
+    let mut minimal = node.primary.po().clone();
+    minimal.add_node(x);
+    for p in &desc.prev {
+        minimal.add_edge(*p, x);
+    }
+    for y in node.primary.stabilized() {
+        if *y != x {
+            minimal.add_edge(*y, x);
+        }
+    }
+    if !minimal.is_strict_partial_order() {
+        return Vec::new();
+    }
+    let mut out = vec![minimal.clone()];
+    for y in node.primary.ops().keys() {
+        if minimal.comparable(y, &x) {
+            continue;
+        }
+        for (lo, hi) in [(*y, x), (x, *y)] {
+            let mut refined = minimal.clone();
+            refined.add_edge(lo, hi);
+            if refined.is_strict_partial_order() {
+                out.push(refined);
+            }
+        }
+    }
+    out
+}
+
+/// Applies `stabilize(x)` to the shadow. For an `ESDS-I` shadow this is
+/// the Fig. 4 simulation: first stabilize every unstable predecessor of
+/// `x` in prefix order (the "gaps"), then `x` itself. For an `ESDS-II`
+/// shadow the single action suffices (weaker precondition).
+fn apply_shadow_stabilize<T>(
+    shadow: &mut EsdsSpec<T>,
+    x: OpId,
+) -> Result<(), esds_core::PreconditionError>
+where
+    T: SerialDataType + Clone,
+{
+    if shadow.variant() == SpecVariant::EsdsI {
+        let mut gaps: Vec<OpId> = shadow
+            .po()
+            .ancestors(&x)
+            .into_iter()
+            .filter(|y| shadow.ops().contains_key(y) && !shadow.stabilized().contains(y))
+            .collect();
+        // Prefix order: by po (total on the prefix, so topo order is it).
+        let gap_set: BTreeSet<OpId> = gaps.iter().copied().collect();
+        if let Some(sorted) = shadow.po().induced_on(&gap_set).topo_sort() {
+            gaps = sorted;
+        }
+        for g in gaps {
+            shadow.stabilize(g)?;
+        }
+    }
+    if shadow.stabilized().contains(&x) {
+        return Ok(()); // ESDS-I forbids re-stabilizing; a repeat is a no-op.
+    }
+    shadow.stabilize(x)
+}
+
+/// A canonical fingerprint of the (primary, shadow) pair. Debug formatting
+/// of the canonical components is stable because every container is
+/// ordered (`BTreeMap`/`BTreeSet`/sorted `Vec`).
+fn fingerprint<T: SerialDataType>(node: &Node<T>) -> String {
+    let po_edges: BTreeSet<(OpId, OpId)> = node.primary.po().edges().collect();
+    let mut rept: Vec<String> = node
+        .primary
+        .rept()
+        .iter()
+        .map(|(id, v)| format!("{id}:{v:?}"))
+        .collect();
+    rept.sort();
+    rept.dedup();
+    let shadow_po: BTreeSet<(OpId, OpId)> = node.shadow.po().edges().collect();
+    format!(
+        "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        node.requested,
+        node.primary.waiting(),
+        node.primary.ops().keys().collect::<Vec<_>>(),
+        po_edges,
+        node.primary.stabilized(),
+        rept,
+        node.shadow.stabilized(),
+        shadow_po,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+
+    /// Inc/read counter, the running example of the paper.
+    #[derive(Clone, Copy, Debug)]
+    struct Ctr;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+        Read,
+    }
+    impl SerialDataType for Ctr {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+            match op {
+                Op::Inc => (s + 1, s + 1),
+                Op::Read => (*s, *s),
+            }
+        }
+    }
+
+    fn id(s: u64) -> OpId {
+        OpId::new(ClientId(0), s)
+    }
+
+    fn two_op_scope() -> SpecScope<Ctr> {
+        SpecScope::new(
+            Ctr,
+            vec![
+                OpDescriptor::new(id(0), Op::Inc),
+                OpDescriptor::new(id(1), Op::Read).with_prev([id(0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn esds1_two_ops_exhaustive() {
+        let report = explore_spec(two_op_scope(), SpecVariant::EsdsI);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(!report.truncated);
+        assert!(report.states > 20, "only {} states", report.states);
+    }
+
+    #[test]
+    fn esds2_two_ops_exhaustive_with_gap_filling_shadow() {
+        let report = explore_spec(two_op_scope(), SpecVariant::EsdsII);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn esds2_gaps_are_reachable_and_simulable() {
+        // Two unrelated ops + one dependent: ESDS-II can stabilize out of
+        // prefix order; the shadow ESDS-I must keep up via gap filling.
+        let scope = SpecScope::new(
+            Ctr,
+            vec![
+                OpDescriptor::new(id(0), Op::Inc),
+                OpDescriptor::new(id(1), Op::Inc),
+                OpDescriptor::new(id(2), Op::Read).with_prev([id(0), id(1)]),
+            ],
+        );
+        let report = explore_spec(scope, SpecVariant::EsdsII);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn strict_op_explored() {
+        let scope = SpecScope::new(
+            Ctr,
+            vec![
+                OpDescriptor::new(id(0), Op::Inc),
+                OpDescriptor::new(id(1), Op::Read).with_strict(true),
+            ],
+        );
+        for variant in [SpecVariant::EsdsI, SpecVariant::EsdsII] {
+            let report = explore_spec(scope.clone(), variant);
+            assert!(report.passed(), "{variant:?}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut scope = two_op_scope();
+        scope.max_states = 5;
+        let report = explore_spec(scope, SpecVariant::EsdsI);
+        assert!(report.truncated);
+    }
+}

@@ -1,0 +1,14 @@
+//! # esds-runtime
+//!
+//! A real multithreaded deployment of the ESDS algorithm: one OS thread
+//! per replica (driving the same sans-IO [`esds_alg::Replica`] state
+//! machine as the simulator) plus a network thread that injects
+//! propagation delay. See `DESIGN.md` §2 for how this substitutes for the
+//! paper's MPI/workstation testbed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod service;
+
+pub use service::{RuntimeClient, RuntimeConfig, RuntimeService};

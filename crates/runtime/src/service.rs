@@ -1,0 +1,422 @@
+//! A real multithreaded deployment of the ESDS algorithm.
+//!
+//! Each replica runs on its own OS thread, driving the *same*
+//! [`esds_alg::Replica`] state machine as the simulator; a network thread
+//! routes all messages and injects a configurable propagation delay,
+//! standing in for the paper's workstation network (Cheiner ran on
+//! MPI-connected Unix workstations; see `DESIGN.md` §2). Clients interact
+//! through [`RuntimeClient`] handles that own a front end.
+
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use esds_alg::{FrontEnd, GossipMsg, RelayPolicy, Replica, ReplicaConfig, RequestMsg, ResponseMsg};
+use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
+use parking_lot::Mutex;
+
+/// Configuration of the threaded deployment.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of replica threads.
+    pub n_replicas: usize,
+    /// Wall-clock gossip interval.
+    pub gossip_interval: Duration,
+    /// Injected one-way network delay for every message.
+    pub net_delay: Duration,
+    /// Replica configuration.
+    pub replica: ReplicaConfig,
+}
+
+impl RuntimeConfig {
+    /// Defaults: 1 ms delay, 5 ms gossip period.
+    pub fn new(n_replicas: usize) -> Self {
+        RuntimeConfig {
+            n_replicas,
+            gossip_interval: Duration::from_millis(5),
+            net_delay: Duration::from_millis(1),
+            replica: ReplicaConfig::default(),
+        }
+    }
+}
+
+enum Payload<T: SerialDataType> {
+    Request(RequestMsg<T::Operator>),
+    Gossip(GossipMsg<T::Operator>),
+    Response(ResponseMsg<T::Value>),
+}
+
+enum Endpoint {
+    Replica(ReplicaId),
+    Client(ClientId),
+}
+
+struct NetMsg<T: SerialDataType> {
+    to: Endpoint,
+    payload: Payload<T>,
+}
+
+/// Inputs to the network thread. Clients and replicas only ever send
+/// `Msg`; `Shutdown` is sent once by [`RuntimeService::shutdown`] so the
+/// thread terminates even while client handles (each holding a sender
+/// clone) are still alive.
+enum NetInput<T: SerialDataType> {
+    Msg(NetMsg<T>),
+    Shutdown,
+}
+
+enum ReplicaInput<T: SerialDataType> {
+    Request(RequestMsg<T::Operator>),
+    Gossip(GossipMsg<T::Operator>),
+    Shutdown,
+}
+
+struct Timed<T: SerialDataType> {
+    due: Instant,
+    seq: u64,
+    msg: NetMsg<T>,
+}
+
+impl<T: SerialDataType> PartialEq for Timed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl<T: SerialDataType> Eq for Timed<T> {}
+impl<T: SerialDataType> Ord for Timed<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+impl<T: SerialDataType> PartialOrd for Timed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A handle for one client of the running service.
+pub struct RuntimeClient<T: SerialDataType> {
+    fe: FrontEnd<T::Operator, T::Value>,
+    rx: Receiver<ResponseMsg<T::Value>>,
+    net_tx: Sender<NetInput<T>>,
+}
+
+impl<T: SerialDataType> RuntimeClient<T>
+where
+    T::Operator: Clone,
+    T::Value: Clone,
+{
+    /// Submits an operation; returns its id immediately.
+    pub fn submit(&mut self, op: T::Operator, prev: &[OpId], strict: bool) -> OpId {
+        let (id, sends) = self.fe.submit(op, prev.iter().copied(), strict);
+        for (r, msg) in sends {
+            let _ = self.net_tx.send(NetInput::Msg(NetMsg {
+                to: Endpoint::Replica(r),
+                payload: Payload::Request(msg),
+            }));
+        }
+        id
+    }
+
+    /// Waits until `id` is answered or `timeout` elapses; drains any other
+    /// responses that arrive meanwhile. Re-sends pending requests every
+    /// 50 ms while waiting (the front-end retry of paper footnote 3).
+    pub fn await_response(&mut self, id: OpId, timeout: Duration) -> Option<T::Value> {
+        let deadline = Instant::now() + timeout;
+        let mut next_retry = Instant::now() + Duration::from_millis(50);
+        loop {
+            if let Some(v) = self.fe.value_of(id) {
+                return Some(v.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if now >= next_retry {
+                for (r, msg) in self.fe.resend_pending() {
+                    let _ = self.net_tx.send(NetInput::Msg(NetMsg {
+                        to: Endpoint::Replica(r),
+                        payload: Payload::Request(msg),
+                    }));
+                }
+                next_retry = now + Duration::from_millis(50);
+            }
+            let wait = deadline.min(next_retry).saturating_duration_since(now);
+            match self.rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+                Ok(msg) => {
+                    self.fe.on_response(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// The value previously returned for `id`, if completed.
+    pub fn value_of(&self, id: OpId) -> Option<&T::Value> {
+        self.fe.value_of(id)
+    }
+
+    /// The client identity.
+    pub fn client(&self) -> ClientId {
+        self.fe.client()
+    }
+}
+
+/// The running threaded service: replica threads + network thread.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use esds_datatypes::{Counter, CounterOp, CounterValue};
+/// use esds_runtime::{RuntimeConfig, RuntimeService};
+///
+/// let mut svc = RuntimeService::start(Counter, RuntimeConfig::new(2));
+/// let mut client = svc.client();
+/// let inc = client.submit(CounterOp::Increment(3), &[], false);
+/// let v = client.await_response(inc, Duration::from_secs(5));
+/// assert_eq!(v, Some(CounterValue::Ack));
+/// svc.shutdown();
+/// ```
+pub struct RuntimeService<T: SerialDataType> {
+    net_tx: Sender<NetInput<T>>,
+    client_reg: std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<T::Value>>>>>,
+    n_replicas: usize,
+    next_client: u32,
+    replica_threads: Vec<JoinHandle<Replica<T>>>,
+    replica_inputs: Vec<Sender<ReplicaInput<T>>>,
+    net_thread: Option<JoinHandle<()>>,
+}
+
+impl<T> RuntimeService<T>
+where
+    T: SerialDataType + Clone + Send + 'static,
+    T::Operator: Send + Clone,
+    T::Value: Send + Clone,
+    T::State: Send,
+{
+    /// Starts the replica and network threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn start(dt: T, config: RuntimeConfig) -> Self {
+        assert!(config.n_replicas > 0, "need at least one replica");
+        let n = config.n_replicas;
+        let (net_tx, net_rx) = unbounded::<NetInput<T>>();
+        let client_reg: std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<T::Value>>>>> =
+            std::sync::Arc::new(Mutex::new(Vec::new()));
+
+        // Replica threads.
+        let mut replica_inputs = Vec::with_capacity(n);
+        let mut replica_threads = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded::<ReplicaInput<T>>();
+            replica_inputs.push(tx);
+            let mut rep = Replica::new(dt.clone(), ReplicaId(i as u32), n, config.replica);
+            let net = net_tx.clone();
+            let interval = config.gossip_interval;
+            let handle = std::thread::Builder::new()
+                .name(format!("esds-replica-{i}"))
+                .spawn(move || {
+                    let mut next_gossip = Instant::now() + interval;
+                    loop {
+                        let now = Instant::now();
+                        if now >= next_gossip {
+                            for p in 0..rep.n() as u32 {
+                                let p = ReplicaId(p);
+                                if p == rep.id() {
+                                    continue;
+                                }
+                                let g = rep.make_gossip(p);
+                                let _ = net.send(NetInput::Msg(NetMsg {
+                                    to: Endpoint::Replica(p),
+                                    payload: Payload::Gossip(g),
+                                }));
+                            }
+                            next_gossip = now + interval;
+                        }
+                        let wait = next_gossip.saturating_duration_since(Instant::now());
+                        let input = match rx.recv_timeout(wait.max(Duration::from_micros(200))) {
+                            Ok(i) => i,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        let effects = match input {
+                            ReplicaInput::Request(m) => rep.on_request(m.desc),
+                            ReplicaInput::Gossip(g) => rep.on_gossip(g),
+                            ReplicaInput::Shutdown => break,
+                        };
+                        for e in effects {
+                            let _ = net.send(NetInput::Msg(NetMsg {
+                                to: Endpoint::Client(e.client),
+                                payload: Payload::Response(e.msg),
+                            }));
+                        }
+                    }
+                    rep
+                })
+                .expect("spawn replica thread");
+            replica_threads.push(handle);
+        }
+
+        // Network thread: applies the injected delay, then routes.
+        let delay = config.net_delay;
+        let reg = client_reg.clone();
+        let replica_inputs_clone = replica_inputs.clone();
+        let net_thread = std::thread::Builder::new()
+            .name("esds-net".to_string())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Timed<T>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                loop {
+                    // Deliver everything due.
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|t| t.due <= now) {
+                        let t = heap.pop().expect("peeked");
+                        match t.msg.to {
+                            Endpoint::Replica(r) => {
+                                let input = match t.msg.payload {
+                                    Payload::Request(m) => ReplicaInput::Request(m),
+                                    Payload::Gossip(g) => ReplicaInput::Gossip(g),
+                                    Payload::Response(_) => continue,
+                                };
+                                let _ = replica_inputs_clone[r.0 as usize].send(input);
+                            }
+                            Endpoint::Client(c) => {
+                                if let Payload::Response(m) = t.msg.payload {
+                                    let senders = reg.lock();
+                                    if let Some(tx) = senders.get(c.0 as usize) {
+                                        // try_send: a client that stopped
+                                        // draining must not stall routing
+                                        // for everyone else.
+                                        let _ = tx.try_send(m);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let wait = heap
+                        .peek()
+                        .map(|t| t.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(50));
+                    match net_rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+                        Ok(NetInput::Msg(msg)) => {
+                            heap.push(Timed {
+                                due: Instant::now() + delay,
+                                seq,
+                                msg,
+                            });
+                            seq += 1;
+                        }
+                        Ok(NetInput::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                    }
+                }
+            })
+            .expect("spawn network thread");
+
+        RuntimeService {
+            net_tx,
+            client_reg,
+            n_replicas: n,
+            next_client: 0,
+            replica_threads,
+            replica_inputs,
+            net_thread: Some(net_thread),
+        }
+    }
+
+    /// Creates a new client attached (fixed policy) to replica
+    /// `client mod n`, like the simulator's default.
+    pub fn client(&mut self) -> RuntimeClient<T> {
+        let c = ClientId(self.next_client);
+        self.next_client += 1;
+        let (tx, rx) = bounded(1024);
+        self.client_reg.lock().push(tx);
+        RuntimeClient {
+            fe: FrontEnd::new(
+                c,
+                self.n_replicas,
+                RelayPolicy::Fixed(ReplicaId(c.0 % self.n_replicas as u32)),
+            ),
+            rx,
+            net_tx: self.net_tx.clone(),
+        }
+    }
+
+    /// Stops all threads and returns the final replica states (for
+    /// convergence assertions).
+    ///
+    /// Safe to call while [`RuntimeClient`] handles are still alive: the
+    /// network thread is stopped by an explicit control message, not by
+    /// waiting for every sender clone to disconnect.
+    pub fn shutdown(mut self) -> Vec<Replica<T>> {
+        for tx in &self.replica_inputs {
+            let _ = tx.send(ReplicaInput::Shutdown);
+        }
+        let reps: Vec<Replica<T>> = self
+            .replica_threads
+            .drain(..)
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect();
+        let _ = self.net_tx.send(NetInput::Shutdown);
+        self.replica_inputs.clear();
+        if let Some(h) = self.net_thread.take() {
+            let _ = h.join();
+        }
+        reps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_datatypes::{Counter, CounterOp, CounterValue};
+
+    #[test]
+    fn runtime_roundtrip_and_convergence() {
+        let mut svc = RuntimeService::start(Counter, RuntimeConfig::new(3));
+        let mut c0 = svc.client();
+        let mut c1 = svc.client();
+
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push((0, c0.submit(CounterOp::Increment(1), &[], false)));
+            ids.push((1, c1.submit(CounterOp::Increment(1), &[], false)));
+        }
+        for (who, id) in &ids {
+            let v = match who {
+                0 => c0.await_response(*id, Duration::from_secs(10)),
+                _ => c1.await_response(*id, Duration::from_secs(10)),
+            };
+            assert_eq!(v, Some(CounterValue::Ack), "op {id} timed out");
+        }
+        // A strict read constrained after every increment observes all ten.
+        // (Strictness alone fixes the value in the eventual total order;
+        // the prev set pins the increments before the read in that order.)
+        let prev: Vec<OpId> = ids.iter().map(|(_, id)| *id).collect();
+        let read = c0.submit(CounterOp::Read, &prev, true);
+        let v = c0.await_response(read, Duration::from_secs(30));
+        assert_eq!(v, Some(CounterValue::Count(10)));
+
+        // After shutdown, give gossip a beat and check convergence.
+        let reps = svc.shutdown();
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(states.iter().all(|s| *s == 10), "diverged: {states:?}");
+    }
+
+    #[test]
+    fn strict_op_sees_prior_increment_via_prev() {
+        let mut svc = RuntimeService::start(Counter, RuntimeConfig::new(2));
+        let mut c = svc.client();
+        let inc = c.submit(CounterOp::Increment(7), &[], false);
+        let read = c.submit(CounterOp::Read, &[inc], false);
+        let v = c.await_response(read, Duration::from_secs(10));
+        assert_eq!(v, Some(CounterValue::Count(7)));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,27 @@
+//! # esds-sim
+//!
+//! A small, deterministic discrete-event simulation kernel used as the
+//! network substrate for the ESDS algorithm (replacing the paper's
+//! workstation network / MPI testbed — see `DESIGN.md` §2):
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time;
+//! * [`EventQueue`], [`World`], [`run`] — the event loop;
+//! * [`ChannelModel`] — the paper's reliable non-FIFO channels (§6.1) with
+//!   the §9.3 failure modes (loss, duplication, outages);
+//! * [`Histogram`] — exact latency statistics for the experiments.
+//!
+//! The kernel is generic over the event type: `esds-harness` instantiates it
+//! with the ESDS message alphabet.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod channel;
+mod metrics;
+mod scheduler;
+mod time;
+
+pub use channel::{ChannelConfig, ChannelModel, ChannelStats, DelayModel};
+pub use metrics::{derive_seed, Histogram};
+pub use scheduler::{run, run_steps, EventQueue, RunStats, StopReason, World};
+pub use time::{SimDuration, SimTime};

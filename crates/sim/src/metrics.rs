@@ -1,0 +1,169 @@
+//! Simple metrics for experiments: exact histograms over virtual durations
+//! and derived seeds for deterministic per-component randomness.
+
+use crate::time::SimDuration;
+
+/// An exact histogram of durations: stores every sample (experiment-scale
+/// data is small), so percentiles are exact rather than approximated.
+///
+/// # Examples
+///
+/// ```
+/// use esds_sim::{Histogram, SimDuration};
+/// let mut h = Histogram::new();
+/// for ms in [1u64, 2, 3, 4] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(SimDuration::from_millis(4)));
+/// assert_eq!(h.percentile(50.0), Some(SimDuration::from_millis(2)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
+        Some(SimDuration::from_micros(
+            (sum / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples
+            .iter()
+            .min()
+            .map(|m| SimDuration::from_micros(*m))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples
+            .iter()
+            .max()
+            .map(|m| SimDuration::from_micros(*m))
+    }
+
+    /// Exact percentile (nearest-rank). `p` in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        Some(SimDuration::from_micros(self.samples[idx]))
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&mut self) -> String {
+        if self.samples.is_empty() {
+            return "n=0".to_string();
+        }
+        let mean = self.mean().expect("nonempty");
+        let p50 = self.percentile(50.0).expect("nonempty");
+        let p99 = self.percentile(99.0).expect("nonempty");
+        let max = self.max().expect("nonempty");
+        format!(
+            "n={} mean={} p50={} p99={} max={}",
+            self.count(),
+            mean,
+            p50,
+            p99,
+            max
+        )
+    }
+}
+
+/// Derives a stream-specific seed from a base seed (SplitMix64 step), so
+/// each component gets independent but reproducible randomness.
+///
+/// # Examples
+///
+/// ```
+/// use esds_sim::derive_seed;
+/// assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+/// assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+/// ```
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn stats_exact() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.mean(), Some(SimDuration::from_micros(30)));
+        assert_eq!(h.min(), Some(SimDuration::from_micros(10)));
+        assert_eq!(h.max(), Some(SimDuration::from_micros(50)));
+        assert_eq!(h.percentile(0.0), Some(SimDuration::from_micros(10)));
+        assert_eq!(h.percentile(100.0), Some(SimDuration::from_micros(50)));
+        assert_eq!(h.percentile(50.0), Some(SimDuration::from_micros(30)));
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        let _ = h.percentile(50.0);
+        h.record(SimDuration::from_micros(1));
+        // Must re-sort after the new record.
+        assert_eq!(h.percentile(0.0), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    fn derived_seeds_distinct() {
+        let seeds: std::collections::BTreeSet<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+}

@@ -1,0 +1,352 @@
+//! The discrete-event scheduler: a priority queue of timestamped events and
+//! a run loop delivering them to a [`World`].
+//!
+//! Determinism: ties in delivery time are broken by insertion sequence
+//! number, so a simulation is a pure function of (world, scheduled events,
+//! seeds). Property tests and the conformance checker rely on this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Entries are identified by (time, sequence); the payload does not take
+// part in ordering, so events need not implement Eq/Ord themselves.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-event queue handed to [`World::handle`]; worlds schedule
+/// follow-up events through it and may request a stop.
+///
+/// # Examples
+///
+/// ```
+/// use esds_sim::{run, EventQueue, SimDuration, SimTime, World};
+///
+/// struct Echo(Vec<(SimTime, u32)>);
+/// impl World for Echo {
+///     type Event = u32;
+///     fn handle(&mut self, ev: u32, q: &mut EventQueue<u32>) {
+///         self.0.push((q.now(), ev));
+///         if ev < 3 {
+///             q.schedule_after(SimDuration::from_millis(1), ev + 1);
+///         }
+///     }
+/// }
+///
+/// let mut w = Echo(Vec::new());
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::ZERO, 1);
+/// run(&mut w, &mut q, None);
+/// assert_eq!(w.0.len(), 3);
+/// assert_eq!(w.0[2].0, SimTime::from_millis(2));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+    stop: bool,
+    delivered: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stop: false,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — events may not rewrite history.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Requests that the run loop stop after the current event.
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    /// Number of events not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivery time of the next event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A simulated system: receives each event at its scheduled time and may
+/// schedule more.
+pub trait World {
+    /// The event alphabet of the simulation.
+    type Event;
+
+    /// Handles one event at its scheduled time (`queue.now()`).
+    fn handle(&mut self, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Statistics from a run loop invocation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Events delivered in this call.
+    pub events: u64,
+    /// Virtual time of the last delivered event.
+    pub end_time: SimTime,
+    /// Why the loop stopped.
+    pub stopped: StopReason,
+}
+
+/// Why [`run`] returned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum StopReason {
+    /// The event queue drained.
+    #[default]
+    Quiescent,
+    /// The `until` horizon was reached (events beyond it remain pending).
+    Horizon,
+    /// The world called [`EventQueue::request_stop`].
+    Requested,
+    /// The event budget of [`run_steps`] was exhausted.
+    Budget,
+}
+
+/// Runs the world until the queue drains, the optional horizon passes, or a
+/// stop is requested. Events scheduled exactly at the horizon are delivered.
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: Option<SimTime>,
+) -> RunStats {
+    run_inner(world, queue, until, u64::MAX)
+}
+
+/// Like [`run`] but delivering at most `max_events` events.
+pub fn run_steps<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    max_events: u64,
+) -> RunStats {
+    run_inner(world, queue, None, max_events)
+}
+
+fn run_inner<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: Option<SimTime>,
+    max_events: u64,
+) -> RunStats {
+    let mut stats = RunStats {
+        end_time: queue.now,
+        ..RunStats::default()
+    };
+    loop {
+        if queue.stop {
+            queue.stop = false;
+            stats.stopped = StopReason::Requested;
+            return stats;
+        }
+        if stats.events >= max_events {
+            stats.stopped = StopReason::Budget;
+            return stats;
+        }
+        match queue.next_time() {
+            None => {
+                stats.stopped = StopReason::Quiescent;
+                return stats;
+            }
+            Some(t) => {
+                if let Some(h) = until {
+                    if t > h {
+                        queue.now = h;
+                        stats.stopped = StopReason::Horizon;
+                        stats.end_time = h;
+                        return stats;
+                    }
+                }
+                let (at, ev) = queue.pop().expect("peeked");
+                queue.now = at;
+                queue.delivered += 1;
+                world.handle(ev, queue);
+                stats.events += 1;
+                stats.end_time = at;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        stop_on: Option<u32>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, q: &mut EventQueue<u32>) {
+            self.seen.push((q.now(), ev));
+            if self.stop_on == Some(ev) {
+                q.request_stop();
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            stop_on: None,
+        }
+    }
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut w = recorder();
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(30), 3);
+        q.schedule_at(SimTime::from_micros(10), 1);
+        q.schedule_at(SimTime::from_micros(20), 2);
+        let stats = run(&mut w, &mut q, None);
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.stopped, StopReason::Quiescent);
+        assert_eq!(
+            w.seen.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut w = recorder();
+        let mut q = EventQueue::new();
+        for e in [5, 6, 7] {
+            q.schedule_at(SimTime::from_micros(1), e);
+        }
+        run(&mut w, &mut q, None);
+        assert_eq!(
+            w.seen.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_but_keeps_pending() {
+        let mut w = recorder();
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(1), 1);
+        q.schedule_at(SimTime::from_micros(100), 2);
+        let stats = run(&mut w, &mut q, Some(SimTime::from_micros(50)));
+        assert_eq!(stats.stopped, StopReason::Horizon);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.now(), SimTime::from_micros(50));
+        // Resume to completion.
+        let stats = run(&mut w, &mut q, None);
+        assert_eq!(stats.stopped, StopReason::Quiescent);
+        assert_eq!(w.seen.len(), 2);
+    }
+
+    #[test]
+    fn requested_stop() {
+        let mut w = recorder();
+        w.stop_on = Some(1);
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(1), 1);
+        q.schedule_at(SimTime::from_micros(2), 2);
+        let stats = run(&mut w, &mut q, None);
+        assert_eq!(stats.stopped, StopReason::Requested);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn step_budget() {
+        let mut w = recorder();
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_micros(i), i as u32);
+        }
+        let stats = run_steps(&mut w, &mut q, 4);
+        assert_eq!(stats.stopped, StopReason::Budget);
+        assert_eq!(w.seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut w = recorder();
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), 1);
+        run(&mut w, &mut q, None);
+        q.schedule_at(SimTime::from_micros(5), 2);
+    }
+}

@@ -1,0 +1,690 @@
+//! The eventually-serializable data service specification automata:
+//! `ESDS-I` (paper Fig. 2) and `ESDS-II` (Fig. 3).
+//!
+//! Both maintain a strict partial order `po` over entered operations that
+//! can only grow, and a set of *stable* operations whose prefix is fixed.
+//! `ESDS-II` differs only in the preconditions of `enter` and `stabilize`
+//! (repeatable actions; stability "gaps" allowed); the two automata are
+//! equivalent (§5.3), which `tests/` exercise by simulation.
+//!
+//! The automata here are *executable checkers*: every action validates its
+//! precondition and returns a [`PreconditionError`] naming the violated
+//! clause — these are exactly the proof obligations discharged in the
+//! paper's simulation proof, which the conformance harness replays against
+//! the real algorithm.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esds_core::{
+    valset_contains, value_along, Digraph, OpDescriptor, OpId, PreconditionError, SerialDataType,
+};
+
+/// Which specification automaton to enforce.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SpecVariant {
+    /// `ESDS-I` (Fig. 2): single `enter`/`stabilize` per operation, stable
+    /// prefixes have no gaps.
+    EsdsI,
+    /// `ESDS-II` (Fig. 3): repeatable actions, stability gaps allowed —
+    /// the simulation target for the algorithm (Theorem 8.4).
+    EsdsII,
+}
+
+/// An executable `ESDS-I` / `ESDS-II` automaton.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{ClientId, Digraph, OpDescriptor, OpId, SerialDataType};
+/// use esds_spec::{EsdsSpec, SpecVariant};
+///
+/// struct Reg;
+/// impl SerialDataType for Reg {
+///     type State = i64;
+///     type Operator = i64; // "write this value"; value returned = old state
+///     type Value = i64;
+///     fn initial_state(&self) -> i64 { 0 }
+///     fn apply(&self, s: &i64, op: &i64) -> (i64, i64) { (*op, *s) }
+/// }
+///
+/// let mut spec = EsdsSpec::new(Reg, SpecVariant::EsdsI);
+/// let x = OpDescriptor::new(OpId::new(ClientId(0), 0), 7i64);
+/// spec.request(x.clone());
+/// let mut po = Digraph::new();
+/// po.add_node(x.id);
+/// spec.enter(x.id, po).unwrap();
+/// spec.stabilize(x.id).unwrap();
+/// spec.calculate(x.id, &0, None).unwrap(); // old state was 0
+/// assert_eq!(spec.response(x.id).unwrap(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EsdsSpec<T: SerialDataType> {
+    dt: T,
+    variant: SpecVariant,
+    /// `wait`: requested but not yet responded to.
+    wait: BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    /// `rept`: computed candidate responses (a multiset).
+    rept: Vec<(OpId, T::Value)>,
+    /// `ops`: entered operations.
+    ops: BTreeMap<OpId, OpDescriptor<T::Operator>>,
+    /// `po`: the strict partial order on entered operations.
+    po: Digraph<OpId>,
+    /// `stabilized`.
+    stabilized: BTreeSet<OpId>,
+    /// Cap on linear-extension enumeration in `calculate` without witness.
+    valset_cap: usize,
+}
+
+impl<T: SerialDataType> EsdsSpec<T> {
+    /// Creates the automaton in its initial state.
+    pub fn new(dt: T, variant: SpecVariant) -> Self {
+        EsdsSpec {
+            dt,
+            variant,
+            wait: BTreeMap::new(),
+            rept: Vec::new(),
+            ops: BTreeMap::new(),
+            po: Digraph::new(),
+            stabilized: BTreeSet::new(),
+            valset_cap: 100_000,
+        }
+    }
+
+    /// The enforced variant.
+    pub fn variant(&self) -> SpecVariant {
+        self.variant
+    }
+
+    /// `wait` ids.
+    pub fn waiting(&self) -> BTreeSet<OpId> {
+        self.wait.keys().copied().collect()
+    }
+
+    /// Entered operations.
+    pub fn ops(&self) -> &BTreeMap<OpId, OpDescriptor<T::Operator>> {
+        &self.ops
+    }
+
+    /// The current partial order.
+    pub fn po(&self) -> &Digraph<OpId> {
+        &self.po
+    }
+
+    /// The stable operations.
+    pub fn stabilized(&self) -> &BTreeSet<OpId> {
+        &self.stabilized
+    }
+
+    /// Candidate responses currently in `rept`.
+    pub fn rept(&self) -> &[(OpId, T::Value)] {
+        &self.rept
+    }
+
+    // ------------------------------------------------------------------
+    // Actions
+    // ------------------------------------------------------------------
+
+    /// Input action `request(x)`: always enabled.
+    pub fn request(&mut self, desc: OpDescriptor<T::Operator>) {
+        self.wait.insert(desc.id, desc);
+    }
+
+    /// Internal action `enter(x, new-po)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause, quoted from Fig. 2/3.
+    pub fn enter(&mut self, x: OpId, new_po: Digraph<OpId>) -> Result<(), PreconditionError> {
+        let err = |clause, detail: String| Err(PreconditionError::new("enter", clause, detail));
+        let Some(desc) = self.wait.get(&x) else {
+            return err("x ∈ wait", format!("{x} not waiting"));
+        };
+        if self.variant == SpecVariant::EsdsI && self.ops.contains_key(&x) {
+            return err("x ∉ ops", format!("{x} already entered"));
+        }
+        for p in &desc.prev {
+            if !self.ops.contains_key(p) {
+                return err("x.prev ⊆ ops.id", format!("{x} needs {p}"));
+            }
+        }
+        let mut allowed: BTreeSet<OpId> = self.ops.keys().copied().collect();
+        allowed.insert(x);
+        if !new_po.span().is_subset(&allowed) {
+            return err(
+                "span(new-po) ⊆ ops.id ∪ {x.id}",
+                "new-po mentions unentered operations".to_string(),
+            );
+        }
+        if !new_po.is_strict_partial_order() {
+            return err("new-po is a strict partial order", "cycle".to_string());
+        }
+        if !new_po.contains_relation(&self.po) {
+            return err("po ⊆ new-po", "constraints were dropped".to_string());
+        }
+        for p in &desc.prev {
+            if !new_po.precedes(p, &x) {
+                return err("CSC({x}) ⊆ new-po", format!("{p} ⊀ {x}"));
+            }
+        }
+        for y in &self.stabilized {
+            if *y != x && !new_po.precedes(y, &x) {
+                return err(
+                    "{(y.id, x.id) : y ∈ stabilized} ⊆ new-po",
+                    format!("stable {y} ⊀ {x}"),
+                );
+            }
+        }
+        let desc = desc.clone();
+        self.ops.insert(x, desc);
+        self.po = new_po;
+        Ok(())
+    }
+
+    /// Internal action `add_constraints(new-po)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause.
+    pub fn add_constraints(&mut self, new_po: Digraph<OpId>) -> Result<(), PreconditionError> {
+        let err =
+            |clause, detail: String| Err(PreconditionError::new("add_constraints", clause, detail));
+        let allowed: BTreeSet<OpId> = self.ops.keys().copied().collect();
+        if !new_po.span().is_subset(&allowed) {
+            return err("span(new-po) ⊆ ops.id", "unentered operations".to_string());
+        }
+        if !new_po.is_strict_partial_order() {
+            return err("new-po is a partial order", "cycle".to_string());
+        }
+        if !new_po.contains_relation(&self.po) {
+            return err("po ⊆ new-po", "constraints were dropped".to_string());
+        }
+        self.po = new_po;
+        Ok(())
+    }
+
+    /// Internal action `stabilize(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause.
+    pub fn stabilize(&mut self, x: OpId) -> Result<(), PreconditionError> {
+        let err = |clause, detail: String| Err(PreconditionError::new("stabilize", clause, detail));
+        if !self.ops.contains_key(&x) {
+            return err("x ∈ ops", format!("{x} not entered"));
+        }
+        match self.variant {
+            SpecVariant::EsdsI => {
+                if self.stabilized.contains(&x) {
+                    return err("x ∉ stabilized", format!("{x} already stable"));
+                }
+                for y in self.ops.keys() {
+                    if !self.po.comparable(y, &x) {
+                        return err("∀y ∈ ops: y ≼ x ∨ x ≼ y", format!("{y} incomparable"));
+                    }
+                }
+                let preceding = self.po.ancestors(&x);
+                for y in self.ops.keys() {
+                    if preceding.contains(y) && !self.stabilized.contains(y) {
+                        return err("ops|≺x ⊆ stabilized", format!("{y} precedes but unstable"));
+                    }
+                }
+            }
+            SpecVariant::EsdsII => {
+                for y in self.ops.keys() {
+                    if !self.po.comparable(y, &x) {
+                        return err("∀y ∈ ops: y ≼ x ∨ x ≼ y", format!("{y} incomparable"));
+                    }
+                }
+                // Gaps allowed, but the prefix must be totally ordered.
+                let preceding: BTreeSet<OpId> = self
+                    .po
+                    .ancestors(&x)
+                    .into_iter()
+                    .filter(|y| self.ops.contains_key(y))
+                    .collect();
+                if !self.po.is_total_on(&preceding) {
+                    return err("po totally orders ops|≺x", "prefix not total".to_string());
+                }
+            }
+        }
+        self.stabilized.insert(x);
+        Ok(())
+    }
+
+    /// Internal action `calculate(x, v)`: validates `v ∈ valset(x, ops,
+    /// ≺po)`. With a `witness` (a total order over a subset of `ops`
+    /// containing `x`), the check is polynomial: the witness is extended
+    /// with the remaining operations (topologically by `po`) and must be
+    /// consistent with `po` and reproduce `v`. Without a witness, linear
+    /// extensions are enumerated up to the cap — exponential, test-sized
+    /// inputs only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause.
+    pub fn calculate(
+        &mut self,
+        x: OpId,
+        v: &T::Value,
+        witness: Option<&[OpId]>,
+    ) -> Result<(), PreconditionError> {
+        let err = |clause, detail: String| Err(PreconditionError::new("calculate", clause, detail));
+        let Some(desc) = self.ops.get(&x) else {
+            return err("x ∈ ops", format!("{x} not entered"));
+        };
+        if desc.strict && !self.stabilized.contains(&x) {
+            return err("x.strict ⇒ x ∈ stabilized", format!("{x} unstable"));
+        }
+        match witness {
+            Some(w) => {
+                let total = self.extend_witness(w)?;
+                if !esds_core::total_order_consistent(&total, &self.po) {
+                    return err(
+                        "v ∈ valset(x, ops, ≺po)",
+                        "witness order inconsistent with po".to_string(),
+                    );
+                }
+                let got = value_along(
+                    &self.dt,
+                    &self.dt.initial_state(),
+                    total.iter().map(|id| &self.ops[id]),
+                    x,
+                );
+                if got.as_ref() != Some(v) {
+                    return err(
+                        "v ∈ valset(x, ops, ≺po)",
+                        format!("witness yields {got:?}, not the claimed value"),
+                    );
+                }
+            }
+            None => {
+                if !valset_contains(
+                    &self.dt,
+                    &self.dt.initial_state(),
+                    &self.ops,
+                    &self.po,
+                    x,
+                    v,
+                    self.valset_cap,
+                ) {
+                    return err(
+                        "v ∈ valset(x, ops, ≺po)",
+                        "no linear extension yields the claimed value".to_string(),
+                    );
+                }
+            }
+        }
+        if self.wait.contains_key(&x) {
+            self.rept.push((x, v.clone()));
+        }
+        Ok(())
+    }
+
+    /// Output action `response(x, v)`: picks a computed value for `x`
+    /// (nondeterministically — here, the first), removes `x` from `wait`
+    /// and purges `rept`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause.
+    pub fn response(&mut self, x: OpId) -> Result<T::Value, PreconditionError> {
+        if !self.wait.contains_key(&x) {
+            return Err(PreconditionError::new(
+                "response",
+                "x ∈ wait",
+                format!("{x} not waiting"),
+            ));
+        }
+        let Some(pos) = self.rept.iter().position(|(id, _)| *id == x) else {
+            return Err(PreconditionError::new(
+                "response",
+                "(x, v) ∈ rept",
+                format!("no calculated value for {x}"),
+            ));
+        };
+        let (_, v) = self.rept.swap_remove(pos);
+        self.wait.remove(&x);
+        self.rept.retain(|(id, _)| *id != x);
+        Ok(v)
+    }
+
+    /// Output action `response(x, v)` with the value chosen externally:
+    /// used by the conformance harness, where the *algorithm* resolved the
+    /// nondeterminism and the spec must confirm `(x, v) ∈ rept`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated precondition clause.
+    pub fn respond_with(&mut self, x: OpId, v: &T::Value) -> Result<(), PreconditionError> {
+        if !self.wait.contains_key(&x) {
+            return Err(PreconditionError::new(
+                "response",
+                "x ∈ wait",
+                format!("{x} not waiting"),
+            ));
+        }
+        if !self.rept.iter().any(|(id, u)| *id == x && u == v) {
+            return Err(PreconditionError::new(
+                "response",
+                "(x, v) ∈ rept",
+                format!("the delivered value for {x} was never calculated"),
+            ));
+        }
+        self.wait.remove(&x);
+        self.rept.retain(|(id, _)| *id != x);
+        Ok(())
+    }
+
+    /// Extends a witness order over a subset of `ops` to a total order on
+    /// all of `ops`: remaining operations are appended in a `po`-consistent
+    /// topological order (this mirrors the proof of Theorem 5.7, where the
+    /// replica's order is a prefix of `to(x)`).
+    fn extend_witness(&self, witness: &[OpId]) -> Result<Vec<OpId>, PreconditionError> {
+        let mut seen = BTreeSet::new();
+        for id in witness {
+            if !self.ops.contains_key(id) {
+                return Err(PreconditionError::new(
+                    "calculate",
+                    "witness ⊆ ops",
+                    format!("{id} not entered"),
+                ));
+            }
+            if !seen.insert(*id) {
+                return Err(PreconditionError::new(
+                    "calculate",
+                    "witness is an order",
+                    format!("{id} repeated"),
+                ));
+            }
+        }
+        let mut total: Vec<OpId> = witness.to_vec();
+        let rest: BTreeSet<OpId> = self
+            .ops
+            .keys()
+            .filter(|id| !seen.contains(id))
+            .copied()
+            .collect();
+        let sorted_rest = self
+            .po
+            .induced_on(&rest)
+            .topo_sort()
+            .expect("po is acyclic");
+        // topo_sort only returns nodes known to the induced graph; include
+        // any ops with no po constraints at all.
+        let mut emitted: BTreeSet<OpId> = sorted_rest.iter().copied().collect();
+        total.extend(sorted_rest);
+        for id in rest {
+            if emitted.insert(id) {
+                total.push(id);
+            }
+        }
+        Ok(total)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Checks Invariants 5.2–5.5 on the current state; returns violation
+    /// descriptions (empty = hold). Invariant 5.5 (no stability gaps) is
+    /// `ESDS-I`-only.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        // 5.2: span(po) ⊆ ops.id ∧ CSC(ops) ⊆ po.
+        let ops_ids: BTreeSet<OpId> = self.ops.keys().copied().collect();
+        if !self.po.span().is_subset(&ops_ids) {
+            out.push("Invariant 5.2: span(po) ⊄ ops.id".to_string());
+        }
+        for d in self.ops.values() {
+            for p in &d.prev {
+                if !self.po.precedes(p, &d.id) {
+                    out.push(format!("Invariant 5.2: CSC pair {p} ≺ {} missing", d.id));
+                }
+            }
+        }
+        // 5.3: stable ops comparable with everything.
+        for x in &self.stabilized {
+            for y in self.ops.keys() {
+                if !self.po.comparable(x, y) {
+                    out.push(format!("Invariant 5.3: stable {x} incomparable with {y}"));
+                }
+            }
+        }
+        // 5.4: stabilized totally ordered.
+        if !self.po.is_total_on(&self.stabilized) {
+            out.push("Invariant 5.4: stabilized not totally ordered".to_string());
+        }
+        // 5.5 (ESDS-I only): no gaps before stable ops.
+        if self.variant == SpecVariant::EsdsI {
+            for x in &self.stabilized {
+                for y in self.po.ancestors(x) {
+                    if self.ops.contains_key(&y) && !self.stabilized.contains(&y) {
+                        out.push(format!("Invariant 5.5: {y} ≺ stable {x} but unstable"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks Invariant 5.6 (stable operations have a unique value) by
+    /// enumeration — exponential; intended for small spec-level tests.
+    pub fn check_unique_stable_values(&self, cap: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for x in &self.stabilized {
+            let vs = esds_core::valset(
+                &self.dt,
+                &self.dt.initial_state(),
+                &self.ops,
+                &self.po,
+                *x,
+                cap,
+            );
+            if vs.len() != 1 {
+                out.push(format!(
+                    "Invariant 5.6: stable {x} has {} candidate values",
+                    vs.len()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+
+    /// Counter: Inc returns new value, Read returns current.
+    #[derive(Clone, Copy, Debug)]
+    struct Ctr;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+        Read,
+    }
+    impl SerialDataType for Ctr {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+            match op {
+                Op::Inc => (s + 1, s + 1),
+                Op::Read => (*s, *s),
+            }
+        }
+    }
+
+    fn id(s: u64) -> OpId {
+        OpId::new(ClientId(0), s)
+    }
+
+    fn spec(variant: SpecVariant) -> EsdsSpec<Ctr> {
+        EsdsSpec::new(Ctr, variant)
+    }
+
+    #[test]
+    fn happy_path_single_op() {
+        let mut s = spec(SpecVariant::EsdsI);
+        let d = OpDescriptor::new(id(0), Op::Inc).with_strict(true);
+        s.request(d);
+        let mut po = Digraph::new();
+        po.add_node(id(0));
+        s.enter(id(0), po).unwrap();
+        s.stabilize(id(0)).unwrap();
+        s.calculate(id(0), &1, None).unwrap();
+        assert_eq!(s.response(id(0)).unwrap(), 1);
+        assert!(s.waiting().is_empty());
+        assert!(s.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn enter_rejects_missing_prev() {
+        let mut s = spec(SpecVariant::EsdsI);
+        let d = OpDescriptor::new(id(1), Op::Inc).with_prev([id(0)]);
+        s.request(d);
+        let e = s.enter(id(1), Digraph::new()).unwrap_err();
+        assert_eq!(e.clause, "x.prev ⊆ ops.id");
+    }
+
+    #[test]
+    fn enter_rejects_dropped_constraints() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Inc));
+        s.request(OpDescriptor::new(id(2), Op::Inc));
+        s.enter(id(0), Digraph::new()).unwrap();
+        let po1 = Digraph::from_pairs([(id(0), id(1))]);
+        s.enter(id(1), po1).unwrap();
+        // Entering id(2) with an empty po drops the existing constraint.
+        let mut empty = Digraph::new();
+        empty.add_node(id(2));
+        let e = s.enter(id(2), empty).unwrap_err();
+        assert_eq!(e.clause, "po ⊆ new-po");
+    }
+
+    #[test]
+    fn enter_requires_following_stabilized() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Inc));
+        s.enter(id(0), Digraph::new()).unwrap();
+        s.stabilize(id(0)).unwrap();
+        // new-po lacking stable-0 ≺ 1 is rejected.
+        let mut po = Digraph::new();
+        po.add_node(id(0));
+        po.add_node(id(1));
+        let e = s.enter(id(1), po).unwrap_err();
+        assert!(e.clause.contains("stabilized"));
+        // With the edge it succeeds.
+        let po = Digraph::from_pairs([(id(0), id(1))]);
+        s.enter(id(1), po).unwrap();
+    }
+
+    #[test]
+    fn esds1_stabilize_needs_stable_prefix_but_esds2_does_not() {
+        for variant in [SpecVariant::EsdsI, SpecVariant::EsdsII] {
+            let mut s = spec(variant);
+            s.request(OpDescriptor::new(id(0), Op::Inc));
+            s.request(OpDescriptor::new(id(1), Op::Inc));
+            s.enter(id(0), Digraph::new()).unwrap();
+            s.enter(id(1), Digraph::from_pairs([(id(0), id(1))]))
+                .unwrap();
+            // Stabilizing id(1) first: ESDS-I rejects (gap), ESDS-II allows.
+            let r = s.stabilize(id(1));
+            match variant {
+                SpecVariant::EsdsI => {
+                    assert_eq!(r.unwrap_err().clause, "ops|≺x ⊆ stabilized");
+                }
+                SpecVariant::EsdsII => {
+                    r.unwrap();
+                    // Invariant 5.5 would fail for ESDS-I; gaps are legal here.
+                    assert!(s.check_invariants().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabilize_rejects_incomparable() {
+        let mut s = spec(SpecVariant::EsdsII);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Inc));
+        s.enter(id(0), Digraph::new()).unwrap();
+        let mut po = Digraph::new();
+        po.add_node(id(0));
+        po.add_node(id(1));
+        s.enter(id(1), po).unwrap();
+        let e = s.stabilize(id(0)).unwrap_err();
+        assert!(e.clause.contains("∀y ∈ ops"));
+    }
+
+    #[test]
+    fn calculate_validates_values() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Read));
+        s.enter(id(0), Digraph::new()).unwrap();
+        let mut po = Digraph::new();
+        po.add_node(id(0));
+        po.add_node(id(1));
+        s.enter(id(1), po).unwrap();
+        // Unordered read may see 0 or 1, never 7.
+        s.calculate(id(1), &0, None).unwrap();
+        s.calculate(id(1), &1, None).unwrap();
+        let e = s.calculate(id(1), &7, None).unwrap_err();
+        assert!(e.clause.contains("valset"));
+        // Repeated calculate actions accumulate candidates; response picks
+        // one and clears.
+        let v = s.response(id(1)).unwrap();
+        assert!(v == 0 || v == 1);
+        assert!(s.rept().is_empty());
+    }
+
+    #[test]
+    fn calculate_with_witness() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Read));
+        s.enter(id(0), Digraph::new()).unwrap();
+        let mut po = Digraph::new();
+        po.add_node(id(0));
+        po.add_node(id(1));
+        s.enter(id(1), po).unwrap();
+        // Witness "read first" explains 0.
+        s.calculate(id(1), &0, Some(&[id(1)])).unwrap();
+        // Witness "inc, read" explains 1.
+        s.calculate(id(1), &1, Some(&[id(0), id(1)])).unwrap();
+        // Witness inconsistent with claimed value is rejected.
+        let e = s.calculate(id(1), &0, Some(&[id(0), id(1)])).unwrap_err();
+        assert!(e.detail.contains("witness"));
+    }
+
+    #[test]
+    fn strict_calculate_requires_stability() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc).with_strict(true));
+        s.enter(id(0), Digraph::new()).unwrap();
+        let e = s.calculate(id(0), &1, None).unwrap_err();
+        assert_eq!(e.clause, "x.strict ⇒ x ∈ stabilized");
+        s.stabilize(id(0)).unwrap();
+        s.calculate(id(0), &1, None).unwrap();
+    }
+
+    #[test]
+    fn unique_stable_values_invariant_5_6() {
+        let mut s = spec(SpecVariant::EsdsI);
+        s.request(OpDescriptor::new(id(0), Op::Inc));
+        s.request(OpDescriptor::new(id(1), Op::Read));
+        s.enter(id(0), Digraph::new()).unwrap();
+        s.enter(id(1), Digraph::from_pairs([(id(0), id(1))]))
+            .unwrap();
+        s.stabilize(id(0)).unwrap();
+        s.stabilize(id(1)).unwrap();
+        assert!(s.check_unique_stable_values(1000).is_empty());
+    }
+}

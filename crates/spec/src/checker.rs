@@ -1,0 +1,382 @@
+//! Black-box trace checkers for eventual serializability.
+//!
+//! Collect the externally-visible trace — requests and responses — plus
+//! lightweight witnesses, and validate the paper's behavioural guarantees:
+//!
+//! * **Theorem 5.7**: every response is *explained* by some total order of
+//!   the requested operations consistent with the client-specified
+//!   constraints. Deciding this black-box is intractable, so the checker
+//!   consumes the witness the algorithm can produce for free (the replica's
+//!   local label order at response time) and verifies the explanation in
+//!   polynomial time — mirroring how the theorem's proof constructs `to(x)`.
+//! * **Theorem 5.8 / Corollary 5.9**: a single *eventual total order*
+//!   explains every **strict** response (and, when all operations are
+//!   strict, every response) — the caller supplies it (the system-wide
+//!   minimum-label order) and the checker replays it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use esds_core::{
+    total_order_consistent, values_along, OpDescriptor, OpId, SerialDataType, WellFormednessError,
+};
+
+use crate::users::Users;
+
+/// One observed response.
+#[derive(Clone, Debug)]
+pub struct RecordedResponse<V> {
+    /// The operation answered.
+    pub id: OpId,
+    /// The returned value.
+    pub value: V,
+    /// The explaining witness, if the service recorded one: a total order
+    /// over a subset of the requested operations, ending at (or containing)
+    /// `id`, in application order.
+    pub witness: Option<Vec<OpId>>,
+}
+
+/// A failed trace check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceViolation {
+    /// Which guarantee broke (e.g. `"Theorem 5.8"`).
+    pub guarantee: &'static str,
+    /// What happened.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.guarantee, self.detail)
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+fn fail(guarantee: &'static str, detail: impl Into<String>) -> TraceViolation {
+    TraceViolation {
+        guarantee,
+        detail: detail.into(),
+    }
+}
+
+/// Collects a request/response trace and checks it against the ESDS
+/// behavioural theorems.
+#[derive(Clone, Debug)]
+pub struct TraceChecker<T: SerialDataType> {
+    dt: T,
+    users: Users<T::Operator>,
+    responses: Vec<RecordedResponse<T::Value>>,
+}
+
+impl<T: SerialDataType> TraceChecker<T> {
+    /// Creates an empty trace.
+    pub fn new(dt: T) -> Self {
+        TraceChecker {
+            dt,
+            users: Users::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// Records a request, enforcing client well-formedness (paper §4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WellFormednessError`] from the `Users` automaton.
+    pub fn on_request(
+        &mut self,
+        desc: OpDescriptor<T::Operator>,
+    ) -> Result<(), WellFormednessError> {
+        self.users.request(desc)
+    }
+
+    /// Records a response (with optional witness).
+    pub fn on_response(&mut self, id: OpId, value: T::Value, witness: Option<Vec<OpId>>) {
+        self.responses.push(RecordedResponse { id, value, witness });
+    }
+
+    /// All requests recorded.
+    pub fn requested(&self) -> &BTreeMap<OpId, OpDescriptor<T::Operator>> {
+        self.users.requested()
+    }
+
+    /// All responses recorded.
+    pub fn responses(&self) -> &[RecordedResponse<T::Value>] {
+        &self.responses
+    }
+
+    /// Checks **Theorem 5.8**: the supplied eventual total order `eto`
+    /// explains every strict response. Also validates that `eto` is a
+    /// permutation of the requested operations consistent with the
+    /// client-specified constraints, and — per **Corollary 5.9** — checks
+    /// *all* responses when `all_ops` is true (all-strict traces).
+    pub fn check_eventual_order(&self, eto: &[OpId], all_ops: bool) -> Vec<TraceViolation> {
+        let mut out = Vec::new();
+        let requested = self.users.requested();
+
+        // eto is a permutation of requested ids.
+        let eto_set: BTreeSet<OpId> = eto.iter().copied().collect();
+        if eto_set.len() != eto.len() {
+            out.push(fail("Theorem 5.8", "eventual order repeats an operation"));
+        }
+        let req_set: BTreeSet<OpId> = requested.keys().copied().collect();
+        if eto_set != req_set {
+            out.push(fail(
+                "Theorem 5.8",
+                format!(
+                    "eventual order covers {} ops, {} were requested",
+                    eto_set.len(),
+                    req_set.len()
+                ),
+            ));
+            return out;
+        }
+
+        // Consistent with CSC(requested).
+        let csc = self.users.csc();
+        if !total_order_consistent(eto, &csc) {
+            out.push(fail(
+                "Theorem 5.8",
+                "eventual order violates client-specified constraints",
+            ));
+        }
+
+        // Replay once; check strict (or all) responses.
+        let (_, vals) = values_along(
+            &self.dt,
+            &self.dt.initial_state(),
+            eto.iter().map(|id| &requested[id]),
+        );
+        for r in &self.responses {
+            let strict = requested.get(&r.id).map(|d| d.strict).unwrap_or(false);
+            if !(strict || all_ops) {
+                continue;
+            }
+            match vals.get(&r.id) {
+                Some(v) if *v == r.value => {}
+                Some(v) => out.push(fail(
+                    if all_ops && !strict {
+                        "Corollary 5.9"
+                    } else {
+                        "Theorem 5.8"
+                    },
+                    format!(
+                        "response for {} was {:?}, eventual order yields {:?}",
+                        r.id, r.value, v
+                    ),
+                )),
+                None => out.push(fail("Theorem 5.8", format!("{} missing from replay", r.id))),
+            }
+        }
+        out
+    }
+
+    /// Checks **Theorem 5.7** for every witnessed response: the witness,
+    /// extended with all remaining requested operations in a CSC-consistent
+    /// order, explains the returned value. Responses without witnesses are
+    /// skipped (counted in the second return value).
+    pub fn check_witnessed_responses(&self) -> (Vec<TraceViolation>, usize) {
+        let mut out = Vec::new();
+        let mut skipped = 0usize;
+        let requested = self.users.requested();
+        let csc = self.users.csc();
+        for r in &self.responses {
+            let Some(w) = &r.witness else {
+                skipped += 1;
+                continue;
+            };
+            // Witness must be CSC-consistent and name requested ops.
+            if let Some(bad) = w.iter().find(|id| !requested.contains_key(id)) {
+                out.push(fail(
+                    "Theorem 5.7",
+                    format!("witness of {} names unknown {bad}", r.id),
+                ));
+                continue;
+            }
+            let seen: BTreeSet<OpId> = w.iter().copied().collect();
+            if seen.len() != w.len() {
+                out.push(fail(
+                    "Theorem 5.7",
+                    format!("witness of {} repeats ids", r.id),
+                ));
+                continue;
+            }
+            // Extend to a total order on requested: remaining ops in a
+            // CSC-consistent topological order (proof of Theorem 5.7: the
+            // replica's order is a prefix of to(x)).
+            let rest: BTreeSet<OpId> = requested
+                .keys()
+                .filter(|id| !seen.contains(id))
+                .copied()
+                .collect();
+            let mut total: Vec<OpId> = w.clone();
+            total.extend(
+                csc.induced_on(&rest)
+                    .topo_sort()
+                    .expect("CSC acyclic for well-formed clients"),
+            );
+            if !total_order_consistent(&total, &csc) {
+                out.push(fail(
+                    "Theorem 5.7",
+                    format!("no CSC-consistent extension of the witness of {}", r.id),
+                ));
+                continue;
+            }
+            let (_, vals) = values_along(
+                &self.dt,
+                &self.dt.initial_state(),
+                total.iter().map(|id| &requested[id]),
+            );
+            match vals.get(&r.id) {
+                Some(v) if *v == r.value => {}
+                other => out.push(fail(
+                    "Theorem 5.7",
+                    format!(
+                        "witness of {} yields {:?}, response was {:?}",
+                        r.id, other, r.value
+                    ),
+                )),
+            }
+        }
+        (out, skipped)
+    }
+
+    /// Builds a CSC-consistent default eventual order for quiescent traces
+    /// lacking one (requested ids, topologically sorted by CSC). Real
+    /// checks should prefer the algorithm's minimum-label order.
+    pub fn default_eto(&self) -> Vec<OpId> {
+        self.users
+            .csc()
+            .topo_sort()
+            .expect("CSC acyclic for well-formed clients")
+    }
+}
+
+/// Checks a *convergence* property over replica final states: all orders
+/// equal and all states equal. Returns a description of the first mismatch.
+pub fn check_converged<S: PartialEq + fmt::Debug>(
+    orders: &[Vec<OpId>],
+    states: &[S],
+) -> Result<(), String> {
+    for w in orders.windows(2) {
+        if w[0] != w[1] {
+            return Err(format!("replica orders diverge: {:?} vs {:?}", w[0], w[1]));
+        }
+    }
+    for w in states.windows(2) {
+        if w[0] != w[1] {
+            return Err(format!("replica states diverge: {:?} vs {:?}", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+
+    #[derive(Clone, Copy, Debug)]
+    struct Ctr;
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Op {
+        Inc,
+        Read,
+    }
+    impl SerialDataType for Ctr {
+        type State = i64;
+        type Operator = Op;
+        type Value = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &i64, op: &Op) -> (i64, i64) {
+            match op {
+                Op::Inc => (s + 1, s + 1),
+                Op::Read => (*s, *s),
+            }
+        }
+    }
+
+    fn id(s: u64) -> OpId {
+        OpId::new(ClientId(0), s)
+    }
+
+    fn checker_with_two_ops() -> TraceChecker<Ctr> {
+        let mut c = TraceChecker::new(Ctr);
+        c.on_request(OpDescriptor::new(id(0), Op::Inc).with_strict(true))
+            .unwrap();
+        c.on_request(OpDescriptor::new(id(1), Op::Read)).unwrap();
+        c
+    }
+
+    #[test]
+    fn eventual_order_explains_strict() {
+        let mut c = checker_with_two_ops();
+        c.on_response(id(0), 1, None);
+        c.on_response(id(1), 0, None); // read before inc — fine, nonstrict
+        let v = c.check_eventual_order(&[id(0), id(1)], false);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn eventual_order_catches_wrong_strict_value() {
+        let mut c = checker_with_two_ops();
+        c.on_response(id(0), 5, None);
+        let v = c.check_eventual_order(&[id(0), id(1)], false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].guarantee, "Theorem 5.8");
+    }
+
+    #[test]
+    fn all_ops_mode_checks_nonstrict_too() {
+        let mut c = checker_with_two_ops();
+        c.on_response(id(1), 0, None);
+        // Under eto = [inc, read], the read must see 1 in all-strict mode.
+        let v = c.check_eventual_order(&[id(0), id(1)], true);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn eto_must_respect_csc() {
+        let mut c = TraceChecker::new(Ctr);
+        c.on_request(OpDescriptor::new(id(0), Op::Inc)).unwrap();
+        c.on_request(OpDescriptor::new(id(1), Op::Read).with_prev([id(0)]))
+            .unwrap();
+        let v = c.check_eventual_order(&[id(1), id(0)], false);
+        assert!(v.iter().any(|x| x.detail.contains("constraints")));
+    }
+
+    #[test]
+    fn eto_must_cover_all_requests() {
+        let c = checker_with_two_ops();
+        let v = c.check_eventual_order(&[id(0)], false);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn witnessed_responses_validated() {
+        let mut c = checker_with_two_ops();
+        // Read answered 0 with witness [read] (applied first).
+        c.on_response(id(1), 0, Some(vec![id(1)]));
+        // Read answered 1 with witness [inc, read].
+        c.on_response(id(1), 1, Some(vec![id(0), id(1)]));
+        // Unwitnessed response is skipped.
+        c.on_response(id(0), 1, None);
+        let (v, skipped) = c.check_witnessed_responses();
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(skipped, 1);
+        // A lying witness is caught.
+        c.on_response(id(1), 7, Some(vec![id(0), id(1)]));
+        let (v, _) = c.check_witnessed_responses();
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn convergence_helper() {
+        assert!(check_converged::<i64>(&[vec![id(0)], vec![id(0)]], &[3, 3]).is_ok());
+        assert!(check_converged::<i64>(&[vec![id(0)], vec![id(1)]], &[3, 3]).is_err());
+        assert!(check_converged::<i64>(&[], &[3, 4]).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # esds-spec
+//!
+//! Executable specifications and checkers for eventually-serializable data
+//! services (paper Sections 4–5):
+//!
+//! * [`Users`] — the client well-formedness automaton (Fig. 1);
+//! * [`EsdsSpec`] — the `ESDS-I` (Fig. 2) and `ESDS-II` (Fig. 3) automata
+//!   with precondition-checked actions and the §5.2 invariants;
+//! * [`ReferenceService`] — `ESDS-I` + eager serializer = a linearizable
+//!   centralized object (the semantic oracle and baseline);
+//! * [`TraceChecker`] — black-box validation of Theorems 5.7/5.8 and
+//!   Corollary 5.9 over request/response traces with witnesses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod automaton;
+mod checker;
+mod reference;
+mod users;
+
+pub use automaton::{EsdsSpec, SpecVariant};
+pub use checker::{check_converged, RecordedResponse, TraceChecker, TraceViolation};
+pub use reference::{replay_serial, ReferenceService};
+pub use users::Users;

@@ -1,0 +1,143 @@
+//! The `Users` automaton (paper Fig. 1, §4): the well-formedness
+//! assumptions on clients.
+//!
+//! Clients may issue any operation descriptor, but well-formed clients
+//! guarantee (a) operation identifiers are never reused (Invariant 4.1) and
+//! (b) `prev` sets name only previously-requested operations, which makes
+//! `TC(CSC(requested))` a strict partial order (Invariant 4.2).
+
+use std::collections::BTreeMap;
+
+use esds_core::{csc, Digraph, OpDescriptor, OpId, WellFormednessError};
+
+/// Tracks all requests and enforces the well-formedness assumptions.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{ClientId, OpDescriptor, OpId};
+/// use esds_spec::Users;
+///
+/// let mut users: Users<&str> = Users::new();
+/// let a = OpDescriptor::new(OpId::new(ClientId(0), 0), "w");
+/// users.request(a.clone()).unwrap();
+/// // Reusing the identifier violates Invariant 4.1:
+/// assert!(users.request(a).is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Users<O> {
+    requested: BTreeMap<OpId, OpDescriptor<O>>,
+}
+
+impl<O> Users<O> {
+    /// Creates an empty request history.
+    pub fn new() -> Self {
+        Users {
+            requested: BTreeMap::new(),
+        }
+    }
+
+    /// The `request(x)` output action: records the descriptor after
+    /// checking well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// [`WellFormednessError::DuplicateId`] if the identifier was used
+    /// before; [`WellFormednessError::UnknownPrev`] if `prev` names an
+    /// identifier never requested.
+    pub fn request(&mut self, desc: OpDescriptor<O>) -> Result<(), WellFormednessError> {
+        if self.requested.contains_key(&desc.id) {
+            return Err(WellFormednessError::DuplicateId(desc.id));
+        }
+        for p in &desc.prev {
+            if !self.requested.contains_key(p) {
+                return Err(WellFormednessError::UnknownPrev {
+                    op: desc.id,
+                    missing: *p,
+                });
+            }
+        }
+        self.requested.insert(desc.id, desc);
+        Ok(())
+    }
+
+    /// All requests so far.
+    pub fn requested(&self) -> &BTreeMap<OpId, OpDescriptor<O>> {
+        &self.requested
+    }
+
+    /// Whether an id has been requested.
+    pub fn contains(&self, id: OpId) -> bool {
+        self.requested.contains_key(&id)
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requested.len()
+    }
+
+    /// Whether no request was made.
+    pub fn is_empty(&self) -> bool {
+        self.requested.is_empty()
+    }
+
+    /// The client-specified constraints `CSC(requested)` as a digraph —
+    /// a strict partial order by Invariant 4.2.
+    pub fn csc(&self) -> Digraph<OpId> {
+        let mut g = Digraph::from_pairs(csc(self.requested.values()));
+        for id in self.requested.keys() {
+            g.add_node(*id);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+
+    fn id(c: u32, s: u64) -> OpId {
+        OpId::new(ClientId(c), s)
+    }
+
+    #[test]
+    fn accepts_well_formed_sequences() {
+        let mut u: Users<()> = Users::new();
+        u.request(OpDescriptor::new(id(0, 0), ())).unwrap();
+        u.request(OpDescriptor::new(id(0, 1), ()).with_prev([id(0, 0)]))
+            .unwrap();
+        u.request(OpDescriptor::new(id(1, 0), ()).with_prev([id(0, 0), id(0, 1)]))
+            .unwrap();
+        assert_eq!(u.len(), 3);
+        // Invariant 4.2: CSC is a strict partial order.
+        assert!(u.csc().is_strict_partial_order());
+    }
+
+    #[test]
+    fn rejects_duplicate_id() {
+        let mut u: Users<()> = Users::new();
+        u.request(OpDescriptor::new(id(0, 0), ())).unwrap();
+        let e = u.request(OpDescriptor::new(id(0, 0), ())).unwrap_err();
+        assert_eq!(e, WellFormednessError::DuplicateId(id(0, 0)));
+    }
+
+    #[test]
+    fn rejects_unknown_prev() {
+        let mut u: Users<()> = Users::new();
+        let e = u
+            .request(OpDescriptor::new(id(0, 0), ()).with_prev([id(9, 9)]))
+            .unwrap_err();
+        assert!(matches!(e, WellFormednessError::UnknownPrev { .. }));
+        // The failed request is not recorded.
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn csc_includes_isolated_requests() {
+        let mut u: Users<()> = Users::new();
+        u.request(OpDescriptor::new(id(0, 0), ())).unwrap();
+        assert!(u.csc().nodes().contains(&id(0, 0)));
+        assert_eq!(u.csc().edge_count(), 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! A frame-aware chaos proxy: network fault injection for real sockets.
+//!
+//! The paper's §9.3 argues the algorithm "cannot distinguish lost messages
+//! from merely delayed ones", so loss and duplication never violate
+//! safety, and liveness returns once the network behaves (Theorem 9.4).
+//! The simulator checks this in virtual time; [`ChaosProxy`] checks it on
+//! the real TCP deployment by sitting between nodes and dropping or
+//! duplicating *whole frames* with configured probabilities.
+//!
+//! Dropping at frame granularity (rather than bytes) matters: the
+//! algorithm tolerates lost messages, not corrupted streams — a byte-level
+//! proxy would desynchronize framing and simply kill connections. Frames
+//! are decoded with the same checksummed framing the nodes use and
+//! re-encoded verbatim on the way out.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::{decode_frame, encode_frame};
+
+/// Fault model for one proxied direction.
+#[derive(Copy, Clone, Debug)]
+pub struct ChaosConfig {
+    /// Probability that a forwarded frame is dropped.
+    pub drop_probability: f64,
+    /// Probability that a forwarded frame is sent twice.
+    pub dup_probability: f64,
+    /// RNG seed (per-connection streams are derived from it).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// A proxy that drops `drop_probability` of frames and duplicates
+    /// none.
+    pub fn lossy(drop_probability: f64, seed: u64) -> Self {
+        ChaosConfig {
+            drop_probability,
+            dup_probability: 0.0,
+            seed,
+        }
+    }
+}
+
+/// A TCP proxy forwarding framed traffic to `target`, dropping and
+/// duplicating frames per [`ChaosConfig`].
+///
+/// Both directions are proxied; faults are injected on the client→target
+/// direction only (requests and gossip), responses pass through — which
+/// matches the simulator's fault scripts and keeps assertions about
+/// response values deterministic.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+    forwarded: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral localhost port and starts proxying to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener cannot bind or threads cannot spawn.
+    pub fn spawn(target: SocketAddr, config: ChaosConfig) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let conn_seq = AtomicU64::new(0);
+
+        let acceptor = {
+            let stop = stop.clone();
+            let dropped = dropped.clone();
+            let forwarded = forwarded.clone();
+            std::thread::Builder::new()
+                .name("esds-chaos-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let (inbound, _) = match listener.accept() {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(outbound) =
+                            TcpStream::connect_timeout(&target, Duration::from_millis(500))
+                        else {
+                            continue; // target down: drop the connection
+                        };
+                        let seq = conn_seq.fetch_add(1, Ordering::SeqCst);
+                        let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(seq));
+                        spawn_pumps(
+                            inbound,
+                            outbound,
+                            config,
+                            rng,
+                            stop.clone(),
+                            dropped.clone(),
+                            forwarded.clone(),
+                        );
+                    }
+                })
+                .expect("spawn chaos acceptor")
+        };
+
+        ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            dropped,
+            forwarded,
+        }
+    }
+
+    /// The address to dial instead of the target.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Frames forwarded so far (duplicates counted once).
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new connections. Existing pump threads drain and
+    /// exit when either endpoint closes.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Forwards inbound→outbound with frame-level fault injection, and
+/// outbound→inbound verbatim.
+fn spawn_pumps(
+    inbound: TcpStream,
+    outbound: TcpStream,
+    config: ChaosConfig,
+    mut rng: SmallRng,
+    stop: Arc<AtomicBool>,
+    dropped: Arc<AtomicU64>,
+    forwarded: Arc<AtomicU64>,
+) {
+    let in_read = inbound.try_clone().expect("clone inbound");
+    let out_write = outbound.try_clone().expect("clone outbound");
+    {
+        let stop = stop.clone();
+        let _ = std::thread::Builder::new()
+            .name("esds-chaos-fwd".into())
+            .spawn(move || {
+                pump_frames(in_read, out_write, stop, |frame_kind, payload, out| {
+                    if rng.gen_bool(config.drop_probability.clamp(0.0, 1.0)) {
+                        dropped.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                    forwarded.fetch_add(1, Ordering::SeqCst);
+                    encode_frame(frame_kind, payload, out);
+                    if rng.gen_bool(config.dup_probability.clamp(0.0, 1.0)) {
+                        encode_frame(frame_kind, payload, out);
+                    }
+                });
+            });
+    }
+    let _ = std::thread::Builder::new()
+        .name("esds-chaos-back".into())
+        .spawn(move || {
+            // Reverse direction: verbatim frame forwarding.
+            pump_frames(outbound, inbound, stop, |kind, payload, out| {
+                encode_frame(kind, payload, out);
+            });
+        });
+}
+
+/// Reads frames from `src` (buffered, partial-read safe) and lets `f`
+/// decide what to write to `dst`. Exits on EOF, error, or shutdown.
+fn pump_frames(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    stop: Arc<AtomicBool>,
+    mut f: impl FnMut(crate::frame::FrameKind, &[u8], &mut BytesMut),
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 4096];
+    let mut out = BytesMut::new();
+    loop {
+        loop {
+            match decode_frame(&mut buf) {
+                Ok(Some(frame)) => {
+                    out.clear();
+                    f(frame.kind, &frame.payload, &mut out);
+                    if !out.is_empty() && dst.write_all(&out).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // corrupt stream: kill the connection
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match src.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{decode_message, encode_message, HelloId, WireMessage};
+    use crate::tcp::{TcpClient, TcpClusterConfig, TcpReplicaNode};
+    use esds_core::{ClientId, ReplicaId};
+    use esds_datatypes::{Counter, CounterOp, CounterValue};
+    use parking_lot::Mutex;
+
+    type Msg = WireMessage<CounterOp, CounterValue>;
+
+    /// Echo server: reads frames, counts them, never replies.
+    fn sink_server() -> (SocketAddr, Arc<AtomicU64>, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let count = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let count = count.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((stream, _)) = listener.accept() else {
+                        continue;
+                    };
+                    let count = count.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        pump_count(stream, count, stop);
+                    });
+                }
+            });
+        }
+        (addr, count, stop)
+    }
+
+    fn pump_count(mut s: TcpStream, count: Arc<AtomicU64>, stop: Arc<AtomicBool>) {
+        let _ = s.set_read_timeout(Some(Duration::from_millis(20)));
+        let mut buf = BytesMut::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            while let Ok(Some(frame)) = decode_frame(&mut buf) {
+                let _: Msg = decode_message(&frame).unwrap();
+                count.fetch_add(1, Ordering::SeqCst);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match s.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn proxy_drops_about_the_configured_fraction() {
+        let (target, received, stop) = sink_server();
+        let proxy = ChaosProxy::spawn(target, ChaosConfig::lossy(0.5, 42));
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let total = 400u64;
+        let mut out = BytesMut::new();
+        for _ in 0..total {
+            out.clear();
+            encode_message::<CounterOp, CounterValue>(
+                &Msg::Hello(HelloId::Client(ClientId(1))),
+                &mut out,
+            );
+            conn.write_all(&out).unwrap();
+        }
+        // Wait until everything was either dropped or seen by the sink.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            if proxy.dropped() + received.load(Ordering::SeqCst) >= total {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let got = received.load(Ordering::SeqCst);
+        let dropped = proxy.dropped();
+        assert_eq!(dropped + proxy.forwarded(), total);
+        assert_eq!(got, proxy.forwarded(), "sink saw every forwarded frame");
+        // 50% ± generous tolerance.
+        assert!(
+            (total / 4..=3 * total / 4).contains(&dropped),
+            "dropped {dropped} of {total}"
+        );
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(target);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn cluster_converges_through_lossy_gossip_links() {
+        // §9.3 on real sockets: all replica-to-replica gossip passes
+        // through proxies dropping 25% of frames; periodic full-snapshot
+        // gossip retransmits everything, so strict operations still
+        // complete and replicas converge.
+        let config = TcpClusterConfig::new(3);
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let real: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let proxies: Vec<ChaosProxy> = real
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ChaosProxy::spawn(*a, ChaosConfig::lossy(0.25, 7 + i as u64)))
+            .collect();
+        // Nodes dial each other through the proxies...
+        let gossip_table: crate::tcp::AddrTable =
+            Arc::new(Mutex::new(proxies.iter().map(|p| p.addr()).collect()));
+        let nodes: Vec<TcpReplicaNode<Counter>> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                TcpReplicaNode::spawn(
+                    Counter,
+                    ReplicaId(i as u32),
+                    l,
+                    gossip_table.clone(),
+                    &config,
+                )
+            })
+            .collect();
+        // ...while the client talks to its replica directly.
+        let mut client: TcpClient<Counter> = TcpClient::connect(ClientId(0), real.clone());
+
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(client.submit(CounterOp::Increment(1), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                client.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+        let audit = client.submit(CounterOp::Read, &ids, true);
+        assert_eq!(
+            client.await_response(audit, Duration::from_secs(60)),
+            Some(CounterValue::Count(5)),
+            "strict audit completes despite 25% gossip loss"
+        );
+
+        let reps: Vec<_> = nodes.into_iter().map(TcpReplicaNode::shutdown).collect();
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(states.iter().all(|s| *s == 5), "diverged: {states:?}");
+        let lost: u64 = proxies.iter().map(|p| p.dropped()).sum();
+        assert!(lost > 0, "the proxies should actually have dropped gossip");
+        for p in proxies {
+            p.shutdown();
+        }
+    }
+}

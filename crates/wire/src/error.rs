@@ -1,0 +1,110 @@
+//! Errors of the wire protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error decoding wire-format data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A varint ran longer than its maximum width.
+    VarintOverflow,
+    /// A length prefix exceeded the decoder's limit.
+    TooLarge {
+        /// What was being decoded.
+        context: &'static str,
+        /// The claimed length.
+        len: u64,
+        /// The enforced maximum.
+        max: u64,
+    },
+    /// A byte string was not valid UTF-8.
+    InvalidUtf8,
+    /// A frame had the wrong magic bytes.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 2],
+    },
+    /// A frame declared an unsupported protocol version.
+    BadVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// A frame's checksum did not match its payload.
+    BadChecksum {
+        /// Checksum declared in the frame.
+        declared: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            WireError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::TooLarge { context, len, max } => {
+                write!(f, "declared length {len} for {context} exceeds limit {max}")
+            }
+            WireError::InvalidUtf8 => write!(f, "byte string is not valid utf-8"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (expected \"ES\")")
+            }
+            WireError::BadVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            WireError::BadChecksum { declared, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: declared {declared:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_context() {
+        let e = WireError::UnexpectedEof { context: "OpId" };
+        assert!(e.to_string().contains("OpId"));
+        let e = WireError::InvalidTag {
+            context: "LabelSlot",
+            tag: 9,
+        };
+        assert!(e.to_string().contains("tag 9"));
+        let e = WireError::BadChecksum {
+            declared: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<WireError>();
+    }
+}

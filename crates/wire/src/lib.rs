@@ -1,0 +1,42 @@
+//! # esds-wire
+//!
+//! Binary wire protocol and TCP deployment for the eventually-serializable
+//! data service. Cheiner's implementation (paper §11.1) ran the algorithm
+//! over MPI on a network of Unix workstations; this crate is the analogous
+//! transport layer for this reproduction: the *same* [`esds_alg::Replica`]
+//! and [`esds_alg::FrontEnd`] state machines exercised by the simulator
+//! and the threaded runtime, carried over real sockets.
+//!
+//! * [`codec`] — checked little-endian/varint primitives over [`bytes`]
+//!   buffers and the [`Wire`] trait, with implementations for all core
+//!   vocabulary (ids, labels, descriptors, summaries) and for every
+//!   operator/value type in `esds-datatypes`;
+//! * [`frame`] — length-prefixed frames with magic, version, kind and an
+//!   FNV-1a checksum, plus blocking reader/writer adapters;
+//! * [`message`] — the request/response/gossip message set as framed
+//!   payloads, including the §10.2 *summarized* gossip encoding that
+//!   carries `D` and `S` as [`esds_core::IdSummary`] watermark vectors;
+//! * [`tcp`] — a socket deployment: [`tcp::TcpReplicaNode`] replica
+//!   servers gossiping over TCP, [`tcp::TcpClient`] front ends, and
+//!   [`tcp::TcpCluster`] for launching a localhost cluster (with
+//!   crash/restart, §9.3);
+//! * [`chaos`] — a frame-aware fault-injecting proxy ([`ChaosProxy`]) for
+//!   exercising the §9.3 loss/duplication tolerance on real sockets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chaos;
+pub mod codec;
+pub mod frame;
+pub mod message;
+pub mod tcp;
+
+mod error;
+
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use codec::Wire;
+pub use error::WireError;
+pub use frame::{read_frame, write_frame, Frame, FrameKind, MAX_FRAME_LEN};
+pub use message::{decode_message, encode_message, SummarizedGossip, WireMessage};
+pub use tcp::{AddrTable, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode};

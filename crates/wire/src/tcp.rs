@@ -1,0 +1,832 @@
+//! A TCP deployment of the data service.
+//!
+//! The paper's experimental system (§11.1) ran replicas on a network of
+//! Unix workstations with MPI carrying requests, responses, and gossip.
+//! This module is the equivalent deployment for this reproduction: each
+//! [`TcpReplicaNode`] hosts one [`esds_alg::Replica`] state machine behind
+//! a TCP listener; peers hold long-lived gossip connections to each other;
+//! clients drive an [`esds_alg::FrontEnd`] over [`TcpClient`].
+//!
+//! Design notes:
+//!
+//! * **Same state machines as the simulator.** The node threads only move
+//!   framed bytes; every protocol decision lives in `esds-alg`, so the
+//!   safety results validated under the simulator carry over.
+//! * **Connection loss is message loss.** The algorithm tolerates lost and
+//!   duplicated messages (paper §9.3), so a dropped gossip connection is
+//!   simply re-dialed at the next gossip tick, and front ends re-send
+//!   pending requests (footnote 3 of the paper).
+//! * **Corrupt frames kill the connection**, not the node — see
+//!   [`crate::frame`] on why corruption must not be absorbed.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use esds_alg::{
+    FrontEnd, GossipMsg, RecoveryStub, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
+};
+use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
+use parking_lot::Mutex;
+
+/// The cluster's address table, shared by nodes and clients. Restarting a
+/// crashed node rebinds it to a fresh ephemeral port and updates its slot,
+/// so peers and clients redial through the table rather than holding stale
+/// addresses.
+pub type AddrTable = Arc<Mutex<Vec<SocketAddr>>>;
+
+use crate::codec::Wire;
+use crate::frame::decode_frame;
+use crate::message::{decode_message, encode_message, HelloId, SummarizedGossip, WireMessage};
+
+/// Read-poll granularity: how often blocked readers check for shutdown.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Configuration of a TCP cluster.
+#[derive(Clone, Debug)]
+pub struct TcpClusterConfig {
+    /// Number of replica nodes.
+    pub n_replicas: usize,
+    /// Gossip tick interval per node.
+    pub gossip_interval: Duration,
+    /// Encode gossip with §10.2 id summaries ([`SummarizedGossip`]).
+    pub summarized_gossip: bool,
+    /// Replica state-machine configuration.
+    pub replica: ReplicaConfig,
+}
+
+impl TcpClusterConfig {
+    /// Defaults: 5 ms gossip, plain gossip encoding.
+    pub fn new(n_replicas: usize) -> Self {
+        TcpClusterConfig {
+            n_replicas,
+            gossip_interval: Duration::from_millis(5),
+            summarized_gossip: false,
+            replica: ReplicaConfig::default(),
+        }
+    }
+
+    /// Enables the summarized gossip encoding.
+    #[must_use]
+    pub fn with_summarized_gossip(mut self) -> Self {
+        self.summarized_gossip = true;
+        self
+    }
+}
+
+enum NodeInput<T: SerialDataType> {
+    Request(RequestMsg<T::Operator>),
+    Gossip(GossipMsg<T::Operator>),
+    Shutdown,
+}
+
+/// One replica server: a listener, reader threads, and the core thread
+/// driving the replica state machine and the gossip timer.
+pub struct TcpReplicaNode<T: SerialDataType> {
+    id: ReplicaId,
+    addr: SocketAddr,
+    input_tx: Sender<NodeInput<T>>,
+    core: Option<JoinHandle<Replica<T>>>,
+    acceptor: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<T> TcpReplicaNode<T>
+where
+    T: SerialDataType + Send + 'static,
+    T::Operator: Wire + Send,
+    T::Value: Wire + Send,
+    T::State: Send,
+{
+    /// Spawns a node for replica `id` of `n`, listening on `listener`,
+    /// gossiping to the peers in `addrs` (index = replica id; own entry
+    /// ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read or threads
+    /// cannot be spawned.
+    pub fn spawn(
+        dt: T,
+        id: ReplicaId,
+        listener: TcpListener,
+        addrs: AddrTable,
+        config: &TcpClusterConfig,
+    ) -> Self {
+        let rep = Replica::new(dt, id, config.n_replicas, config.replica);
+        Self::spawn_node(rep, listener, addrs, config)
+    }
+
+    /// Spawns a node recovering from a crash (paper §9.3): the replica
+    /// rebuilds its state from gossip, serving nothing until it has heard
+    /// from every peer. Only `stub` (the stable-storage label floor and
+    /// local minimum labels) survives from before the crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if threads cannot be spawned.
+    pub fn spawn_recovered(
+        dt: T,
+        stub: RecoveryStub,
+        listener: TcpListener,
+        addrs: AddrTable,
+        config: &TcpClusterConfig,
+    ) -> Self {
+        let rep = Replica::recover(dt, stub, config.n_replicas, config.replica);
+        Self::spawn_node(rep, listener, addrs, config)
+    }
+
+    fn spawn_node(
+        rep: Replica<T>,
+        listener: TcpListener,
+        addrs: AddrTable,
+        config: &TcpClusterConfig,
+    ) -> Self {
+        let id = rep.id();
+        let addr = listener.local_addr().expect("listener address");
+        let stop = Arc::new(AtomicBool::new(false));
+        let (input_tx, input_rx) = unbounded::<NodeInput<T>>();
+        let clients: Arc<Mutex<HashMap<ClientId, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let acceptor = spawn_acceptor::<T>(
+            id,
+            listener,
+            input_tx.clone(),
+            clients.clone(),
+            stop.clone(),
+        );
+        let core = spawn_core::<T>(rep, config.clone(), addrs, input_rx, clients, stop.clone());
+
+        TcpReplicaNode {
+            id,
+            addr,
+            input_tx,
+            core: Some(core),
+            acceptor: Some(acceptor),
+            stop,
+        }
+    }
+
+    /// The node's replica identity.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The address clients and peers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the node's threads and returns the final replica state
+    /// machine.
+    pub fn shutdown(mut self) -> Replica<T> {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.input_tx.send(NodeInput::Shutdown);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.core
+            .take()
+            .expect("core joined once")
+            .join()
+            .expect("replica core panicked")
+    }
+}
+
+fn spawn_acceptor<T>(
+    id: ReplicaId,
+    listener: TcpListener,
+    input_tx: Sender<NodeInput<T>>,
+    clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()>
+where
+    T: SerialDataType + Send + 'static,
+    T::Operator: Wire + Send,
+    T::Value: Wire + Send,
+{
+    std::thread::Builder::new()
+        .name(format!("esds-tcp-accept-{}", id.0))
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let (stream, _) = match listener.accept() {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let tx = input_tx.clone();
+                let clients = clients.clone();
+                let stop = stop.clone();
+                let _ = std::thread::Builder::new()
+                    .name(format!("esds-tcp-read-{}", id.0))
+                    .spawn(move || read_connection::<T>(stream, tx, clients, stop));
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+/// Reads frames from one inbound connection until EOF, error, or shutdown.
+/// The first frame must be a `Hello`; client connections are registered so
+/// the core thread can write responses back.
+fn read_connection<T>(
+    stream: TcpStream,
+    input_tx: Sender<NodeInput<T>>,
+    clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
+    stop: Arc<AtomicBool>,
+) where
+    T: SerialDataType,
+    T::Operator: Wire,
+    T::Value: Wire,
+{
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = stream.try_clone().expect("clone stream");
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 4096];
+    let mut registered: Option<ClientId> = None;
+    'conn: loop {
+        // Drain complete frames already buffered.
+        loop {
+            match decode_frame(&mut buf) {
+                Ok(Some(frame)) => {
+                    let msg: WireMessage<T::Operator, T::Value> = match decode_message(&frame) {
+                        Ok(m) => m,
+                        Err(_) => break 'conn, // malformed payload: drop connection
+                    };
+                    match msg {
+                        WireMessage::Hello(HelloId::Client(c)) => {
+                            if let Ok(w) = stream.try_clone() {
+                                clients.lock().insert(c, w);
+                                registered = Some(c);
+                            }
+                        }
+                        WireMessage::Hello(HelloId::Replica(_)) => {}
+                        WireMessage::Request(m) => {
+                            if input_tx.send(NodeInput::Request(m)).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        WireMessage::Gossip(g) => {
+                            if input_tx.send(NodeInput::Gossip(g)).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        WireMessage::GossipSummary(s) => {
+                            if input_tx.send(NodeInput::Gossip(s.into_gossip())).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        WireMessage::Response(_) => {} // nonsensical inbound; ignore
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break 'conn, // corrupt frame: drop connection
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    if let Some(c) = registered {
+        clients.lock().remove(&c);
+    }
+}
+
+fn spawn_core<T>(
+    mut rep: Replica<T>,
+    config: TcpClusterConfig,
+    addrs: AddrTable,
+    input_rx: Receiver<NodeInput<T>>,
+    clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<Replica<T>>
+where
+    T: SerialDataType + Send + 'static,
+    T::Operator: Wire + Send,
+    T::Value: Wire + Send,
+    T::State: Send,
+{
+    let id = rep.id();
+    let n = rep.n();
+    std::thread::Builder::new()
+        .name(format!("esds-tcp-core-{}", id.0))
+        .spawn(move || {
+            let mut peers: Vec<Option<(SocketAddr, TcpStream)>> = (0..n).map(|_| None).collect();
+            let mut next_gossip = Instant::now() + config.gossip_interval;
+            let mut out = BytesMut::new();
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= next_gossip {
+                    for p in 0..n {
+                        let pid = ReplicaId(p as u32);
+                        if pid == id {
+                            continue;
+                        }
+                        let g = rep.make_gossip(pid);
+                        out.clear();
+                        if config.summarized_gossip {
+                            let msg: WireMessage<T::Operator, T::Value> =
+                                WireMessage::GossipSummary(SummarizedGossip::from_gossip(&g));
+                            encode_message(&msg, &mut out);
+                        } else {
+                            let msg: WireMessage<T::Operator, T::Value> = WireMessage::Gossip(g);
+                            encode_message(&msg, &mut out);
+                        }
+                        let peer_addr = addrs.lock()[p];
+                        if !send_to_peer(&mut peers[p], peer_addr, id, &out) {
+                            // Connection failed: the §10.4 incremental
+                            // watermark must rewind so nothing is lost.
+                            rep.reset_watermark(pid);
+                        }
+                    }
+                    next_gossip = now + config.gossip_interval;
+                }
+                let wait = next_gossip.saturating_duration_since(Instant::now());
+                let input = match input_rx.recv_timeout(wait.max(Duration::from_micros(200))) {
+                    Ok(i) => i,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let effects = match input {
+                    NodeInput::Request(m) => rep.on_request(m.desc),
+                    NodeInput::Gossip(g) => rep.on_gossip(g),
+                    NodeInput::Shutdown => break,
+                };
+                for e in effects {
+                    out.clear();
+                    let msg: WireMessage<T::Operator, T::Value> = WireMessage::Response(e.msg);
+                    encode_message(&msg, &mut out);
+                    let mut guard = clients.lock();
+                    if let Some(w) = guard.get_mut(&e.client) {
+                        if w.write_all(&out).is_err() {
+                            guard.remove(&e.client);
+                        }
+                    }
+                }
+            }
+            rep
+        })
+        .expect("spawn core")
+}
+
+/// Ensures a live outbound connection to a peer and writes `frame_bytes`.
+/// Returns false if the peer was unreachable or the write failed (the
+/// connection slot is cleared for a retry at the next tick). A slot dialed
+/// to a stale address (the peer restarted elsewhere) is re-dialed.
+fn send_to_peer(
+    slot: &mut Option<(SocketAddr, TcpStream)>,
+    addr: SocketAddr,
+    me: ReplicaId,
+    frame_bytes: &[u8],
+) -> bool {
+    if slot.as_ref().is_some_and(|(dialed, _)| *dialed != addr) {
+        *slot = None;
+    }
+    if slot.is_none() {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Ok(mut s) => {
+                let _ = s.set_nodelay(true);
+                let mut hello = BytesMut::new();
+                encode_message::<NoOp, NoOp>(&WireMessage::Hello(HelloId::Replica(me)), &mut hello);
+                if s.write_all(&hello).is_err() {
+                    return false;
+                }
+                *slot = Some((addr, s));
+            }
+            Err(_) => return false,
+        }
+    }
+    if let Some((_, s)) = slot {
+        if s.write_all(frame_bytes).is_ok() {
+            return true;
+        }
+    }
+    *slot = None;
+    false
+}
+
+/// Placeholder operator/value type for frames that carry neither (Hello).
+enum NoOp {}
+impl Wire for NoOp {
+    fn encode(&self, _buf: &mut impl bytes::BufMut) {
+        match *self {}
+    }
+    fn decode(_buf: &mut impl bytes::Buf) -> Result<Self, crate::WireError> {
+        Err(crate::WireError::InvalidTag {
+            context: "NoOp",
+            tag: 0,
+        })
+    }
+}
+
+/// A client front end speaking the wire protocol over TCP.
+pub struct TcpClient<T: SerialDataType> {
+    fe: FrontEnd<T::Operator, T::Value>,
+    conns: Vec<Option<(SocketAddr, TcpStream)>>,
+    addrs: AddrTable,
+    buf: BytesMut,
+}
+
+impl<T> TcpClient<T>
+where
+    T: SerialDataType,
+    T::Operator: Wire + Clone,
+    T::Value: Wire + Clone,
+{
+    /// Connects a client with identity `client` to a cluster whose replica
+    /// addresses are `addrs` (index = replica id). The connection to the
+    /// relay replica is opened lazily on first use.
+    ///
+    /// Clients of one service must use distinct [`ClientId`]s — operation
+    /// identifiers embed them (paper §6.2, Invariant 4.1).
+    pub fn connect(client: ClientId, addrs: Vec<SocketAddr>) -> Self {
+        Self::connect_shared(client, Arc::new(Mutex::new(addrs)))
+    }
+
+    /// Like [`TcpClient::connect`], but sharing a live [`AddrTable`] (so
+    /// node restarts at new addresses are picked up on the next dial).
+    pub fn connect_shared(client: ClientId, addrs: AddrTable) -> Self {
+        let n = addrs.lock().len();
+        TcpClient {
+            fe: FrontEnd::new(
+                client,
+                n,
+                RelayPolicy::Fixed(ReplicaId(client.0 % n as u32)),
+            ),
+            conns: (0..n).map(|_| None).collect(),
+            addrs,
+            buf: BytesMut::with_capacity(4 * 1024),
+        }
+    }
+
+    /// The client identity.
+    pub fn client(&self) -> ClientId {
+        self.fe.client()
+    }
+
+    /// Submits an operation; returns its id immediately.
+    pub fn submit(&mut self, op: T::Operator, prev: &[OpId], strict: bool) -> OpId {
+        let (id, sends) = self.fe.submit(op, prev.iter().copied(), strict);
+        for (r, msg) in sends {
+            self.send_request(r, &msg);
+        }
+        id
+    }
+
+    /// The value previously returned for `id`, if completed.
+    pub fn value_of(&self, id: OpId) -> Option<&T::Value> {
+        self.fe.value_of(id)
+    }
+
+    /// Waits until `id` is answered or `timeout` elapses, re-sending
+    /// pending requests every 50 ms (paper footnote 3).
+    pub fn await_response(&mut self, id: OpId, timeout: Duration) -> Option<T::Value> {
+        let deadline = Instant::now() + timeout;
+        let mut next_retry = Instant::now() + Duration::from_millis(50);
+        loop {
+            if let Some(v) = self.fe.value_of(id) {
+                return Some(v.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if now >= next_retry {
+                for (r, msg) in self.fe.resend_pending() {
+                    self.send_request(r, &msg);
+                }
+                next_retry = now + Duration::from_millis(50);
+            }
+            self.pump_responses();
+        }
+    }
+
+    fn send_request(&mut self, r: ReplicaId, msg: &RequestMsg<T::Operator>) {
+        let mut out = BytesMut::new();
+        let wire: WireMessage<T::Operator, T::Value> = WireMessage::Request(msg.clone());
+        encode_message(&wire, &mut out);
+        let idx = r.0 as usize;
+        let addr = self.addrs.lock()[idx];
+        if self.conns[idx]
+            .as_ref()
+            .is_some_and(|(dialed, _)| *dialed != addr)
+        {
+            self.conns[idx] = None;
+        }
+        if self.conns[idx].is_none() {
+            if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(POLL));
+                let mut hello = BytesMut::new();
+                let h: WireMessage<T::Operator, T::Value> =
+                    WireMessage::Hello(HelloId::Client(self.fe.client()));
+                encode_message(&h, &mut hello);
+                if s.write_all(&hello).is_ok() {
+                    self.conns[idx] = Some((addr, s));
+                }
+            }
+        }
+        if let Some((_, s)) = &mut self.conns[idx] {
+            if s.write_all(&out).is_err() {
+                self.conns[idx] = None;
+            }
+        }
+    }
+
+    /// Reads whatever responses are available (bounded by the poll
+    /// timeout) and feeds them to the front end.
+    fn pump_responses(&mut self) {
+        let mut chunk = [0u8; 4096];
+        for slot in &mut self.conns {
+            let Some((_, s)) = slot else { continue };
+            match s.read(&mut chunk) {
+                Ok(0) => {
+                    *slot = None;
+                    continue;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => {
+                    *slot = None;
+                    continue;
+                }
+            }
+        }
+        loop {
+            match decode_frame(&mut self.buf) {
+                Ok(Some(frame)) => {
+                    if let Ok(WireMessage::<T::Operator, T::Value>::Response(m)) =
+                        decode_message(&frame)
+                    {
+                        self.fe.on_response(m);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.buf.clear();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A localhost cluster: `n` replica nodes plus a client factory.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use esds_datatypes::{Counter, CounterOp, CounterValue};
+/// use esds_wire::{TcpCluster, TcpClusterConfig};
+///
+/// let mut cluster = TcpCluster::launch(Counter, TcpClusterConfig::new(3));
+/// let mut client = cluster.client();
+/// let id = client.submit(CounterOp::Increment(1), &[], false);
+/// assert_eq!(
+///     client.await_response(id, Duration::from_secs(5)),
+///     Some(CounterValue::Ack)
+/// );
+/// cluster.shutdown();
+/// ```
+pub struct TcpCluster<T: SerialDataType> {
+    dt: T,
+    config: TcpClusterConfig,
+    nodes: Vec<Option<TcpReplicaNode<T>>>,
+    addrs: AddrTable,
+    next_client: u32,
+}
+
+impl<T> TcpCluster<T>
+where
+    T: SerialDataType + Clone + Send + 'static,
+    T::Operator: Wire + Send + Clone,
+    T::Value: Wire + Send + Clone,
+    T::State: Send,
+{
+    /// Binds `n` listeners on ephemeral localhost ports and spawns the
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero or localhost listeners cannot be
+    /// bound.
+    pub fn launch(dt: T, config: TcpClusterConfig) -> Self {
+        assert!(config.n_replicas > 0, "need at least one replica");
+        let listeners: Vec<TcpListener> = (0..config.n_replicas)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost"))
+            .collect();
+        let addrs: AddrTable = Arc::new(Mutex::new(
+            listeners
+                .iter()
+                .map(|l| l.local_addr().expect("addr"))
+                .collect(),
+        ));
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                Some(TcpReplicaNode::spawn(
+                    dt.clone(),
+                    ReplicaId(i as u32),
+                    l,
+                    addrs.clone(),
+                    &config,
+                ))
+            })
+            .collect();
+        TcpCluster {
+            dt,
+            config,
+            nodes,
+            addrs,
+            next_client: 0,
+        }
+    }
+
+    /// A snapshot of the listen addresses, indexed by replica id.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.addrs.lock().clone()
+    }
+
+    /// Creates a new client with the next unused identity. Clients share
+    /// the cluster's live address table, so they follow node restarts.
+    pub fn client(&mut self) -> TcpClient<T> {
+        let c = ClientId(self.next_client);
+        self.next_client += 1;
+        TcpClient::connect_shared(c, self.addrs.clone())
+    }
+
+    /// Crashes node `r`: its threads stop and all volatile state is lost.
+    /// Returns the stable-storage stub (paper §9.3: the label-counter
+    /// floor and locally-generated minimum labels) for a later
+    /// [`TcpCluster::restart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or already crashed.
+    pub fn crash(&mut self, r: ReplicaId) -> RecoveryStub {
+        let node = self.nodes[r.0 as usize].take().expect("node is running");
+        node.shutdown().crash()
+    }
+
+    /// Restarts a crashed node from its stable-storage stub on a fresh
+    /// ephemeral port, updating the shared address table. The node rejoins
+    /// by gossip: it serves nothing until it has heard from every peer
+    /// (paper §9.3), after which Theorem 9.4's bounds apply again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still running or the listener cannot bind.
+    pub fn restart(&mut self, stub: RecoveryStub) {
+        let idx = stub.id.0 as usize;
+        assert!(self.nodes[idx].is_none(), "node {idx} is still running");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+        self.addrs.lock()[idx] = listener.local_addr().expect("addr");
+        self.nodes[idx] = Some(TcpReplicaNode::spawn_recovered(
+            self.dt.clone(),
+            stub,
+            listener,
+            self.addrs.clone(),
+            &self.config,
+        ));
+    }
+
+    /// Stops every running node, returning the final replica state
+    /// machines (crashed slots are skipped).
+    pub fn shutdown(self) -> Vec<Replica<T>> {
+        self.nodes
+            .into_iter()
+            .flatten()
+            .map(TcpReplicaNode::shutdown)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_datatypes::{Counter, CounterOp, CounterValue};
+
+    #[test]
+    fn cluster_roundtrip_plain_gossip() {
+        exercise(TcpClusterConfig::new(3));
+    }
+
+    #[test]
+    fn cluster_roundtrip_summarized_gossip() {
+        exercise(TcpClusterConfig::new(3).with_summarized_gossip());
+    }
+
+    fn exercise(config: TcpClusterConfig) {
+        let mut cluster = TcpCluster::launch(Counter, config);
+        let mut c0 = cluster.client();
+        let mut c1 = cluster.client();
+
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(c0.submit(CounterOp::Increment(1), &[], false));
+            ids.push(c1.submit(CounterOp::Increment(10), &[], false));
+        }
+        for id in &ids {
+            let owner = if id.client() == c0.client() {
+                &mut c0
+            } else {
+                &mut c1
+            };
+            assert_eq!(
+                owner.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+
+        // Strict audit pinned after everything sees 4·1 + 4·10 = 44.
+        let audit = c0.submit(CounterOp::Read, &ids, true);
+        assert_eq!(
+            c0.await_response(audit, Duration::from_secs(30)),
+            Some(CounterValue::Count(44)),
+        );
+
+        let reps = cluster.shutdown();
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(states.iter().all(|s| *s == 44), "diverged: {states:?}");
+    }
+
+    #[test]
+    fn crash_and_recovery_over_sockets() {
+        // §9.3 on the real deployment: crash a replica (volatile state
+        // lost, stable-storage stub kept), keep working against the
+        // survivors, restart it on a fresh port, and verify a strict
+        // operation — which needs stability at *every* replica — completes
+        // and all replicas converge.
+        let mut cluster = TcpCluster::launch(Counter, TcpClusterConfig::new(3));
+        let mut c = cluster.client(); // relay = replica 0
+
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(c.submit(CounterOp::Increment(1), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+
+        let stub = cluster.crash(ReplicaId(2));
+
+        // Nonstrict work keeps flowing through the survivors.
+        for _ in 0..5 {
+            ids.push(c.submit(CounterOp::Increment(1), &[], false));
+        }
+        for id in ids.iter().skip(5) {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+
+        cluster.restart(stub);
+
+        // The strict audit requires replica 2 to be back, caught up, and
+        // voting stable; Theorem 9.4: liveness resumes after recovery.
+        let audit = c.submit(CounterOp::Read, &ids, true);
+        assert_eq!(
+            c.await_response(audit, Duration::from_secs(60)),
+            Some(CounterValue::Count(10)),
+        );
+
+        let reps = cluster.shutdown();
+        assert_eq!(reps.len(), 3);
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(states.iter().all(|s| *s == 10), "diverged: {states:?}");
+    }
+
+    #[test]
+    fn client_times_out_against_dead_address() {
+        // No listener: submit fails to connect, await returns None quickly.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client: TcpClient<Counter> = TcpClient::connect(ClientId(0), vec![addr]);
+        let id = client.submit(CounterOp::Read, &[], false);
+        assert_eq!(client.await_response(id, Duration::from_millis(300)), None);
+    }
+}

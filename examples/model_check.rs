@@ -1,0 +1,75 @@
+//! Bounded exhaustive model checking from the public API: enumerate every
+//! reachable state of the specification automata and every message
+//! schedule of a small deployment, discharging the paper's proof
+//! obligations (invariants, the §5.3 equivalence, terminal convergence)
+//! in each.
+//!
+//! Run with `cargo run --release --example model_check`.
+
+use esds::core::{ClientId, OpDescriptor, OpId, ReplicaId};
+use esds::datatypes::{Counter, CounterOp};
+use esds::mc::{explore_alg, explore_spec, AlgScope, SpecScope};
+use esds::spec::SpecVariant;
+
+fn id(c: u32, s: u64) -> OpId {
+    OpId::new(ClientId(c), s)
+}
+
+fn main() {
+    // The §10.3 conflict pair plus a dependent strict read: the hardest
+    // tiny workload — values differ across linear extensions, so every
+    // calculate/stabilize decision is visible.
+    let ops = vec![
+        OpDescriptor::new(id(0, 0), CounterOp::Increment(1)),
+        OpDescriptor::new(id(1, 0), CounterOp::Double),
+        OpDescriptor::new(id(0, 1), CounterOp::Read)
+            .with_prev([id(0, 0)])
+            .with_strict(true),
+    ];
+
+    println!("== specification automata (ESDS-I / ESDS-II, paper §5) ==");
+    for variant in [SpecVariant::EsdsI, SpecVariant::EsdsII] {
+        let mut scope = SpecScope::new(Counter, ops.clone());
+        scope.max_states = 500_000;
+        let report = explore_spec(scope, variant);
+        println!(
+            "  {variant:?}: {} states, {} transitions, truncated={}, violations={}",
+            report.states,
+            report.transitions,
+            report.truncated,
+            report.violations.len(),
+        );
+        assert!(report.passed(), "{:#?}", report.violations);
+    }
+    println!("  → Invariants 5.2–5.6 hold in every reachable state;");
+    println!("    every ESDS-I action is an ESDS-II action, and every ESDS-II");
+    println!("    stabilization is simulated by ESDS-I gap-filling (Fig. 4).\n");
+
+    println!("== algorithm, all message schedules (paper §6–§8) ==");
+    let mut scope = AlgScope::new(
+        Counter,
+        vec![
+            (
+                OpDescriptor::new(id(0, 0), CounterOp::Increment(1)),
+                ReplicaId(0),
+            ),
+            (OpDescriptor::new(id(1, 0), CounterOp::Double), ReplicaId(1)),
+        ],
+    )
+    .with_duplicates(2); // §9.3: every message may arrive twice
+    scope.gossip_budget = 2;
+    scope.max_states = 1_000_000;
+    let report = explore_alg(scope);
+    println!(
+        "  {} states, {} transitions, {} terminals ({} converged), violations={}",
+        report.states,
+        report.transitions,
+        report.terminals,
+        report.converged_terminals,
+        report.violations.len(),
+    );
+    assert!(report.passed(), "{:#?}", report.violations);
+    println!("  → Invariants 7.1–7.21 / 8.1 / 8.3 hold in every state of every");
+    println!("    schedule (including duplicated deliveries), and every fully-");
+    println!("    gossiped schedule converges to one eventual total order.");
+}

@@ -1,0 +1,42 @@
+//! # esds — Eventually-Serializable Data Services
+//!
+//! A complete Rust reproduction of *Eventually-Serializable Data Services*
+//! (Fekete, Gupta, Luchangco, Lynch, Shvartsman; PODC 1996 / TCS 220 (1999)
+//! 113–156): the formal specification (ESDS-I / ESDS-II), the lazy-replication
+//! algorithm that implements it, the Section 10 optimizations, a deterministic
+//! discrete-event simulator, a threaded runtime, and the experiment harness
+//! that regenerates the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names. See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use esds::harness::{SimSystem, SystemConfig};
+//! use esds::datatypes::Counter;
+//! use esds::core::OpDescriptor;
+//! use esds::datatypes::CounterOp;
+//!
+//! // A 3-replica service over an integer counter.
+//! let config = SystemConfig::new(3).with_seed(7);
+//! let mut sys = SimSystem::new(Counter, config);
+//! let c = sys.add_client(0);
+//!
+//! // One strict increment, then a nonstrict read.
+//! let inc = sys.submit(c, CounterOp::Increment(5), &[], true);
+//! let read = sys.submit(c, CounterOp::Read, &[inc], false);
+//! sys.run_until_quiescent();
+//!
+//! assert!(sys.response(read).is_some());
+//! ```
+
+pub use esds_alg as alg;
+pub use esds_core as core;
+pub use esds_datatypes as datatypes;
+pub use esds_harness as harness;
+pub use esds_mc as mc;
+pub use esds_runtime as runtime;
+pub use esds_sim as sim;
+pub use esds_spec as spec;
+pub use esds_wire as wire;

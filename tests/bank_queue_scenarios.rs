@@ -1,0 +1,158 @@
+//! Domain scenarios on the two strongly-conflicting data types (Bank,
+//! Queue) under the simulator, including fault injection: the mixed
+//! strict/nonstrict idioms the paper's introduction motivates, checked
+//! end to end.
+
+use esds::core::{OpId, ReplicaId};
+use esds::datatypes::{Bank, BankOp, BankValue, Queue, QueueOp, QueueValue};
+use esds::harness::{FaultEvent, SimSystem, SystemConfig};
+use esds::sim::{ChannelConfig, SimDuration, SimTime};
+
+#[test]
+fn racing_strict_withdrawals_admit_exactly_the_funds() {
+    // Five ATMs each deposit 20, then all five race a strict withdrawal of
+    // 40 from the resulting balance of 100: exactly two must be admitted,
+    // in every run, regardless of which two win.
+    let mut sys = SimSystem::new(Bank, SystemConfig::new(5).with_seed(31));
+    let atms: Vec<_> = (0..5).map(|i| sys.add_client(i)).collect();
+    let mut deposits = Vec::new();
+    for &a in &atms {
+        deposits.push(sys.submit(a, BankOp::Deposit(20), &[], false));
+    }
+    sys.run_until_quiescent();
+
+    let withdrawals: Vec<OpId> = atms
+        .iter()
+        .map(|&a| sys.submit(a, BankOp::Withdraw(40), &deposits, true))
+        .collect();
+    sys.run_until_quiescent();
+
+    let admitted = withdrawals
+        .iter()
+        .filter(|id| sys.response(**id) == Some(&BankValue::Withdrawn(true)))
+        .count();
+    assert_eq!(
+        admitted, 2,
+        "100 in funds admits exactly two 40-withdrawals"
+    );
+
+    // Closing state: 100 − 80 = 20 everywhere.
+    let states = sys.replica_states();
+    assert!(states.iter().all(|s| *s == 20), "diverged: {states:?}");
+}
+
+#[test]
+fn nonstrict_withdrawal_can_disagree_with_the_eventual_order() {
+    // The hazard that motivates strict withdrawals: with a *nonstrict*
+    // withdrawal, the responding replica may not have seen the racing
+    // withdrawal yet, so both can be told "admitted" even though the
+    // eventual order only funds one. The service is working as specified —
+    // responses to nonstrict operations may be explained by *some*
+    // serialization, not the final one.
+    let slow = ChannelConfig::fixed(SimDuration::from_millis(40));
+    let cfg = SystemConfig::new(2)
+        .with_seed(7)
+        .with_channels(ChannelConfig::fixed(SimDuration::from_millis(1)), slow);
+    let mut sys = SimSystem::new(Bank, cfg);
+    let east = sys.add_client(0); // relay: replica 0
+    let west = sys.add_client(1); // relay: replica 1
+
+    let d = sys.submit(east, BankOp::Deposit(50), &[], false);
+    sys.run_for(SimDuration::from_millis(200));
+
+    // Both withdraw the whole balance, nonstrict, against different
+    // replicas, before gossip can tell them about each other.
+    let we = sys.submit(east, BankOp::Withdraw(50), &[d], false);
+    let ww = sys.submit(west, BankOp::Withdraw(50), &[d], false);
+    sys.run_until_quiescent();
+
+    let ve = sys.response(we).cloned();
+    let vw = sys.response(ww).cloned();
+    let admitted = [&ve, &vw]
+        .iter()
+        .filter(|v| matches!(v, Some(BankValue::Withdrawn(true))))
+        .count();
+    assert_eq!(
+        admitted, 2,
+        "both nonstrict withdrawals are told 'admitted' ({ve:?}, {vw:?}) — \
+         the documented weak-consistency hazard"
+    );
+
+    // But the *replicas* still converge: the eventual order funds only the
+    // first, and every replica agrees on the final balance of 0.
+    let states = sys.replica_states();
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "diverged: {states:?}"
+    );
+    assert_eq!(
+        states[0], 0,
+        "one withdrawal applied, one rejected in-order"
+    );
+}
+
+#[test]
+fn work_queue_under_crash_preserves_fifo() {
+    // A producer enqueues a prev-chained job list while a replica crashes
+    // and recovers; strict dequeues afterwards still pop in FIFO order.
+    let cfg = SystemConfig::new(3)
+        .with_seed(99)
+        .with_retry(SimDuration::from_millis(40));
+    let mut sys = SimSystem::new(Queue, cfg);
+    let producer = sys.add_client(0);
+    let consumer = sys.add_client(1);
+
+    let mut chain: Vec<OpId> = Vec::new();
+    for job in 0..4 {
+        let prev: Vec<OpId> = chain.last().copied().into_iter().collect();
+        chain.push(sys.submit(producer, QueueOp::Enqueue(job), &prev, false));
+        if job == 1 {
+            // Crash replica 2 mid-stream; recover shortly after.
+            sys.schedule_fault(
+                sys.now() + SimDuration::from_millis(5),
+                FaultEvent::Crash(ReplicaId(2)),
+            );
+            sys.schedule_fault(
+                sys.now() + SimDuration::from_millis(120),
+                FaultEvent::Recover(ReplicaId(2)),
+            );
+        }
+        sys.run_for(SimDuration::from_millis(30));
+    }
+
+    let d1 = sys.submit(consumer, QueueOp::Dequeue, &chain, true);
+    sys.run_until_converged(SimTime::from_millis(600_000))
+        .expect("recovery restores liveness");
+    let d2 = sys.submit(consumer, QueueOp::Dequeue, &[d1], true);
+    sys.run_until_quiescent();
+
+    assert_eq!(sys.response(d1), Some(&QueueValue::Item(Some(0))));
+    assert_eq!(sys.response(d2), Some(&QueueValue::Item(Some(1))));
+
+    let states = sys.replica_states();
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "diverged: {states:?}"
+    );
+    let want: std::collections::VecDeque<i64> = vec![2, 3].into();
+    assert_eq!(states[0], want);
+}
+
+#[test]
+fn queue_len_explained_by_some_serialization() {
+    // A nonstrict Len racing enqueues: its answer must be explainable by a
+    // prefix consistent with the constraints — i.e. any value 0..=k where
+    // k enqueues were requested, but never more.
+    let mut sys = SimSystem::new(Queue, SystemConfig::new(3).with_seed(5));
+    let p = sys.add_client(0);
+    let q = sys.add_client(1);
+    for i in 0..6 {
+        sys.submit(p, QueueOp::Enqueue(i), &[], false);
+    }
+    let len = sys.submit(q, QueueOp::Len, &[], false);
+    sys.run_until_quiescent();
+    match sys.response(len) {
+        Some(QueueValue::Size(n)) => assert!(*n <= 6, "len {n} exceeds requests"),
+        other => panic!("unexpected response {other:?}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Domain scenario: the distributed directory service of paper §11.2,
+//! exercising the create-then-initialize idiom, query-dominated load, and
+//! transient-inconsistency semantics end to end.
+
+use esds::datatypes::{Directory, DirectoryOp, DirectoryValue};
+use esds::harness::{apply_open_loop, DirectorySource, OpenLoopWorkload, SimSystem, SystemConfig};
+use esds::spec::check_converged;
+use esds_core::OpId;
+use esds_sim::{SimDuration, SimTime};
+
+#[test]
+fn create_then_initialize_idiom() {
+    let mut sys = SimSystem::new(Directory, SystemConfig::new(4).with_seed(1));
+    let admin = sys.add_client(0);
+    let user = sys.add_client(2);
+
+    // §11.2: "this can be accomplished by including the identifier of the
+    // name creation operation in the prev sets of the attribute creation
+    // and initialization operations."
+    let create = sys.submit(admin, DirectoryOp::create("mail"), &[], false);
+    let set_a = sys.submit(
+        admin,
+        DirectoryOp::set_attr("mail", "addr", "10.0.0.9"),
+        &[create],
+        false,
+    );
+    let set_b = sys.submit(
+        admin,
+        DirectoryOp::set_attr("mail", "port", "25"),
+        &[create],
+        false,
+    );
+    // A user lookup constrained after both initializations.
+    let lookup = sys.submit(
+        user,
+        DirectoryOp::lookup("mail", "port"),
+        &[set_a, set_b],
+        false,
+    );
+    sys.run_until_quiescent();
+
+    assert_eq!(sys.response(create), Some(&DirectoryValue::Created(true)));
+    assert_eq!(sys.response(set_a), Some(&DirectoryValue::AttrSet(true)));
+    assert_eq!(sys.response(set_b), Some(&DirectoryValue::AttrSet(true)));
+    assert_eq!(
+        sys.response(lookup),
+        Some(&DirectoryValue::Attr(Some("25".to_string())))
+    );
+}
+
+#[test]
+fn unconstrained_lookup_may_be_stale_but_never_wrong() {
+    let mut sys = SimSystem::new(Directory, SystemConfig::new(3).with_seed(4));
+    let admin = sys.add_client(0);
+    let user = sys.add_client(1); // different replica
+
+    let create = sys.submit(admin, DirectoryOp::create("www"), &[], false);
+    let early = sys.submit(user, DirectoryOp::lookup("www", "addr"), &[], false);
+    sys.run_until_quiescent();
+
+    // Early lookup: either None (stale) or the attribute state after
+    // creation — both are legal ESDS answers; anything else is not.
+    match sys.response(early).expect("answered") {
+        DirectoryValue::Attr(None) => {}
+        other => panic!("impossible lookup result: {other:?}"),
+    }
+    assert_eq!(sys.response(create), Some(&DirectoryValue::Created(true)));
+}
+
+#[test]
+fn query_dominated_workload_converges() {
+    // The §11.2 access pattern: ~90% queries over a name universe, many
+    // clients, several replicas.
+    let cfg = SystemConfig::new(5).with_seed(8);
+    let mut sys = SimSystem::new(Directory, cfg);
+    let w = OpenLoopWorkload::new(5, 30, SimDuration::from_millis(8)).with_strict_fraction(0.05);
+    let mut src = DirectorySource::new(0.9, 12, 3);
+    let ids: Vec<OpId> = apply_open_loop(&mut sys, &w, &mut src);
+    assert_eq!(ids.len(), 150);
+    sys.run_until_converged(SimTime::from_millis(600_000))
+        .expect("converged");
+    assert_eq!(sys.completed_count(), 150);
+    check_converged(&sys.local_orders(), &sys.replica_states()).expect("converged");
+}

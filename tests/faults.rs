@@ -1,0 +1,166 @@
+//! Fault injection (paper §9.3): message loss, crash/recovery with
+//! volatile memory, isolation — safety is never violated and the system
+//! converges once failures stop.
+
+use esds::core::{OpId, ReplicaId};
+use esds::datatypes::{Counter, CounterOp, CounterValue};
+use esds::harness::{FaultEvent, SimSystem, SystemConfig};
+use esds::spec::{check_converged, TraceChecker};
+use esds_alg::ReplicaConfig;
+use esds_sim::{ChannelConfig, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn loss_and_duplication_preserve_safety_and_liveness() {
+    for seed in [3, 14] {
+        let ch = ChannelConfig::fixed(SimDuration::from_millis(5))
+            .with_loss(0.3)
+            .with_dup(0.2);
+        let cfg = SystemConfig::new(3)
+            .with_seed(seed)
+            .with_replica(ReplicaConfig::default().with_witness())
+            .with_channels(ch, ch)
+            .with_retry(SimDuration::from_millis(35));
+        let mut sys = SimSystem::new(Counter, cfg);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let clients: Vec<_> = (0..2).map(|i| sys.add_client(i)).collect();
+        for i in 0..20 {
+            let c = clients[i % 2];
+            let op = if rng.gen_bool(0.5) {
+                CounterOp::Increment(1)
+            } else {
+                CounterOp::Read
+            };
+            sys.submit(c, op, &[], rng.gen_bool(0.2));
+            sys.run_for(SimDuration::from_millis(10));
+        }
+        sys.run_until_converged(SimTime::from_millis(300_000))
+            .expect("retries restore liveness under loss");
+
+        let mut checker = TraceChecker::new(Counter);
+        for d in sys.requested_in_order() {
+            checker.on_request(d.clone()).expect("well-formed");
+        }
+        for (id, v, w) in sys.responses_log() {
+            checker.on_response(*id, v.clone(), w.clone());
+        }
+        let violations = checker.check_eventual_order(&sys.minlabel_order(), false);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let (violations, _) = checker.check_witnessed_responses();
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        check_converged(&sys.local_orders(), &sys.replica_states()).expect("converged");
+    }
+}
+
+#[test]
+fn crash_recovery_preserves_completed_operations() {
+    let cfg = SystemConfig::new(3)
+        .with_seed(42)
+        .with_replica(ReplicaConfig::basic())
+        .with_retry(SimDuration::from_millis(40));
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c0 = sys.add_client(0);
+    let c2 = sys.add_client(2);
+
+    // Ten increments complete and replicate.
+    for _ in 0..10 {
+        sys.submit(c0, CounterOp::Increment(1), &[], false);
+    }
+    sys.run_until_converged(SimTime::from_millis(60_000))
+        .expect("phase 1");
+
+    // Replica 0 crashes, losing memory; work continues at replica 2.
+    sys.schedule_fault(
+        sys.now() + SimDuration::from_millis(1),
+        FaultEvent::Crash(ReplicaId(0)),
+    );
+    let during: Vec<OpId> = (0..5)
+        .map(|_| sys.submit(c2, CounterOp::Increment(1), &[], false))
+        .collect();
+    sys.run_for(SimDuration::from_millis(400));
+    for id in &during {
+        assert!(
+            sys.response(*id).is_some(),
+            "replica 2 must keep serving while 0 is down"
+        );
+    }
+
+    // Recovery; the read (strict, so it needs all replicas) sees all 15.
+    sys.schedule_fault(
+        sys.now() + SimDuration::from_millis(1),
+        FaultEvent::Recover(ReplicaId(0)),
+    );
+    let audit = sys.submit(c2, CounterOp::Read, &[], true);
+    sys.run_until_converged(SimTime::from_millis(120_000))
+        .expect("recovered");
+    assert_eq!(sys.response(audit), Some(&CounterValue::Count(15)));
+    let states = sys.replica_states();
+    assert!(
+        states.iter().all(|s| *s == 15),
+        "states diverged: {states:?}"
+    );
+}
+
+#[test]
+fn eventual_order_unchanged_by_crash() {
+    // Operations answered before the crash keep their positions: the
+    // recovered replica restores its locally-generated minimum labels from
+    // stable storage (§9.3).
+    let cfg = SystemConfig::new(2)
+        .with_seed(17)
+        .with_replica(ReplicaConfig::basic().with_witness())
+        .with_retry(SimDuration::from_millis(40));
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c = sys.add_client(0);
+    for _ in 0..8 {
+        sys.submit(c, CounterOp::Increment(1), &[], false);
+    }
+    sys.run_until_converged(SimTime::from_millis(60_000))
+        .expect("settled");
+    let order_before = sys.minlabel_order();
+
+    sys.schedule_fault(
+        sys.now() + SimDuration::from_millis(1),
+        FaultEvent::Crash(ReplicaId(0)),
+    );
+    sys.run_for(SimDuration::from_millis(100));
+    sys.schedule_fault(
+        sys.now() + SimDuration::from_millis(1),
+        FaultEvent::Recover(ReplicaId(0)),
+    );
+    sys.run_until_converged(SimTime::from_millis(60_000))
+        .expect("recovered");
+
+    let order_after = sys.minlabel_order();
+    assert_eq!(
+        order_before,
+        order_after[..order_before.len()].to_vec(),
+        "crash must not reorder previously-agreed operations"
+    );
+}
+
+#[test]
+fn isolation_heals_without_state_loss() {
+    let cfg = SystemConfig::new(3)
+        .with_seed(23)
+        .with_retry(SimDuration::from_millis(30));
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c0 = sys.add_client(0);
+    let c1 = sys.add_client(1);
+
+    sys.schedule_fault(SimTime::from_millis(50), FaultEvent::Isolate(ReplicaId(1)));
+    sys.schedule_fault(
+        SimTime::from_millis(400),
+        FaultEvent::Reconnect(ReplicaId(1)),
+    );
+    for k in 0..12u64 {
+        let at = SimTime::from_millis(k * 30);
+        // c1's requests target the replica that goes dark.
+        let client = if k % 2 == 0 { c0 } else { c1 };
+        sys.submit_at(at, client, CounterOp::Increment(1), &[], false);
+    }
+    sys.run_until_converged(SimTime::from_millis(120_000))
+        .expect("partition heals");
+    assert_eq!(sys.replica_states(), vec![12, 12, 12]);
+}

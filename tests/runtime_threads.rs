@@ -1,0 +1,76 @@
+//! The threaded runtime drives the same replica state machines over real
+//! OS threads and crossbeam channels; smoke-level checks that the
+//! behaviour matches the simulator's.
+
+use std::time::Duration;
+
+use esds::datatypes::{Counter, CounterOp, CounterValue, KvOp, KvStore, KvValue};
+use esds::runtime::{RuntimeConfig, RuntimeService};
+
+#[test]
+fn counter_convergence_across_threads() {
+    let mut svc = RuntimeService::start(Counter, RuntimeConfig::new(3));
+    let mut c0 = svc.client();
+    let mut c1 = svc.client();
+
+    let mut pending0 = Vec::new();
+    let mut pending1 = Vec::new();
+    for _ in 0..8 {
+        pending0.push(c0.submit(CounterOp::Increment(1), &[], false));
+        pending1.push(c1.submit(CounterOp::Increment(2), &[], false));
+    }
+    for id in &pending0 {
+        assert!(c0.await_response(*id, Duration::from_secs(20)).is_some());
+    }
+    for id in &pending1 {
+        assert!(c1.await_response(*id, Duration::from_secs(20)).is_some());
+    }
+
+    // A strict audit read constrained after every increment observes all
+    // 8·1 + 8·2 = 24 (prev pins the increments before it in the eventual
+    // total order; strictness makes the response final).
+    let prev: Vec<_> = pending0.iter().chain(&pending1).copied().collect();
+    let audit = c0.submit(CounterOp::Read, &prev, true);
+    assert_eq!(
+        c0.await_response(audit, Duration::from_secs(30)),
+        Some(CounterValue::Count(24))
+    );
+
+    let reps = svc.shutdown();
+    let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+    assert!(
+        states.iter().all(|s| *s == 24),
+        "states diverged: {states:?}"
+    );
+}
+
+#[test]
+fn prev_constraints_hold_across_threads() {
+    let mut svc = RuntimeService::start(KvStore, RuntimeConfig::new(2));
+    let mut c = svc.client();
+    let put = c.submit(KvOp::put("user", "alice"), &[], false);
+    let get = c.submit(KvOp::get("user"), &[put], false);
+    assert_eq!(
+        c.await_response(get, Duration::from_secs(20)),
+        Some(KvValue::Value(Some("alice".to_string())))
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn single_replica_runtime() {
+    // n = 1: done ⇒ stable everywhere; strict ops answer immediately.
+    let mut svc = RuntimeService::start(Counter, RuntimeConfig::new(1));
+    let mut c = svc.client();
+    let inc = c.submit(CounterOp::Increment(3), &[], true);
+    assert_eq!(
+        c.await_response(inc, Duration::from_secs(10)),
+        Some(CounterValue::Ack)
+    );
+    let read = c.submit(CounterOp::Read, &[], true);
+    assert_eq!(
+        c.await_response(read, Duration::from_secs(10)),
+        Some(CounterValue::Count(3))
+    );
+    svc.shutdown();
+}

@@ -1,0 +1,130 @@
+//! Corollary 5.9: when every request is strict, the service behaves like
+//! an atomic object — one total order (the eventual total order) explains
+//! every response. Verified against the centralized `ReferenceService`
+//! oracle and the trace checker in all-ops mode.
+
+use esds::datatypes::{Counter, CounterOp, Register, RegisterOp};
+use esds::harness::{SimSystem, SystemConfig};
+use esds::spec::{replay_serial, TraceChecker};
+use esds_alg::ReplicaConfig;
+use esds_core::OpId;
+use esds_sim::{ChannelConfig, SimDuration};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn all_strict_counter_is_serializable() {
+    for seed in 0..5 {
+        let cfg = SystemConfig::new(3)
+            .with_seed(seed)
+            .with_replica(ReplicaConfig::default().with_witness());
+        let mut sys = SimSystem::new(Counter, cfg);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let clients: Vec<_> = (0..3).map(|i| sys.add_client(i)).collect();
+        for i in 0..20 {
+            let c = clients[i % clients.len()];
+            let op = if rng.gen_bool(0.5) {
+                CounterOp::Increment(rng.gen_range(1..4))
+            } else {
+                CounterOp::Read
+            };
+            sys.submit(c, op, &[], true);
+            if rng.gen_bool(0.5) {
+                sys.run_for(SimDuration::from_millis(rng.gen_range(1..20)));
+            }
+        }
+        sys.run_until_quiescent();
+
+        let mut checker = TraceChecker::new(Counter);
+        for d in sys.requested_in_order() {
+            checker.on_request(d.clone()).expect("well-formed");
+        }
+        for (id, v, w) in sys.responses_log() {
+            checker.on_response(*id, v.clone(), w.clone());
+        }
+        // Corollary 5.9: the eventual order explains EVERY response.
+        let eto = sys.minlabel_order();
+        let violations = checker.check_eventual_order(&eto, true);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
+
+#[test]
+fn all_strict_matches_reference_replay() {
+    // The responses of an all-strict run must equal a serial replay of the
+    // eventual order — i.e. what a centralized atomic object would return
+    // for that serialization.
+    let cfg = SystemConfig::new(3)
+        .with_seed(31)
+        .with_replica(ReplicaConfig::default().with_witness());
+    let mut sys = SimSystem::new(Register, cfg);
+    let a = sys.add_client(0);
+    let b = sys.add_client(1);
+    for i in 0..10i64 {
+        sys.submit(a, RegisterOp::Write(i), &[], true);
+        sys.submit(b, RegisterOp::Read, &[], true);
+    }
+    sys.run_until_quiescent();
+
+    let eto: Vec<OpId> = sys.minlabel_order();
+    let requested = sys.requested().clone();
+    let serial = replay_serial(&Register, eto.iter().map(|id| &requested[id]));
+    let serial_map: std::collections::BTreeMap<_, _> = serial.into_iter().collect();
+    for (id, v, _) in sys.responses_log() {
+        assert_eq!(
+            serial_map.get(id),
+            Some(v),
+            "strict response for {id} deviates from the atomic serialization"
+        );
+    }
+}
+
+#[test]
+fn strict_reads_never_regress() {
+    // Successive strict reads from one client observe a monotonically
+    // nondecreasing counter: the stable prefix only grows (Lemma 5.1).
+    let cfg = SystemConfig::new(3).with_seed(77);
+    let mut sys = SimSystem::new(Counter, cfg);
+    let writer = sys.add_client(0);
+    let reader = sys.add_client(1);
+    let mut reads = Vec::new();
+    for _k in 0..10 {
+        sys.submit(writer, CounterOp::Increment(1), &[], false);
+        reads.push(sys.submit(reader, CounterOp::Read, &[], true));
+        sys.run_for(SimDuration::from_millis(30));
+    }
+    sys.run_until_quiescent();
+    let mut last = i64::MIN;
+    for r in reads {
+        let esds::datatypes::CounterValue::Count(v) = sys.response(r).expect("answered") else {
+            panic!("read returned non-count");
+        };
+        assert!(*v >= last, "strict reads regressed: {v} after {last}");
+        last = *v;
+    }
+}
+
+#[test]
+fn all_strict_under_reordering_channels() {
+    let ch = ChannelConfig::uniform(SimDuration::from_millis(1), SimDuration::from_millis(10));
+    let cfg = SystemConfig::new(3)
+        .with_seed(13)
+        .with_replica(ReplicaConfig::default().with_witness())
+        .with_channels(ch, ch);
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c = sys.add_client(0);
+    for _ in 0..15 {
+        sys.submit(c, CounterOp::Increment(1), &[], true);
+    }
+    sys.run_until_quiescent();
+    let mut checker = TraceChecker::new(Counter);
+    for d in sys.requested_in_order() {
+        checker.on_request(d.clone()).expect("well-formed");
+    }
+    for (id, v, w) in sys.responses_log() {
+        checker.on_response(*id, v.clone(), w.clone());
+    }
+    assert!(checker
+        .check_eventual_order(&sys.minlabel_order(), true)
+        .is_empty());
+}

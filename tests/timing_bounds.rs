@@ -1,0 +1,160 @@
+//! Section 9 performance guarantees verified in virtual time: the
+//! Theorem 9.3 response bounds δ(x), the Lemma 9.2 done-everywhere bound,
+//! and the Theorem 9.4 recovery property.
+
+use esds::core::OpId;
+use esds::datatypes::{Counter, CounterOp};
+use esds::harness::{FaultEvent, OpClass, SimSystem, SystemConfig};
+use esds_alg::RelayPolicy;
+use esds_sim::{ChannelConfig, SimDuration, SimTime};
+
+fn max_latency_of_class(sys: &SimSystem<Counter>, class: OpClass) -> Option<SimDuration> {
+    sys.op_times()
+        .values()
+        .filter(|t| t.class == class)
+        .filter_map(|t| t.responded.map(|r| r.duration_since(t.submitted)))
+        .max()
+}
+
+/// A workload that stresses all three δ(x) classes, with round-robin relay
+/// so `prev` dependencies cross replicas.
+fn bounded_run(seed: u64) -> (SimSystem<Counter>, SimDuration, SimDuration, SimDuration) {
+    let cfg = SystemConfig::new(3)
+        .with_seed(seed)
+        .with_relay(RelayPolicy::RoundRobin);
+    let (df, dg, g) = (cfg.df(), cfg.dg(), cfg.gossip_interval);
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c = sys.add_client(0);
+    for k in 0..30u64 {
+        let at = SimTime::from_millis(45 * k);
+        let anchor = sys.submit_at(at, c, CounterOp::Increment(1), &[], false);
+        sys.submit_at(
+            at + SimDuration::from_millis(1),
+            c,
+            CounterOp::Read,
+            &[anchor],
+            false,
+        );
+        sys.submit_at(
+            at + SimDuration::from_millis(2),
+            c,
+            CounterOp::Read,
+            &[],
+            true,
+        );
+    }
+    sys.run_until_quiescent();
+    (sys, df, dg, g)
+}
+
+#[test]
+fn theorem_9_3_response_bounds() {
+    for seed in [1, 2, 3] {
+        let (sys, df, dg, g) = bounded_run(seed);
+        for class in [
+            OpClass::NonstrictEmptyPrev,
+            OpClass::NonstrictWithPrev,
+            OpClass::Strict,
+        ] {
+            let measured = max_latency_of_class(&sys, class).expect("class populated");
+            let bound = class.delta_bound(df, dg, g);
+            assert!(
+                measured <= bound,
+                "seed {seed} class {class:?}: {measured} > δ(x) = {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_9_2_done_everywhere_bound() {
+    for seed in [4, 5] {
+        let cfg = SystemConfig::new(4).with_seed(seed);
+        let bound = cfg.df() + cfg.gossip_interval + cfg.dg();
+        let mut sys = SimSystem::new(Counter, cfg);
+        let c = sys.add_client(0);
+        let mut prev: Option<OpId> = None;
+        for k in 0..25u64 {
+            let at = SimTime::from_millis(17 * k);
+            let p: Vec<OpId> = if k % 3 == 0 {
+                prev.into_iter().collect()
+            } else {
+                vec![]
+            };
+            prev = Some(sys.submit_at(at, c, CounterOp::Increment(1), &p, false));
+        }
+        sys.run_until_quiescent();
+        for (id, t) in sys.op_times() {
+            let done = t.done_everywhere.expect("converged run");
+            let took = done.duration_since(t.submitted);
+            assert!(took <= bound, "seed {seed} op {id}: {took} > {bound}");
+        }
+    }
+}
+
+#[test]
+fn locality_note_after_theorem_9_3() {
+    // "If a client only specifies dependencies on operations it requested,
+    // and its front end always communicates with the same replica, then …
+    // the delay for nonstrict operations is reduced to at most 2df."
+    let cfg = SystemConfig::new(3).with_seed(6); // attached (fixed) relay
+    let two_df = cfg.df() * 2;
+    let mut sys = SimSystem::new(Counter, cfg);
+    let c = sys.add_client(0);
+    let mut prev: Option<OpId> = None;
+    for k in 0..20u64 {
+        let at = SimTime::from_millis(3 * k); // dense: gossip cannot help
+        let p: Vec<OpId> = prev.into_iter().collect();
+        prev = Some(sys.submit_at(at, c, CounterOp::Increment(1), &p, false));
+    }
+    sys.run_until_quiescent();
+    let worst = sys
+        .op_times()
+        .values()
+        .filter_map(|t| t.responded.map(|r| r.duration_since(t.submitted)))
+        .max()
+        .expect("answered");
+    assert!(
+        worst <= two_df,
+        "locality bound violated: {worst} > {two_df}"
+    );
+}
+
+#[test]
+fn theorem_9_4_bounds_after_failure_period() {
+    // Timing assumptions violated during [0, 500ms): channels 100× slower.
+    // After restoration, responses (measured from the restoration point,
+    // plus one retry period for requests stranded in the slow channel)
+    // satisfy the same bounds.
+    let cfg = SystemConfig::new(3)
+        .with_seed(11)
+        .with_retry(SimDuration::from_millis(30));
+    let (df, dg, g) = (cfg.df(), cfg.dg(), cfg.gossip_interval);
+    let slow = ChannelConfig::fixed(SimDuration::from_millis(500));
+    let (fr, rr) = (cfg.fr_channel, cfg.rr_channel);
+    let mut sys = SimSystem::new(Counter, cfg);
+    sys.schedule_fault(
+        SimTime::ZERO,
+        FaultEvent::SetChannels { fr: slow, rr: slow },
+    );
+    let restore = SimTime::from_millis(500);
+    sys.schedule_fault(restore, FaultEvent::SetChannels { fr, rr });
+
+    let c = sys.add_client(0);
+    let mut ids = Vec::new();
+    for k in 0..10u64 {
+        let at = SimTime::from_millis(40 * k); // all submitted in the bad window
+        ids.push(sys.submit_at(at, c, CounterOp::Increment(1), &[], false));
+    }
+    sys.run_until_quiescent();
+
+    let slack = SimDuration::from_millis(30); // one retry period
+    let bound = OpClass::NonstrictEmptyPrev.delta_bound(df, dg, g) + slack;
+    for id in ids {
+        let t = &sys.op_times()[&id];
+        let responded = t.responded.expect("answered after recovery");
+        let from = t.submitted.max(restore);
+        let took = responded.saturating_duration_since(from);
+        assert!(took <= bound, "op {id}: {took} > {bound} after recovery");
+    }
+}
