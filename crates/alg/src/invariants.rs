@@ -787,11 +787,11 @@ mod tests {
             assert!(mv.is_empty(), "monotonicity: {mv:?}");
         };
 
-        let mut seq = 0u64;
-        for round in 0..4 {
-            // Each replica gets one request.
+        for round in 0..4u64 {
+            // Each replica gets one request; the round number doubles as
+            // the per-client sequence number.
             for i in 0..n {
-                let d = OpDescriptor::new(id(i, seq), Op::Inc).with_strict(round % 2 == 0);
+                let d = OpDescriptor::new(id(i, round), Op::Inc).with_strict(round % 2 == 0);
                 requested.insert(d.id, d.clone());
                 waiting.insert(d.id);
                 let fx = reps[i as usize].on_request(d);
@@ -801,7 +801,6 @@ mod tests {
                 }
                 check(&reps, &requested, &responded, &waiting, &mut mono);
             }
-            seq += 1;
             // Full gossip exchange.
             for a in 0..n as usize {
                 for b in 0..n as usize {

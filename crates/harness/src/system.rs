@@ -239,6 +239,15 @@ enum Event<O, V> {
     Fault(FaultEvent),
 }
 
+/// One entry of the response log: `(id, value, witness order)`.
+pub type ResponseRecord<V> = (OpId, V, Option<Vec<OpId>>);
+
+/// One simulator step: the virtual time it completed at plus its report.
+pub type TimedStep<T> = (
+    SimTime,
+    StepReport<<T as SerialDataType>::Operator, <T as SerialDataType>::Value>,
+);
+
 /// What happened during one simulation event (conformance-observer food).
 #[derive(Clone, Debug)]
 pub struct StepReport<O, V> {
@@ -832,7 +841,7 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
     /// empty). The report also carries any `submit` calls made since the
     /// previous step — their `request(x)` actions belong to this
     /// observation window.
-    pub fn step_one(&mut self) -> Option<(SimTime, StepReport<T::Operator, T::Value>)> {
+    pub fn step_one(&mut self) -> Option<TimedStep<T>> {
         let stats = esds_sim::run_steps(&mut self.world, &mut self.queue, 1);
         if stats.events == 0 {
             return None;
@@ -944,7 +953,7 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
 
     /// The response log: `(id, value, witness)` in computation order
     /// (includes duplicates from retries).
-    pub fn responses_log(&self) -> &[(OpId, T::Value, Option<Vec<OpId>>)] {
+    pub fn responses_log(&self) -> &[ResponseRecord<T::Value>] {
         &self.world.responses_log
     }
 

@@ -96,6 +96,9 @@ impl<T: SerialDataType> PartialOrd for Timed<T> {
     }
 }
 
+/// The shared registry of per-client response channels.
+type ClientRegistry<V> = std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<V>>>>>;
+
 /// A handle for one client of the running service.
 pub struct RuntimeClient<T: SerialDataType> {
     fe: FrontEnd<T::Operator, T::Value>,
@@ -183,7 +186,7 @@ where
 /// ```
 pub struct RuntimeService<T: SerialDataType> {
     net_tx: Sender<NetInput<T>>,
-    client_reg: std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<T::Value>>>>>,
+    client_reg: ClientRegistry<T::Value>,
     n_replicas: usize,
     next_client: u32,
     replica_threads: Vec<JoinHandle<Replica<T>>>,
@@ -207,8 +210,7 @@ where
         assert!(config.n_replicas > 0, "need at least one replica");
         let n = config.n_replicas;
         let (net_tx, net_rx) = unbounded::<NetInput<T>>();
-        let client_reg: std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<T::Value>>>>> =
-            std::sync::Arc::new(Mutex::new(Vec::new()));
+        let client_reg: ClientRegistry<T::Value> = std::sync::Arc::new(Mutex::new(Vec::new()));
 
         // Replica threads.
         let mut replica_inputs = Vec::with_capacity(n);

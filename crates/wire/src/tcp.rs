@@ -336,7 +336,7 @@ where
                 }
                 let now = Instant::now();
                 if now >= next_gossip {
-                    for p in 0..n {
+                    for (p, peer) in peers.iter_mut().enumerate() {
                         let pid = ReplicaId(p as u32);
                         if pid == id {
                             continue;
@@ -352,7 +352,7 @@ where
                             encode_message(&msg, &mut out);
                         }
                         let peer_addr = addrs.lock()[p];
-                        if !send_to_peer(&mut peers[p], peer_addr, id, &out) {
+                        if !send_to_peer(peer, peer_addr, id, &out) {
                             // Connection failed: the §10.4 incremental
                             // watermark must rewind so nothing is lost.
                             rep.reset_watermark(pid);

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark
+//! wire-safe types — the actual byte encoding lives in `esds-wire`'s
+//! hand-rolled codec — so this shim provides the two marker traits and
+//! re-exports no-op derive macros. Replace with the real crate by
+//! editing `[workspace.dependencies]` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (see crate docs).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (see crate docs).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` shim.
+//!
+//! The shim's traits carry blanket impls, so the derives have nothing to
+//! generate — they exist so `#[derive(Serialize, Deserialize)]` on the
+//! workspace's wire types keeps compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
