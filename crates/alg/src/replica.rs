@@ -6,12 +6,52 @@
 //! threaded runtime (`esds-runtime`) drive this same type, so properties
 //! verified under simulation transfer to the deployment.
 //!
-//! State (paper §6.3):
-//! * `pending_r` — requests awaiting a response;
-//! * `rcvd_r`    — every operation received (directly or via gossip);
-//! * `done_r[i]` — operations `r` knows are done at replica `i`;
-//! * `stable_r[i]` — operations `r` knows are stable at `i`;
-//! * `label_r`   — the minimum label seen per operation (`∞` if none).
+//! ## The replica state, in the paper's vocabulary (§6.3)
+//!
+//! Every replica `r` maintains five components; understanding their roles
+//! is most of understanding the algorithm:
+//!
+//! * **`pending_r`** — identifiers of requests received directly from
+//!   front ends and not yet answered. Only entries of `pending_r` ever
+//!   generate responses; operations learned through gossip are applied
+//!   but answered by whichever replica received them firsthand.
+//!
+//! * **`rcvd_r`** — every operation descriptor `r` has *received*, whether
+//!   directly or via gossip. This is the replica's knowledge of the
+//!   operation set `O`; it only grows (until §10.2 compaction purges the
+//!   descriptors — never the knowledge — of globally-finished
+//!   operations).
+//!
+//! * **`done_r[i]`** (one set per replica `i`) — the operations `r`
+//!   *knows* have been **done** at `i`, i.e. `i` has performed `do_it`
+//!   for them: assigned a label and scheduled them into its local order.
+//!   `done_r[r]` is ground truth about `r` itself; for `i ≠ r` the set is
+//!   (possibly stale) knowledge learned from gossip, always a subset of
+//!   the truth (Invariant 7.x monotonicity). An operation may only be
+//!   done after every operation in its `prev` set is done (the
+//!   client-specified constraints, §2.3).
+//!
+//! * **`stable_r[i]`** — the operations `r` knows are **stable** at `i`.
+//!   An operation is stable at `r` when `r` knows it is done at *every*
+//!   replica: `stable_r[r] = ∩ᵢ done_r[i]` (Invariant 7.2). Once stable
+//!   at `r`, its label can never shrink again — no replica will relabel
+//!   it — so the prefix of the local order up to the largest stable label
+//!   is frozen (*solid*, §10.1), which is what memoization exploits. The
+//!   intersection `∩ᵢ stable_r[i]` ("stable everywhere") is the gate for
+//!   **strict** responses: a strict operation answers only when `r` knows
+//!   every replica has it stable, making the response consistent with the
+//!   eventual total order (Theorem 5.8).
+//!
+//! * **`label_r`** — the minimum label seen per operation (`∞` if
+//!   unlabeled). Labels come from per-replica well-ordered label sets
+//!   `𝓛ᵣ` (§6.3); gossip merges them by minimum, so all replicas converge
+//!   to the system-wide minimum label per operation, and sorting by that
+//!   minimum label *is* the eventual total order.
+//!
+//! Gossip (`send_{rr'}` / `receive_{r'r}`, Fig. 7) exchanges the four
+//! knowledge components `(R, D, L, S)` = (`rcvd`, `done[r]`, `label`,
+//! `stable[r]`); receiving merges by union/minimum, which is commutative
+//! and idempotent — duplicated or reordered gossip is harmless.
 //!
 //! The paper's fine-grained actions (`do_it`, `send_response`) are run to
 //! fixpoint inside each event handler; this batching is a refinement that

@@ -1,0 +1,7 @@
+//! F3 — aggregate throughput vs shard count: the sharded service layer
+//! scaling the kv workload across S ∈ {1, 2, 4, 8} independent replica
+//! groups (ROADMAP scale-out; the §10 commutativity insight at the
+//! partition level).
+fn main() {
+    esds_bench::experiments::fig_shard_scalability(16, 150);
+}

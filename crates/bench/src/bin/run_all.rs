@@ -6,6 +6,7 @@ fn main() {
     println!("# ESDS experiment suite (paper: Fekete et al., PODC'96/TCS'99)");
     ex::fig_scalability(10, 150);
     ex::fig_strict_latency(5, 30);
+    ex::fig_shard_scalability(16, 150);
     ex::tab_response_bounds(1);
     ex::tab_stabilization(1);
     ex::tab_fault_recovery(5);

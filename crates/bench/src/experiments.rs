@@ -3,11 +3,11 @@
 //! the raw series for tests.
 
 use esds_alg::{GossipStrategy, RelayPolicy, ReplicaConfig, SafeSubmitter};
-use esds_core::SerialDataType;
-use esds_datatypes::{Counter, GSet};
+use esds_core::{ClientId, SerialDataType};
+use esds_datatypes::{Counter, GSet, KvStore};
 use esds_harness::{
-    apply_open_loop, CounterSource, FaultEvent, GSetSource, OpClass, OpenLoopWorkload,
-    ProcessingModel, SimSystem,
+    apply_open_loop, CounterSource, FaultEvent, GSetSource, KvSource, OpClass, OpenLoopWorkload,
+    OperatorSource, ProcessingModel, ShardedSimSystem, ShardedSystemConfig, SimSystem,
 };
 use esds_sim::{ChannelConfig, SimDuration, SimTime};
 use esds_spec::check_converged;
@@ -85,6 +85,86 @@ fn latest_response<T: SerialDataType + Clone>(sys: &SimSystem<T>) -> SimTime {
         .filter_map(|t| t.responded)
         .max()
         .unwrap_or(SimTime::ZERO)
+}
+
+/// F3 — shard scalability: aggregate kv throughput vs shard count `S ∈
+/// {1, 2, 4, 8}` under a fixed offered load well above one replica
+/// group's capacity. Each shard is a 3-replica group with a 1 ms
+/// request-service time (capacity ≈ 1000 ops/s per replica); `clients`
+/// clients each offer ~1000 ops/s over 256 keys, hash-partitioned by the
+/// `ShardRouter`. Returns `(n_shards, aggregate ops/s)` pairs.
+pub fn fig_shard_scalability(clients: usize, ops_per_client: usize) -> Vec<(usize, f64)> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for s in [1usize, 2, 4, 8] {
+        let tp = shard_run(s, clients, ops_per_client);
+        out.push((s, tp));
+    }
+    let base = out[0].1;
+    let offered_per_client = 1_000.0 / SHARD_SUBMIT_PERIOD_MS as f64;
+    for (s, tp) in &out {
+        rows.push(vec![
+            s.to_string(),
+            (s * 3).to_string(),
+            format!("{:.0}", clients as f64 * offered_per_client),
+            format!("{tp:.0}"),
+            format!("{:.2}×", tp / base.max(f64::EPSILON)),
+        ]);
+    }
+    print_table(
+        "F3 — aggregate throughput vs shard count (kv workload, saturated single group)",
+        &[
+            "shards",
+            "replicas total",
+            "offered ops/s",
+            "aggregate ops/s",
+            "speedup vs S=1",
+        ],
+        &rows,
+    );
+    out
+}
+
+/// Per-client submit period of the F3 workload (one op per period ⇒
+/// `1000 / period_ms` offered ops/s per client — the table's offered-load
+/// column derives from this same constant).
+const SHARD_SUBMIT_PERIOD_MS: u64 = 1;
+
+fn shard_run(n_shards: usize, clients: usize, ops_per_client: usize) -> f64 {
+    let shard_cfg = standard_config(3, 4242 + n_shards as u64)
+        .with_processing(ProcessingModel {
+            request_cost: SimDuration::from_millis(1),
+            gossip_cost: SimDuration::from_micros(100),
+        })
+        .with_gossip_interval(SimDuration::from_millis(50));
+    let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(n_shards, shard_cfg));
+    let cs: Vec<ClientId> = (0..clients).map(|i| sys.add_client(i as u32)).collect();
+    let mut src = KvSource::new(0.5, 256, 7);
+    // Open loop: every client submits once per period, an offered load
+    // far above a single 3-replica group's capacity.
+    let total = clients * ops_per_client;
+    for seq in 0..ops_per_client {
+        for c in &cs {
+            let op = src.next_op(*c, seq as u64);
+            sys.submit(*c, op, &[], false);
+        }
+        sys.run_for(SimDuration::from_millis(SHARD_SUBMIT_PERIOD_MS));
+    }
+    // Drain: run until every submission is answered.
+    for _ in 0..100_000 {
+        if sys.completed_count() >= total {
+            break;
+        }
+        sys.run_for(SimDuration::from_millis(100));
+    }
+    assert!(
+        sys.completed_count() >= total,
+        "shard run did not finish: {}/{total}",
+        sys.completed_count()
+    );
+    let end = sys.latest_response();
+    assert!(end > SimTime::ZERO);
+    total as f64 / end.as_secs_f64()
 }
 
 /// F2 — §11.1 strict-ratio: latency vs % strict at fixed load. Returns
@@ -698,6 +778,18 @@ mod tests {
         let first = series.first().expect("series").1;
         let last = series.last().expect("series").1;
         assert!(last > first * 2.0, "strict latency must rise: {series:?}");
+    }
+
+    #[test]
+    fn sharding_scales_throughput() {
+        // Miniature of F3: a saturated single group vs four groups. The
+        // full-size binary sweeps S ∈ {1, 2, 4, 8}.
+        let tp1 = shard_run(1, 6, 40);
+        let tp4 = shard_run(4, 6, 40);
+        assert!(
+            tp4 > tp1 * 1.5,
+            "4 shards must beat 1 by ≥1.5×: {tp4:.0} vs {tp1:.0}"
+        );
     }
 
     #[test]

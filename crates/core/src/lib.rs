@@ -14,7 +14,10 @@
 //!   operation sets under orders (§2.3);
 //! * [`Label`], [`LabelSlot`], [`LabelMap`], [`LabelGenerator`] — the
 //!   replicas' well-ordered label sets (§6.3);
-//! * [`IdSummary`] — watermark + exception summaries of id sets (§10.2).
+//! * [`IdSummary`] — watermark + exception summaries of id sets (§10.2);
+//! * [`KeyedDataType`], [`ShardRouter`], [`ShardedOpId`] — keyspace
+//!   partitioning for sharded multi-group deployments (the paper's §10
+//!   commutativity insight applied at the partition level).
 //!
 //! Everything here is purely functional/in-memory; the executable
 //! specification lives in `esds-spec`, the distributed algorithm in
@@ -30,6 +33,7 @@ mod ids;
 mod label;
 mod op;
 mod order;
+mod shard;
 mod summary;
 
 pub use data_type::{commutes_at, oblivious_at, CommutativitySpec, SerialDataType};
@@ -39,4 +43,5 @@ pub use ids::{ClientId, OpId, ReplicaId};
 pub use label::{Label, LabelGenerator, LabelMap, LabelSlot};
 pub use op::{csc, OpDescriptor};
 pub use order::{total_order_consistent, Digraph};
+pub use shard::{fnv1a_64, shard_frontier, KeyedDataType, ShardRouter, ShardedOpId, HOME_SHARD};
 pub use summary::IdSummary;

@@ -1,0 +1,333 @@
+//! Keyspace partitioning for sharded deployments.
+//!
+//! The paper treats one serial data type replicated by one group of
+//! replicas. The Section 10 commutativity insight — independent operations
+//! can be applied in any order — holds *trivially* at a coarser grain:
+//! operations on **disjoint objects** commute and are mutually oblivious,
+//! whatever the data type's own algebra says. A service can therefore
+//! hash-partition a keyed data type across `S` independent ESDS replica
+//! groups ("shards"), each running the unmodified Section 6 algorithm on
+//! its slice of the keyspace, and aggregate throughput scales with `S`
+//! instead of plateauing at one group's gossip capacity.
+//!
+//! This module holds the vocabulary that the sharded layers
+//! (`esds-harness`'s `ShardedSimSystem`, `esds-runtime`'s
+//! `ShardedService`) share:
+//!
+//! * [`KeyedDataType`] — a serial data type whose operators expose the
+//!   partition key they touch;
+//! * [`ShardRouter`] — the stable hash partitioner mapping keys to shards;
+//! * [`ShardedOpId`] — operation identifiers in the *global* namespace of
+//!   a sharded service (each shard keeps its own per-group [`OpId`](crate::OpId)s).
+//!
+//! Cross-shard `prev` constraints are enforced by the sharded layers, not
+//! here: a dependent operation is held back until every foreign-shard
+//! predecessor has been *responded to* by its own group, after which the
+//! constraint is vacuous for the state (disjoint objects commute) and the
+//! client-observed order is preserved.
+
+use std::fmt;
+
+use crate::ids::ClientId;
+use crate::SerialDataType;
+
+/// A serial data type whose operators name the partition of the object
+/// state they touch, making the type shardable across independent replica
+/// groups.
+///
+/// `shard_key` must be **stable** (the same operator always yields the
+/// same key) and **complete**: two operators with different keys must be
+/// independent in the [`crate::CommutativitySpec`] sense — they commute
+/// and neither observes the other. Keys partition the object state; an
+/// operator that touches the whole object (e.g. a list-all-keys query)
+/// returns `None` and is routed to the fixed *home shard*, where it
+/// observes only that shard's slice (scatter-gather reads are future
+/// work; see `ROADMAP.md`).
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{KeyedDataType, SerialDataType};
+///
+/// /// Two named counters, partitionable by name.
+/// #[derive(Clone)]
+/// struct Pair;
+/// #[derive(Clone, PartialEq, Debug)]
+/// enum PairOp { IncA, IncB }
+/// impl SerialDataType for Pair {
+///     type State = (i64, i64);
+///     type Operator = PairOp;
+///     type Value = i64;
+///     fn initial_state(&self) -> (i64, i64) { (0, 0) }
+///     fn apply(&self, s: &(i64, i64), op: &PairOp) -> ((i64, i64), i64) {
+///         match op {
+///             PairOp::IncA => ((s.0 + 1, s.1), s.0 + 1),
+///             PairOp::IncB => ((s.0, s.1 + 1), s.1 + 1),
+///         }
+///     }
+/// }
+/// impl KeyedDataType for Pair {
+///     fn shard_key<'a>(&self, op: &'a PairOp) -> Option<&'a str> {
+///         Some(match op { PairOp::IncA => "a", PairOp::IncB => "b" })
+///     }
+/// }
+/// ```
+pub trait KeyedDataType: SerialDataType {
+    /// The partition key `op` touches, or `None` for a whole-object
+    /// operator that cannot be attributed to a single partition.
+    fn shard_key<'a>(&self, op: &'a Self::Operator) -> Option<&'a str>;
+}
+
+/// 64-bit FNV-1a over a byte string — the stable, dependency-free hash
+/// the router uses. Stability matters: every front end and every harness
+/// must agree on the key→shard map without coordination, across processes
+/// and across runs.
+pub const fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut i = 0;
+    while i < bytes.len() {
+        h ^= bytes[i] as u64;
+        h = h.wrapping_mul(PRIME);
+        i += 1;
+    }
+    h
+}
+
+/// The shard every keyless (whole-object) operator is routed to.
+pub const HOME_SHARD: u32 = 0;
+
+/// Hash-partitions the keyspace of a [`KeyedDataType`] across `S`
+/// independent replica groups.
+///
+/// Routing is pure and deterministic: shard = FNV-1a(key) mod S. Keyless
+/// operators go to [`HOME_SHARD`]. Every component of a sharded
+/// deployment constructs its own equal router from `n_shards` alone.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::ShardRouter;
+///
+/// let r = ShardRouter::new(4);
+/// assert_eq!(r.n_shards(), 4);
+/// assert_eq!(r.shard_of_key("user:17"), r.shard_of_key("user:17"));
+/// assert!(r.shard_of_key("user:17") < 4);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ShardRouter {
+    n_shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `n_shards` shards (ids `0..n_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: u32) -> Self {
+        assert!(n_shards > 0, "a sharded service needs at least one shard");
+        ShardRouter { n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of_key(&self, key: &str) -> u32 {
+        (fnv1a_64(key.as_bytes()) % self.n_shards as u64) as u32
+    }
+
+    /// The shard an operator is routed to: its key's owner, or
+    /// [`HOME_SHARD`] for keyless operators.
+    pub fn route<T: KeyedDataType>(&self, dt: &T, op: &T::Operator) -> u32 {
+        match dt.shard_key(op) {
+            Some(k) => self.shard_of_key(k),
+            None => HOME_SHARD,
+        }
+    }
+}
+
+/// Walks a `prev` DAG and collects the **local frontier** for `shard`:
+/// the per-shard identifiers of every same-shard operation reachable from
+/// `prev` through foreign-shard hops.
+///
+/// This is the one subtle rule of cross-shard `prev` enforcement, shared
+/// by the simulated (`esds-harness`) and threaded (`esds-runtime`)
+/// sharded layers: an answered foreign predecessor's *edge* may be
+/// dropped (its response precedes the dependent's request), but the
+/// transitive ordering it carried may not — in the chain
+/// `A (shard s) ← B (foreign) ← C (shard s)`, `C` must still be ordered
+/// after `A` within `s`. The walk therefore **descends through** foreign
+/// nodes and **stops at** same-shard nodes, whose own submitted `prev`
+/// already carries their same-shard transitive closure.
+///
+/// `node` resolves one global identifier to `(its shard, its local id,
+/// its global prev set)`; callers interleave their own side effects there
+/// (the runtime layer awaits each foreign predecessor's response inside
+/// it). Each node is visited at most once.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::shard_frontier;
+///
+/// // A (shard 0, local "a") ← B (shard 1, local "b") ← C's prev.
+/// let node = |g: u8| match g {
+///     0 => (0, "a", vec![]),
+///     1 => (1, "b", vec![0]),
+///     _ => unreachable!(),
+/// };
+/// // C lands on shard 0: inherits A through the foreign hop B.
+/// assert_eq!(shard_frontier(&[1], 0, node), vec!["a"]);
+/// // C lands on shard 1: B itself is the frontier.
+/// assert_eq!(shard_frontier(&[1], 1, node), vec!["b"]);
+/// ```
+pub fn shard_frontier<Id, L>(
+    prev: &[Id],
+    shard: u32,
+    mut node: impl FnMut(Id) -> (u32, L, Vec<Id>),
+) -> Vec<L>
+where
+    Id: Ord + Copy,
+{
+    let mut out = Vec::new();
+    let mut visited = std::collections::BTreeSet::new();
+    let mut stack: Vec<Id> = prev.to_vec();
+    while let Some(g) = stack.pop() {
+        if !visited.insert(g) {
+            continue;
+        }
+        let (s, local, prevs) = node(g);
+        if s == shard {
+            out.push(local);
+        } else {
+            stack.extend(prevs);
+        }
+    }
+    out
+}
+
+/// An operation identifier in the **global** namespace of a sharded
+/// service.
+///
+/// Each shard is an unmodified ESDS instance with its own per-group
+/// [`OpId`](crate::OpId) space (per-client sequence numbers restart in every shard), so
+/// a global handle is needed to name operations across shards — in `prev`
+/// sets spanning shards, and when looking responses up. Like [`OpId`](crate::OpId), the
+/// pair (client, global sequence) is unique as long as each client numbers
+/// its sharded submissions consecutively, which the sharded layers
+/// enforce.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{ClientId, ShardedOpId};
+/// let g = ShardedOpId::new(ClientId(2), 7);
+/// assert_eq!(g.client(), ClientId(2));
+/// assert_eq!(g.to_string(), "c2/7");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ShardedOpId {
+    client: ClientId,
+    seq: u64,
+}
+
+impl ShardedOpId {
+    /// The `seq`-th sharded submission of `client`.
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        ShardedOpId { client, seq }
+    }
+
+    /// The issuing client.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// The client's global submission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Display for ShardedOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.client, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let r = ShardRouter::new(5);
+        for k in ["", "a", "k1", "k2", "user:999", "漢字"] {
+            let s = r.shard_of_key(k);
+            assert!(s < 5);
+            assert_eq!(s, r.shard_of_key(k), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        assert_eq!(r.shard_of_key("anything"), 0);
+    }
+
+    #[test]
+    fn many_keys_spread_over_shards() {
+        let r = ShardRouter::new(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..256 {
+            seen.insert(r.shard_of_key(&format!("k{i}")));
+        }
+        assert_eq!(seen.len(), 8, "256 keys must hit all 8 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn frontier_descends_foreign_and_stops_at_local() {
+        // Diamond: D's prev = {B, C}; B and C are foreign hops both
+        // leading to local A. A must appear exactly once.
+        let node = |g: u8| match g {
+            0 => (0u32, 'a', vec![]),
+            1 => (1, 'b', vec![0]),
+            2 => (2, 'c', vec![0]),
+            _ => unreachable!(),
+        };
+        assert_eq!(shard_frontier(&[1, 2], 0, node), vec!['a']);
+        // From shard 1's viewpoint: B is local, C is descended through.
+        let mut f = shard_frontier(&[1, 2], 1, node);
+        f.sort();
+        assert_eq!(f, vec!['b']);
+        // No predecessors at all: empty frontier.
+        assert_eq!(shard_frontier::<u8, char>(&[], 0, node), Vec::<char>::new());
+    }
+
+    #[test]
+    fn sharded_id_display_and_accessors() {
+        let g = ShardedOpId::new(ClientId(3), 11);
+        assert_eq!(g.client(), ClientId(3));
+        assert_eq!(g.seq(), 11);
+        assert_eq!(g.to_string(), "c3/11");
+        assert!(g < ShardedOpId::new(ClientId(3), 12));
+    }
+}

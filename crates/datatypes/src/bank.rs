@@ -9,7 +9,7 @@
 //! causality is insufficient" case of paper §1.2. `examples/bank_atm.rs`
 //! drives this type end to end.
 
-use esds_core::{CommutativitySpec, SerialDataType};
+use esds_core::{CommutativitySpec, KeyedDataType, SerialDataType};
 use serde::{Deserialize, Serialize};
 
 /// A non-negative account balance (in cents), initially `0`.
@@ -112,6 +112,18 @@ impl CommutativitySpec for Bank {
             (Balance, Balance | Deposit(0) | Withdraw(0)) => true,
             (Balance, Deposit(_) | Withdraw(_)) => false,
         }
+    }
+}
+
+/// A bank account is a single indivisible object — deposits and
+/// withdrawals genuinely conflict on the one balance, so the keyspace has
+/// exactly one key. Under sharding the whole account hashes to one home
+/// group and never splits (the degenerate but correct case: a sharded
+/// deployment of `Bank` is a one-account-per-service multi-tenant layout;
+/// run one `Bank` service per account for more).
+impl KeyedDataType for Bank {
+    fn shard_key<'a>(&self, _op: &'a BankOp) -> Option<&'a str> {
+        Some("account")
     }
 }
 

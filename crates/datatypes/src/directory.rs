@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use esds_core::{CommutativitySpec, SerialDataType};
+use esds_core::{CommutativitySpec, KeyedDataType, SerialDataType};
 use serde::{Deserialize, Serialize};
 
 /// A directory mapping names to attribute maps.
@@ -233,6 +233,17 @@ impl CommutativitySpec for Directory {
                 CreateName(nb) | RemoveName(nb) => name != nb,
             },
         }
+    }
+}
+
+/// Names partition the directory: every per-name operator (create,
+/// remove, set, lookup) is routed by its name — the §11.2 idiom of
+/// creating a name and then initializing it with `prev`-ordered `SetAttr`s
+/// stays entirely within one shard. `ListNames` is a whole-object query
+/// and goes to the home shard.
+impl KeyedDataType for Directory {
+    fn shard_key<'a>(&self, op: &'a DirectoryOp) -> Option<&'a str> {
+        op.name()
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use esds_core::{CommutativitySpec, SerialDataType};
+use esds_core::{CommutativitySpec, KeyedDataType, SerialDataType};
 use serde::{Deserialize, Serialize};
 
 /// A key-value store with string keys and values.
@@ -133,6 +133,15 @@ impl CommutativitySpec for KvStore {
             // Keys observes presence of every key.
             Keys => matches!(b, Get(_) | Keys),
         }
+    }
+}
+
+/// The keyspace is the shard space: `Put`/`Get`/`Remove` are routed by
+/// their key; `Keys` is a whole-object query and goes to the home shard,
+/// where it observes only that shard's slice.
+impl KeyedDataType for KvStore {
+    fn shard_key<'a>(&self, op: &'a KvOp) -> Option<&'a str> {
+        op.key()
     }
 }
 

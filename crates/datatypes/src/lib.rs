@@ -17,6 +17,12 @@
 //!
 //! Every specification is validated against brute force on random states by
 //! property tests in each module.
+//!
+//! The keyed types — [`KvStore`] (by key), [`Directory`] (by name), and
+//! [`Bank`] (one indivisible key) — also implement
+//! [`esds_core::KeyedDataType`], so they can be hash-partitioned across
+//! independent replica groups by the sharded layers in `esds-harness` and
+//! `esds-runtime`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 
 mod conformance;
+mod sharded;
 mod system;
 mod workload;
 
 pub use conformance::{ConformanceError, ConformanceObserver};
+pub use sharded::{ShardedSimSystem, ShardedSystemConfig};
 pub use system::{
     FaultEvent, OpClass, OpTiming, ProcessingModel, SimSystem, StepReport, SystemConfig,
 };

@@ -1,0 +1,631 @@
+//! A simulated **sharded** ESDS deployment: `S` independent replica
+//! groups, each an unmodified [`SimSystem`], behind one routing layer.
+//!
+//! The keyspace of a [`KeyedDataType`] is hash-partitioned by a
+//! [`ShardRouter`]; each shard runs the full Section 6 protocol (gossip,
+//! labels, stabilization) over its slice only, so aggregate throughput
+//! scales with the shard count instead of plateauing at one group's
+//! capacity. Operations on different shards touch disjoint state and
+//! commute trivially — the paper's Section 10 commutativity insight
+//! applied at the partition level.
+//!
+//! ## Cross-shard `prev` constraints
+//!
+//! A descriptor's `prev` set may name operations that were routed to
+//! *other* shards. Within a shard, `prev` is enforced by the replica
+//! protocol as usual. Across shards, [`ShardedSimSystem::submit`] holds
+//! the dependent operation back until every foreign operation in its
+//! constraint closure has been **responded to** by its own group; only
+//! then is the operation released to its shard, carrying the same-shard
+//! frontier of its `prev` closure (see [`esds_core::shard_frontier`]). This
+//! preserves the client-observable guarantee (a response to the
+//! predecessor exists before the dependent is even requested) while the
+//! state-level constraint is vacuous: different shards are disjoint
+//! objects, so every cross-shard pair of operations is independent.
+//!
+//! Shards advance in lockstep: [`ShardedSimSystem::run_until`] drives
+//! every per-shard event queue to the same virtual instant, releasing
+//! deferred operations between slices.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use esds_core::{ClientId, KeyedDataType, OpId, ShardRouter, ShardedOpId};
+use esds_sim::{derive_seed, SimDuration, SimTime};
+
+use crate::system::{SimSystem, SystemConfig};
+
+/// Configuration of a sharded simulated deployment.
+#[derive(Clone, Debug)]
+pub struct ShardedSystemConfig {
+    /// Number of independent replica groups.
+    pub n_shards: usize,
+    /// Per-shard configuration template. Each shard derives its own
+    /// channel/workload seed from `shard.seed` and its shard index, so
+    /// shards are deterministic but not identical.
+    pub shard: SystemConfig,
+}
+
+impl ShardedSystemConfig {
+    /// A sharded deployment of `n_shards` groups built from one template.
+    pub fn new(n_shards: usize, shard: SystemConfig) -> Self {
+        ShardedSystemConfig { n_shards, shard }
+    }
+}
+
+/// A deferred submission waiting for foreign-shard predecessors.
+struct PendingOp<T: KeyedDataType> {
+    client: ClientId,
+    shard: u32,
+    op: T::Operator,
+    prev: Vec<ShardedOpId>,
+    strict: bool,
+}
+
+/// Where a globally-identified operation currently is.
+enum TicketState<T: KeyedDataType> {
+    /// Held back by cross-shard `prev` constraints.
+    Pending(PendingOp<T>),
+    /// Submitted to its shard under a local identifier. The global `prev`
+    /// set is retained so that later dependents can inherit this
+    /// operation's same-shard predecessors through foreign hops (see
+    /// [`ShardedSimSystem::local_frontier`]).
+    Submitted {
+        shard: u32,
+        local: OpId,
+        prev: Vec<ShardedOpId>,
+    },
+}
+
+/// A complete sharded simulated deployment: `S` independent
+/// [`SimSystem`]s multiplexed behind one submit/response API.
+///
+/// Clients exist in every shard (their per-shard front ends are created
+/// together, so one [`ClientId`] is valid everywhere); each submission is
+/// routed to the shard owning its operator's key and identified globally
+/// by a [`ShardedOpId`].
+///
+/// # Examples
+///
+/// ```
+/// use esds_harness::{ShardedSimSystem, ShardedSystemConfig, SystemConfig};
+/// use esds_datatypes::{KvOp, KvStore, KvValue};
+///
+/// let cfg = ShardedSystemConfig::new(4, SystemConfig::new(3).with_seed(7));
+/// let mut sys = ShardedSimSystem::new(KvStore, cfg);
+/// let c = sys.add_client(0);
+/// let put = sys.submit(c, KvOp::put("user:1", "ada"), &[], false);
+/// // The read is constrained after the put; if the two keys hash to
+/// // different shards, the router waits for the put's response first.
+/// let get = sys.submit(c, KvOp::get("user:1"), &[put], false);
+/// sys.run_until_quiescent();
+/// assert_eq!(sys.response(get), Some(&KvValue::Value(Some("ada".into()))));
+/// ```
+pub struct ShardedSimSystem<T: KeyedDataType + Clone> {
+    dt: T,
+    router: ShardRouter,
+    shards: Vec<SimSystem<T>>,
+    tickets: BTreeMap<ShardedOpId, TicketState<T>>,
+    /// Deferred submissions in FIFO order (release preserves per-client
+    /// submission order whenever constraints allow).
+    deferred: VecDeque<ShardedOpId>,
+    next_seq: BTreeMap<ClientId, u64>,
+}
+
+impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
+    /// Builds `config.n_shards` independent replica groups and a router
+    /// over them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or the per-shard template is invalid
+    /// (see [`SimSystem::new`]).
+    pub fn new(dt: T, config: ShardedSystemConfig) -> Self {
+        assert!(config.n_shards > 0, "need at least one shard");
+        let shards = (0..config.n_shards)
+            .map(|s| {
+                let mut cfg = config.shard.clone();
+                cfg.seed = derive_seed(config.shard.seed, 0x5A4D ^ s as u64);
+                SimSystem::new(dt.clone(), cfg)
+            })
+            .collect();
+        ShardedSimSystem {
+            router: ShardRouter::new(config.n_shards as u32),
+            dt,
+            shards,
+            tickets: BTreeMap::new(),
+            deferred: VecDeque::new(),
+            next_seq: BTreeMap::new(),
+        }
+    }
+
+    /// The router (key → shard map).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard systems, for inspection (stats, states, orders).
+    pub fn shards(&self) -> &[SimSystem<T>] {
+        &self.shards
+    }
+
+    /// Current virtual time (shards run in lockstep; this is the frontier).
+    pub fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.now())
+            .max()
+            .expect("at least one shard")
+    }
+
+    /// Adds a client to **every** shard, returning its (shared) identity.
+    pub fn add_client(&mut self, hint: u32) -> ClientId {
+        let mut ids = self.shards.iter_mut().map(|s| s.add_client(hint));
+        let c = ids.next().expect("at least one shard");
+        assert!(
+            ids.all(|i| i == c),
+            "per-shard client ids diverged; add clients only through ShardedSimSystem"
+        );
+        self.next_seq.insert(c, 0);
+        c
+    }
+
+    /// Submits an operation *now*. Routes it by its shard key, translates
+    /// the same-shard part of `prev` to local identifiers, and defers the
+    /// submission while any foreign-shard predecessor is still
+    /// unanswered (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is unknown or `prev` names an identifier never
+    /// returned by this system (client well-formedness, paper §4).
+    pub fn submit(
+        &mut self,
+        client: ClientId,
+        op: T::Operator,
+        prev: &[ShardedOpId],
+        strict: bool,
+    ) -> ShardedOpId {
+        let seq = self
+            .next_seq
+            .get_mut(&client)
+            .expect("unknown client; use add_client");
+        let gid = ShardedOpId::new(client, *seq);
+        *seq += 1;
+        let shard = self.router.route(&self.dt, &op);
+        let pending = PendingOp {
+            client,
+            shard,
+            op,
+            prev: prev.to_vec(),
+            strict,
+        };
+        if self.is_ready(&pending) {
+            self.release(gid, pending);
+        } else {
+            self.tickets.insert(gid, TicketState::Pending(pending));
+            self.deferred.push_back(gid);
+        }
+        gid
+    }
+
+    /// Whether `p` may be handed to its shard: every `prev` entry has
+    /// itself been released, and every **foreign** operation reachable in
+    /// the constraint closure (the same nodes [`esds_core::shard_frontier`]
+    /// visits: descend through foreign nodes, stop at same-shard ones) is
+    /// answered.
+    ///
+    /// Direct answeredness does *not* propagate transitively — a foreign
+    /// predecessor can be answered by a replica that learned *its* own
+    /// predecessors through gossip before those were answered — so the
+    /// walk checks every visited foreign node explicitly, exactly as the
+    /// threaded `ShardedClient` awaits each one.
+    fn is_ready(&self, p: &PendingOp<T>) -> bool {
+        let mut visited: std::collections::BTreeSet<ShardedOpId> =
+            std::collections::BTreeSet::new();
+        let mut stack: Vec<ShardedOpId> = p.prev.clone();
+        while let Some(g) = stack.pop() {
+            if !visited.insert(g) {
+                continue;
+            }
+            match self.tickets.get(&g) {
+                None => panic!("prev {g} was never submitted to this system"),
+                Some(TicketState::Pending(_)) => return false,
+                Some(TicketState::Submitted { shard, local, prev }) => {
+                    if *shard != p.shard {
+                        if self.shards[*shard as usize].response(*local).is_none() {
+                            return false;
+                        }
+                        stack.extend(prev.iter().copied());
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The `prev` constraints to carry into shard `shard`: the local ids
+    /// of every same-shard operation reachable from `prev` through
+    /// foreign hops — [`esds_core::shard_frontier`] over the ticket map.
+    /// Every foreign node the walk visits is already answered (checked
+    /// over the same closure by [`ShardedSimSystem::is_ready`]), so only
+    /// ordering must be inherited here, not awaited.
+    fn local_frontier(&self, prev: &[ShardedOpId], shard: u32) -> Vec<OpId> {
+        esds_core::shard_frontier(prev, shard, |g| {
+            let Some(TicketState::Submitted {
+                shard: s,
+                local,
+                prev,
+            }) = self.tickets.get(&g)
+            else {
+                unreachable!("is_ready guarantees every predecessor is released");
+            };
+            (*s, *local, prev.clone())
+        })
+    }
+
+    /// Hands a ready operation to its shard and records its placement.
+    fn release(&mut self, gid: ShardedOpId, p: PendingOp<T>) {
+        let local_prev = self.local_frontier(&p.prev, p.shard);
+        let local = self.shards[p.shard as usize].submit(p.client, p.op, &local_prev, p.strict);
+        self.tickets.insert(
+            gid,
+            TicketState::Submitted {
+                shard: p.shard,
+                local,
+                prev: p.prev,
+            },
+        );
+    }
+
+    /// Releases every deferred operation whose predecessors are now
+    /// satisfied, to fixpoint (one release can unblock another).
+    fn pump(&mut self) {
+        loop {
+            let mut progressed = false;
+            let mut still: VecDeque<ShardedOpId> = VecDeque::new();
+            while let Some(gid) = self.deferred.pop_front() {
+                let ready = match self.tickets.get(&gid) {
+                    Some(TicketState::Pending(p)) => self.is_ready(p),
+                    _ => unreachable!("deferred ticket must be pending"),
+                };
+                if !ready {
+                    still.push_back(gid);
+                    continue;
+                }
+                let Some(TicketState::Pending(p)) = self.tickets.remove(&gid) else {
+                    unreachable!("checked above");
+                };
+                self.release(gid, p);
+                progressed = true;
+            }
+            self.deferred = still;
+            if !progressed || self.deferred.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Runs every shard to virtual time `t` in lockstep (slices of the
+    /// gossip interval), releasing deferred submissions between slices.
+    pub fn run_until(&mut self, t: SimTime) {
+        let slice = self.shards[0].config().gossip_interval;
+        loop {
+            let now = self.now();
+            if now >= t {
+                return;
+            }
+            let target = (now + slice).min(t);
+            for s in &mut self.shards {
+                s.run_until(target);
+            }
+            self.pump();
+        }
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    /// Whether every submission has been released to its shard, answered,
+    /// and stabilized within its group.
+    pub fn is_converged(&self) -> bool {
+        self.deferred.is_empty() && self.shards.iter().all(|s| s.is_converged())
+    }
+
+    /// Runs until converged or until `max` virtual time passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of what is still outstanding on timeout.
+    pub fn run_until_converged(&mut self, max: SimTime) -> Result<SimTime, String> {
+        while !self.is_converged() {
+            if self.now() >= max {
+                let mut parts: Vec<String> = Vec::new();
+                if !self.deferred.is_empty() {
+                    let held: Vec<String> = self.deferred.iter().map(|g| g.to_string()).collect();
+                    parts.push(format!("{} deferred {held:?}", self.deferred.len()));
+                }
+                for (i, s) in self.shards.iter().enumerate() {
+                    if !s.is_converged() {
+                        let unanswered: Vec<String> = s
+                            .op_times()
+                            .iter()
+                            .filter(|(_, t)| t.responded.is_none())
+                            .map(|(id, _)| id.to_string())
+                            .collect();
+                        parts.push(format!("shard {i} unconverged (unanswered {unanswered:?})"));
+                    }
+                }
+                return Err(format!("not converged by {max}: {}", parts.join("; ")));
+            }
+            let t = self.now() + self.shards[0].config().gossip_interval;
+            self.run_until(t.min(max));
+        }
+        Ok(self.now())
+    }
+
+    /// Convenience wrapper: converge within a generous horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if convergence is not reached (deterministic fault-free
+    /// deployments always converge; prefer
+    /// [`ShardedSimSystem::run_until_converged`] under faults).
+    pub fn run_until_quiescent(&mut self) -> SimTime {
+        let budget = self.shards[0].config().quiescence_budget(self.now());
+        match self.run_until_converged(budget) {
+            Ok(t) => t,
+            Err(e) => panic!("run_until_quiescent: {e}"),
+        }
+    }
+
+    /// Where `id` was routed: its shard and, once released, its local
+    /// identifier within that shard.
+    pub fn placement(&self, id: ShardedOpId) -> Option<(u32, Option<OpId>)> {
+        match self.tickets.get(&id)? {
+            TicketState::Pending(p) => Some((p.shard, None)),
+            TicketState::Submitted { shard, local, .. } => Some((*shard, Some(*local))),
+        }
+    }
+
+    /// The response delivered for `id`, if any.
+    pub fn response(&self, id: ShardedOpId) -> Option<&T::Value> {
+        match self.tickets.get(&id)? {
+            TicketState::Pending { .. } => None,
+            TicketState::Submitted { shard, local, .. } => {
+                self.shards[*shard as usize].response(*local)
+            }
+        }
+    }
+
+    /// Total operations submitted through this system.
+    pub fn submitted_count(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Total operations answered across all shards.
+    pub fn completed_count(&self) -> usize {
+        self.shards.iter().map(|s| s.completed_count()).sum()
+    }
+
+    /// The latest response-delivery instant across all shards (the
+    /// completion time a throughput measurement should divide by).
+    pub fn latest_response(&self) -> SimTime {
+        self.shards
+            .iter()
+            .flat_map(|s| s.op_times().values())
+            .filter_map(|t| t.responded)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Per-shard count of operations routed there (load-balance metric).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.shards.len()];
+        for t in self.tickets.values() {
+            let s = match t {
+                TicketState::Pending(p) => p.shard,
+                TicketState::Submitted { shard, .. } => *shard,
+            };
+            loads[s as usize] += 1;
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_datatypes::{Bank, BankOp, BankValue, KvOp, KvStore, KvValue};
+    use esds_spec::check_converged;
+
+    fn kv_sys(n_shards: usize, seed: u64) -> ShardedSimSystem<KvStore> {
+        ShardedSimSystem::new(
+            KvStore,
+            ShardedSystemConfig::new(n_shards, SystemConfig::new(3).with_seed(seed)),
+        )
+    }
+
+    #[test]
+    fn routes_by_key_and_answers() {
+        let mut sys = kv_sys(4, 1);
+        let c = sys.add_client(0);
+        let mut ids = Vec::new();
+        for i in 0..32 {
+            ids.push(sys.submit(c, KvOp::put(format!("k{i}"), format!("v{i}")), &[], false));
+        }
+        sys.run_until_quiescent();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(sys.response(*id), Some(&KvValue::Ack), "op {i}");
+        }
+        let loads = sys.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 32);
+        assert!(
+            loads.iter().all(|l| *l > 0),
+            "32 keys must spread over 4 shards: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn same_key_same_shard_preserves_order_semantics() {
+        let mut sys = kv_sys(8, 2);
+        let c = sys.add_client(0);
+        let put = sys.submit(c, KvOp::put("x", "1"), &[], false);
+        let overwrite = sys.submit(c, KvOp::put("x", "2"), &[put], false);
+        let get = sys.submit(c, KvOp::get("x"), &[overwrite], false);
+        sys.run_until_quiescent();
+        assert_eq!(sys.response(get), Some(&KvValue::Value(Some("2".into()))));
+    }
+
+    #[test]
+    fn cross_shard_prev_defers_until_foreign_response() {
+        let mut sys = kv_sys(4, 3);
+        let c = sys.add_client(0);
+        // Find two keys on different shards.
+        let router = sys.router();
+        let (ka, kb) = {
+            let a = "a".to_string();
+            let b = (0..100)
+                .map(|i| format!("b{i}"))
+                .find(|k| router.shard_of_key(k) != router.shard_of_key(&a))
+                .expect("some key lands elsewhere");
+            (a, b)
+        };
+        let wa = sys.submit(c, KvOp::put(&ka, "1"), &[], false);
+        let wb = sys.submit(c, KvOp::put(&kb, "2"), &[wa], false);
+        // wb is deferred until wa is answered.
+        assert_eq!(sys.placement(wb), Some((router.shard_of_key(&kb), None)));
+        sys.run_until_quiescent();
+        let (_, local) = sys.placement(wb).expect("placed");
+        assert!(local.is_some(), "deferred op must eventually release");
+        assert_eq!(sys.response(wb), Some(&KvValue::Ack));
+        // The dependent's release happened at-or-after the foreign response.
+        assert_eq!(sys.response(wa), Some(&KvValue::Ack));
+    }
+
+    #[test]
+    fn transitive_prev_survives_foreign_hop() {
+        use esds_alg::RelayPolicy;
+        // Chain A (shard s) ← B (foreign shard) ← C (shard s). Dropping
+        // B's edge naively would also drop C's transitive ordering after
+        // A. Slow gossip plus a round-robin relay places C's request on a
+        // replica of s that has NOT seen A yet — only the inherited prev
+        // constraint makes that replica defer C until gossip delivers A.
+        let shard_cfg = SystemConfig::new(3)
+            .with_seed(9)
+            .with_gossip_interval(SimDuration::from_millis(500))
+            .with_relay(RelayPolicy::RoundRobin);
+        let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(4, shard_cfg));
+        let c = sys.add_client(0);
+        let router = sys.router();
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| router.shard_of_key(k) != router.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let a = sys.submit(c, KvOp::put(&ka, "1"), &[], false);
+        let b = sys.submit(c, KvOp::put(&kb, "2"), &[a], false);
+        let read = sys.submit(c, KvOp::get(&ka), &[b], false);
+        // Fine-grained slices so B and C release long before the first
+        // gossip round (t = 500 ms) can propagate A within shard s.
+        for _ in 0..10 {
+            sys.run_for(SimDuration::from_millis(15));
+        }
+        sys.run_until_quiescent();
+        assert_eq!(
+            sys.response(read),
+            Some(&KvValue::Value(Some("1".into()))),
+            "a read ordered after the write through a foreign hop must see it"
+        );
+    }
+
+    #[test]
+    fn chained_cross_shard_deps_release_in_order() {
+        let mut sys = kv_sys(2, 4);
+        let c = sys.add_client(0);
+        let mut prev: Vec<ShardedOpId> = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let id = sys.submit(c, KvOp::put(format!("k{i}"), format!("{i}")), &prev, false);
+            prev = vec![id];
+            ids.push(id);
+        }
+        sys.run_until_quiescent();
+        assert_eq!(sys.completed_count(), 10);
+        for id in ids {
+            assert_eq!(sys.response(id), Some(&KvValue::Ack));
+        }
+    }
+
+    #[test]
+    fn strict_ops_stabilize_within_their_shard() {
+        let mut sys = kv_sys(4, 5);
+        let c = sys.add_client(0);
+        let put = sys.submit(c, KvOp::put("k", "v"), &[], true);
+        sys.run_until_quiescent();
+        assert_eq!(sys.response(put), Some(&KvValue::Ack));
+        // Every shard's replica group individually converged.
+        for s in sys.shards() {
+            assert!(check_converged(&s.local_orders(), &s.replica_states()).is_ok());
+        }
+    }
+
+    #[test]
+    fn keyless_ops_go_to_home_shard() {
+        let mut sys = kv_sys(4, 6);
+        let c = sys.add_client(0);
+        let keys = sys.submit(c, KvOp::Keys, &[], false);
+        assert_eq!(sys.placement(keys).map(|(s, _)| s), Some(0));
+        sys.run_until_quiescent();
+        assert!(matches!(sys.response(keys), Some(KvValue::Keys(_))));
+    }
+
+    #[test]
+    fn single_key_type_occupies_one_shard() {
+        let cfg = ShardedSystemConfig::new(4, SystemConfig::new(2).with_seed(7));
+        let mut sys = ShardedSimSystem::new(Bank, cfg);
+        let c = sys.add_client(0);
+        let d = sys.submit(c, BankOp::Deposit(100), &[], false);
+        let w = sys.submit(c, BankOp::Withdraw(40), &[d], true);
+        let b = sys.submit(c, BankOp::Balance, &[w], false);
+        sys.run_until_quiescent();
+        assert_eq!(sys.response(w), Some(&BankValue::Withdrawn(true)));
+        assert_eq!(sys.response(b), Some(&BankValue::Balance(60)));
+        let loads = sys.shard_loads();
+        assert_eq!(
+            loads.iter().filter(|l| **l > 0).count(),
+            1,
+            "an unkeyed-state bank never splits: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed: u64| {
+            let mut sys = kv_sys(3, seed);
+            let c = sys.add_client(0);
+            let ids: Vec<_> = (0..12)
+                .map(|i| sys.submit(c, KvOp::put(format!("k{i}"), "v"), &[], i % 4 == 0))
+                .collect();
+            sys.run_until_quiescent();
+            (sys.now(), ids.len(), sys.completed_count())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "never submitted")]
+    fn unknown_prev_rejected() {
+        let mut sys = kv_sys(2, 8);
+        let c = sys.add_client(0);
+        let ghost = ShardedOpId::new(c, 99);
+        let _ = sys.submit(c, KvOp::put("k", "v"), &[ghost], false);
+    }
+}

@@ -180,6 +180,18 @@ impl SystemConfig {
     pub fn dg(&self) -> SimDuration {
         self.rr_channel.delay.upper_bound()
     }
+
+    /// The virtual-time horizon `run_until_quiescent` is willing to wait
+    /// from `now`: a generous multiple of the gossip + propagation period
+    /// plus a constant floor. Deterministic fault-free runs converge far
+    /// earlier; hitting this budget indicates a genuine liveness bug.
+    pub fn quiescence_budget(&self, now: SimTime) -> SimTime {
+        SimTime::from_micros(
+            now.as_micros()
+                + (self.gossip_interval + self.dg()).as_micros() * 1_000
+                + 1_000_000_000,
+        )
+    }
 }
 
 /// Scheduled fault-injection actions (paper §9.3 / Theorem 9.4).
@@ -884,11 +896,7 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
     /// always converge; prefer [`SimSystem::run_until_converged`] when
     /// faults make convergence uncertain).
     pub fn run_until_quiescent(&mut self) -> SimTime {
-        let budget = SimTime::from_micros(
-            self.queue.now().as_micros()
-                + (self.world.config.gossip_interval + self.world.config.dg()).as_micros() * 1_000
-                + 1_000_000_000,
-        );
+        let budget = self.world.config.quiescence_budget(self.queue.now());
         match self.run_until_converged(budget) {
             Ok(t) => t,
             Err(e) => panic!("run_until_quiescent: {e}"),

@@ -10,5 +10,7 @@
 #![forbid(unsafe_code)]
 
 mod service;
+mod sharded;
 
 pub use service::{RuntimeClient, RuntimeConfig, RuntimeService};
+pub use sharded::{ShardedClient, ShardedService};

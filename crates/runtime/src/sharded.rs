@@ -1,0 +1,334 @@
+//! The threaded **sharded** deployment: one [`RuntimeService`] (replica
+//! threads + network thread) per shard, behind a single client handle.
+//!
+//! Mirrors `esds-harness`'s `ShardedSimSystem` for real threads: a
+//! [`ShardRouter`] hash-partitions the keyspace of a [`KeyedDataType`]
+//! across `S` independent replica groups, each running the unmodified
+//! Section 6 protocol. A [`ShardedClient`] owns one front end per shard
+//! and routes each submission to the group owning its key.
+//!
+//! Cross-shard `prev` constraints are enforced at submission time: the
+//! client **waits** for every foreign-shard predecessor's response before
+//! handing the dependent operation to its shard (different shards are
+//! disjoint objects, so once the predecessor is answered the remaining
+//! constraint is vacuous). Same-shard predecessors are passed through to
+//! the group's protocol unchanged.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use esds_alg::Replica;
+use esds_core::{ClientId, KeyedDataType, OpId, ShardRouter, ShardedOpId};
+
+use crate::service::{RuntimeClient, RuntimeConfig, RuntimeService};
+
+/// The running sharded service: `S` independent [`RuntimeService`]s.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use esds_datatypes::{KvOp, KvStore, KvValue};
+/// use esds_runtime::{RuntimeConfig, ShardedService};
+///
+/// let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+/// let mut client = svc.client();
+/// let put = client.submit(KvOp::put("user:1", "ada"), &[], false);
+/// let get = client.submit(KvOp::get("user:1"), &[put], false);
+/// let v = client.await_response(get, Duration::from_secs(10));
+/// assert_eq!(v, Some(KvValue::Value(Some("ada".into()))));
+/// svc.shutdown();
+/// ```
+pub struct ShardedService<T: KeyedDataType> {
+    dt: T,
+    router: ShardRouter,
+    shards: Vec<RuntimeService<T>>,
+    /// Timeout a client uses when waiting out a foreign-shard `prev`.
+    cross_shard_wait: Duration,
+}
+
+impl<T> ShardedService<T>
+where
+    T: KeyedDataType + Clone + Send + 'static,
+    T::Operator: Send + Clone,
+    T::Value: Send + Clone,
+    T::State: Send,
+{
+    /// Starts `n_shards` independent replica groups, each configured by
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero (and see [`RuntimeService::start`]).
+    pub fn start(dt: T, n_shards: usize, config: RuntimeConfig) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        let shards = (0..n_shards)
+            .map(|_| RuntimeService::start(dt.clone(), config.clone()))
+            .collect();
+        ShardedService {
+            router: ShardRouter::new(n_shards as u32),
+            dt,
+            shards,
+            cross_shard_wait: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the timeout used to wait for foreign-shard predecessors
+    /// at submission time (default 30 s).
+    #[must_use]
+    pub fn with_cross_shard_wait(mut self, d: Duration) -> Self {
+        self.cross_shard_wait = d;
+        self
+    }
+
+    /// The router (key → shard map).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Creates a client with a front end in **every** shard.
+    pub fn client(&mut self) -> ShardedClient<T> {
+        let fes: Vec<RuntimeClient<T>> = self.shards.iter_mut().map(|s| s.client()).collect();
+        let id = fes[0].client();
+        assert!(
+            fes.iter().all(|f| f.client() == id),
+            "per-shard client ids diverged; create clients only through ShardedService"
+        );
+        ShardedClient {
+            dt: self.dt.clone(),
+            router: self.router,
+            id,
+            fes,
+            next_seq: 0,
+            placements: BTreeMap::new(),
+            cross_shard_wait: self.cross_shard_wait,
+        }
+    }
+
+    /// Stops every shard and returns the final replica states per shard
+    /// (outer index = shard, inner = replica within the group).
+    pub fn shutdown(self) -> Vec<Vec<Replica<T>>> {
+        self.shards.into_iter().map(|s| s.shutdown()).collect()
+    }
+}
+
+/// A client handle of a [`ShardedService`]: one [`RuntimeClient`] per
+/// shard, multiplexed behind global [`ShardedOpId`]s.
+///
+/// The handle resolves only identifiers it issued itself; `prev` sets may
+/// reference any of this client's earlier submissions (the common case —
+/// a front end only ever learns identifiers it requested, paper §6.2).
+pub struct ShardedClient<T: KeyedDataType> {
+    dt: T,
+    router: ShardRouter,
+    id: ClientId,
+    fes: Vec<RuntimeClient<T>>,
+    next_seq: u64,
+    /// Global sequence number → where the operation went.
+    placements: BTreeMap<u64, Placement>,
+    cross_shard_wait: Duration,
+}
+
+/// Where one of this client's submissions was routed. The global `prev`
+/// sequence numbers are retained so later dependents can inherit this
+/// operation's same-shard predecessors through foreign hops.
+#[derive(Clone, Debug)]
+struct Placement {
+    shard: u32,
+    local: OpId,
+    prev: Vec<u64>,
+}
+
+impl<T: KeyedDataType> ShardedClient<T>
+where
+    T::Operator: Clone,
+    T::Value: Clone,
+{
+    /// The client identity (shared by all per-shard front ends).
+    pub fn client(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submits an operation to the shard owning its key and returns its
+    /// global id. Foreign-shard `prev` entries are awaited (blocking, up
+    /// to the configured cross-shard timeout) before the submission is
+    /// handed to its group; same-shard entries ride the group's own
+    /// protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` names an id this handle did not issue, or if a
+    /// foreign predecessor stays unanswered past the cross-shard timeout
+    /// (the deployment is then considered broken — the same situation in
+    /// which [`ShardedClient::await_response`] would return `None`).
+    pub fn submit(&mut self, op: T::Operator, prev: &[ShardedOpId], strict: bool) -> ShardedOpId {
+        let shard = self.router.route(&self.dt, &op);
+        for g in prev {
+            assert!(
+                g.client() == self.id,
+                "prev {g} was not issued by this client handle"
+            );
+            assert!(
+                self.placements.contains_key(&g.seq()),
+                "prev {g} was never submitted via this handle"
+            );
+        }
+        // The shared frontier walk ([`esds_core::shard_frontier`]):
+        // same-shard predecessors — including those inherited *through*
+        // foreign hops — become local `prev` constraints, and every
+        // foreign predecessor encountered is awaited before descending.
+        let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
+        let local_prev: Vec<OpId> = esds_core::shard_frontier(&seqs, shard, |seq| {
+            let p = self.placements[&seq].clone();
+            if p.shard != shard && self.fes[p.shard as usize].value_of(p.local).is_none() {
+                let answered = self.fes[p.shard as usize]
+                    .await_response(p.local, self.cross_shard_wait)
+                    .is_some();
+                assert!(
+                    answered,
+                    "cross-shard prev {} unanswered after {:?}",
+                    ShardedOpId::new(self.id, seq),
+                    self.cross_shard_wait
+                );
+            }
+            (p.shard, p.local, p.prev)
+        });
+        let local = self.fes[shard as usize].submit(op, &local_prev, strict);
+        let gid = ShardedOpId::new(self.id, self.next_seq);
+        self.placements.insert(
+            self.next_seq,
+            Placement {
+                shard,
+                local,
+                prev: prev.iter().map(|g| g.seq()).collect(),
+            },
+        );
+        self.next_seq += 1;
+        gid
+    }
+
+    /// Waits until `id` is answered or `timeout` elapses (with the
+    /// underlying front end's retry behaviour).
+    pub fn await_response(&mut self, id: ShardedOpId, timeout: Duration) -> Option<T::Value> {
+        let (shard, local) = self.resolve(id)?;
+        self.fes[shard as usize].await_response(local, timeout)
+    }
+
+    /// The value previously returned for `id`, if completed.
+    pub fn value_of(&self, id: ShardedOpId) -> Option<&T::Value> {
+        let (shard, local) = self.resolve(id)?;
+        self.fes[shard as usize].value_of(local)
+    }
+
+    /// The shard `id` was routed to, if issued by this handle.
+    pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
+        self.resolve(id).map(|(s, _)| s)
+    }
+
+    fn resolve(&self, id: ShardedOpId) -> Option<(u32, OpId)> {
+        if id.client() != self.id {
+            return None;
+        }
+        self.placements.get(&id.seq()).map(|p| (p.shard, p.local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_datatypes::{KvOp, KvStore, KvValue};
+
+    #[test]
+    fn sharded_runtime_roundtrip_and_isolation() {
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        let router = svc.router();
+        let mut c = svc.client();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push((
+                i,
+                c.submit(KvOp::put(format!("k{i}"), format!("{i}")), &[], false),
+            ));
+        }
+        for (i, id) in &ids {
+            let v = c.await_response(*id, Duration::from_secs(10));
+            assert_eq!(v, Some(KvValue::Ack), "put k{i} timed out");
+        }
+        // Reads see their own shard's writes.
+        for (i, _) in &ids {
+            let get = c.submit(KvOp::get(format!("k{i}")), &[], false);
+            let v = c.await_response(get, Duration::from_secs(10));
+            assert_eq!(v, Some(KvValue::Value(Some(format!("{i}")))));
+        }
+        // Both shards actually received traffic (10 keys over 2 shards).
+        let shards: std::collections::BTreeSet<u32> = (0..10)
+            .map(|i| router.shard_of_key(&format!("k{i}")))
+            .collect();
+        assert_eq!(shards.len(), 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_prev_waits_for_response() {
+        let mut svc = ShardedService::start(KvStore, 4, RuntimeConfig::new(2));
+        let router = svc.router();
+        let mut c = svc.client();
+        // Two keys on different shards.
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| router.shard_of_key(k) != router.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let wa = c.submit(KvOp::put(&ka, "1"), &[], false);
+        // Submitting with a cross-shard prev blocks until wa is answered,
+        // so by the time submit returns, wa's value is known.
+        let wb = c.submit(KvOp::put(&kb, "2"), &[wa], false);
+        assert_eq!(c.value_of(wa), Some(&KvValue::Ack));
+        assert_ne!(c.shard_of(wa), c.shard_of(wb));
+        let v = c.await_response(wb, Duration::from_secs(10));
+        assert_eq!(v, Some(KvValue::Ack));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn transitive_prev_through_foreign_hop_is_inherited() {
+        // Chain A (shard s) ← B (foreign) ← C (shard s): C must carry
+        // A's ordering into the shard even though its only direct prev
+        // is foreign. Slow gossip keeps A from propagating on its own.
+        let mut cfg = RuntimeConfig::new(2);
+        cfg.gossip_interval = Duration::from_secs(5);
+        let mut svc = ShardedService::start(KvStore, 4, cfg);
+        let router = svc.router();
+        let mut c = svc.client();
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| router.shard_of_key(k) != router.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let a = c.submit(KvOp::put(&ka, "1"), &[], false);
+        let b = c.submit(KvOp::put(&kb, "2"), &[a], false);
+        let read = c.submit(KvOp::get(&ka), &[b], false);
+        assert_eq!(c.shard_of(read), c.shard_of(a), "same key, same shard");
+        let v = c.await_response(read, Duration::from_secs(10));
+        assert_eq!(v, Some(KvValue::Value(Some("1".into()))));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn strict_ops_work_per_shard() {
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        let mut c = svc.client();
+        let put = c.submit(KvOp::put("x", "1"), &[], true);
+        let v = c.await_response(put, Duration::from_secs(30));
+        assert_eq!(v, Some(KvValue::Ack));
+        let get = c.submit(KvOp::get("x"), &[put], true);
+        let v = c.await_response(get, Duration::from_secs(30));
+        assert_eq!(v, Some(KvValue::Value(Some("1".into()))));
+        svc.shutdown();
+    }
+}

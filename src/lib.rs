@@ -30,6 +30,37 @@
 //!
 //! assert!(sys.response(read).is_some());
 //! ```
+//!
+//! ## Sharded quickstart
+//!
+//! Keyed data types ([`datatypes::KvStore`], [`datatypes::Directory`],
+//! [`datatypes::Bank`]) can be hash-partitioned across independent
+//! replica groups, one full ESDS instance per shard, so throughput
+//! scales with the shard count:
+//!
+//! ```rust
+//! use esds::harness::{ShardedSimSystem, ShardedSystemConfig, SystemConfig};
+//! use esds::datatypes::{KvOp, KvStore, KvValue};
+//!
+//! // 4 shards × 3 replicas: 12 replicas, 4 independent gossip domains.
+//! let cfg = ShardedSystemConfig::new(4, SystemConfig::new(3).with_seed(7));
+//! let mut sys = ShardedSimSystem::new(KvStore, cfg);
+//! let c = sys.add_client(0);
+//!
+//! // Writes are routed to the shard owning their key; a `prev`
+//! // constraint that crosses shards holds the dependent back until the
+//! // foreign shard has answered its predecessor.
+//! let put = sys.submit(c, KvOp::put("user:1", "ada"), &[], false);
+//! let get = sys.submit(c, KvOp::get("user:1"), &[put], false);
+//! sys.run_until_quiescent();
+//!
+//! assert_eq!(sys.response(get), Some(&KvValue::Value(Some("ada".into()))));
+//! ```
+//!
+//! The threaded analogue is [`runtime::ShardedService`]; the routing
+//! vocabulary ([`core::KeyedDataType`], [`core::ShardRouter`]) lives in
+//! `esds-core`. See `ARCHITECTURE.md` for the full crate map and data
+//! flow.
 
 pub use esds_alg as alg;
 pub use esds_core as core;
