@@ -34,7 +34,7 @@ pub use commute::SafeSubmitter;
 pub use front_end::{ClientDelivery, FrontEnd, RelayPolicy};
 pub use global::SystemView;
 pub use invariants::{check_all, InvariantViolation, MonotonicityChecker};
-pub use messages::{GossipMsg, RequestMsg, ResponseMsg};
+pub use messages::{BatchedGossipMsg, GossipEnvelope, GossipMsg, RequestMsg, ResponseMsg};
 pub use replica::{
     GossipStrategy, RecoveryStub, Replica, ReplicaConfig, ReplicaStats, RespondEffect,
     ValueStrategy,

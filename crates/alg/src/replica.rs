@@ -60,13 +60,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use esds_core::{
-    ClientId, Digraph, Label, LabelGenerator, LabelMap, OpDescriptor, OpId, ReplicaId,
+    ClientId, Digraph, IdSummary, Label, LabelGenerator, LabelMap, OpDescriptor, OpId, ReplicaId,
     SerialDataType,
 };
 
-use crate::messages::{GossipMsg, ResponseMsg};
+use crate::messages::{BatchedGossipMsg, GossipEnvelope, GossipMsg, ResponseMsg};
 
-/// Which gossip construction [`Replica::make_gossip`] uses (paper §10.4).
+/// Which gossip construction [`Replica::make_gossip`] /
+/// [`Replica::poll_gossip`] uses (paper §10.4).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum GossipStrategy {
     /// The paper's algorithm: every gossip message carries the full
@@ -78,6 +79,21 @@ pub enum GossipStrategy {
     /// unions / label minima, so reordering is harmless), unsafe under
     /// message loss.
     Incremental,
+    /// §10.2 + §10.4 combined: accumulate
+    /// [`batch_interval`](ReplicaConfig::batch_interval) gossip intervals
+    /// into one [`BatchedGossipMsg`] per peer, open each exchange with an
+    /// [`IdSummary`] watermark handshake so descriptors the receiver's
+    /// summary covers are never re-shipped, carry `done`/`stable` as
+    /// summaries (the receiver folds in only the
+    /// [`IdSummary::difference`]), and piggyback stable-prefix
+    /// acknowledgements on the `stable` summary. Steady-state cost is
+    /// O(delta + #clients) per exchange instead of O(history). Like
+    /// [`Incremental`](GossipStrategy::Incremental), the `R`/`L` deltas
+    /// assume reliable in-order channels; on a send failure call
+    /// [`Replica::reset_watermark`] to rewind. Driven through
+    /// [`Replica::poll_gossip`]; [`Replica::make_gossip`] falls back to a
+    /// full snapshot (the always-safe resync message).
+    Batched,
 }
 
 /// How response values are produced (paper §10.1 / §10.3).
@@ -112,6 +128,12 @@ pub struct ReplicaConfig {
     /// Attach to each response a witness: the local label order up to the
     /// answered operation (used by the `esds-spec` checkers; costs memory).
     pub record_witness: bool,
+    /// How many gossip ticks [`Replica::poll_gossip`] accumulates per peer
+    /// before emitting one batched exchange (only consulted under
+    /// [`GossipStrategy::Batched`]; `1` = exchange on every tick, `k`
+    /// trades response-time for 1/k the messages). Values below 1 are
+    /// treated as 1.
+    pub batch_interval: u32,
 }
 
 impl Default for ReplicaConfig {
@@ -122,6 +144,7 @@ impl Default for ReplicaConfig {
             gossip: GossipStrategy::Full,
             gc_gossip: false,
             record_witness: false,
+            batch_interval: 1,
         }
     }
 }
@@ -132,10 +155,7 @@ impl ReplicaConfig {
     pub fn basic() -> Self {
         ReplicaConfig {
             memoize: false,
-            value_strategy: ValueStrategy::Recompute,
-            gossip: GossipStrategy::Full,
-            gc_gossip: false,
-            record_witness: false,
+            ..Self::default()
         }
     }
 
@@ -144,11 +164,8 @@ impl ReplicaConfig {
     /// value). Only sound for `SafeUsers` workloads.
     pub fn commute() -> Self {
         ReplicaConfig {
-            memoize: true,
             value_strategy: ValueStrategy::EagerCommute,
-            gossip: GossipStrategy::Full,
-            gc_gossip: false,
-            record_witness: false,
+            ..Self::default()
         }
     }
 
@@ -163,6 +180,14 @@ impl ReplicaConfig {
     #[must_use]
     pub fn with_gossip(mut self, g: GossipStrategy) -> Self {
         self.gossip = g;
+        self
+    }
+
+    /// Enables batched gossip with one exchange per `every` gossip ticks.
+    #[must_use]
+    pub fn with_batched(mut self, every: u32) -> Self {
+        self.gossip = GossipStrategy::Batched;
+        self.batch_interval = every.max(1);
         self
     }
 
@@ -257,6 +282,40 @@ struct Watermark {
     stable: BTreeSet<OpId>,
 }
 
+/// Per-peer batched-gossip state (§10.2/§10.4): what the peer has told us
+/// it holds, what we have shipped it, and what of its knowledge we have
+/// already folded in.
+#[derive(Clone, Debug, Default)]
+struct BatchState {
+    /// Identifiers the peer has received, from its `known` handshakes.
+    /// Descriptors these cover are never shipped to the peer.
+    peer_rcvd: IdSummary,
+    /// Identifiers whose descriptors we already shipped (suppresses
+    /// re-sends between handshake updates; unwound by
+    /// [`Replica::reset_watermark`] on connection loss).
+    sent_rcvd: IdSummary,
+    /// Lowest label shipped per operation (re-ship on decrease, like the
+    /// incremental strategy — the delta rule the checkers' in-flight
+    /// reasoning depends on).
+    sent_labels: BTreeMap<OpId, Label>,
+    /// The peer's `done`/`stable` summaries already folded into our state;
+    /// incoming summaries are diffed against these so receives cost
+    /// O(delta), not O(history).
+    seen_done: IdSummary,
+    seen_stable: IdSummary,
+    /// Labels permanently retired from this peer's deltas: the op is
+    /// stable at the peer, so the peer holds its frozen system-minimum
+    /// label (Invariant 7.19) and the `sent_labels` entry can be dropped.
+    /// Lives in the batch state — not derived from `stable[peer]` at send
+    /// time — precisely so [`Replica::reset_watermark`] rewinds it: a
+    /// crashed-and-recovered peer lost its labels and must be sent them
+    /// again even though our (stale) knowledge still says it had them
+    /// stable.
+    label_gc: IdSummary,
+    /// Gossip ticks accumulated since the last batched exchange.
+    ticks: u32,
+}
+
 /// The replica automaton of paper Fig. 7 (see module docs).
 #[derive(Clone, Debug)]
 pub struct Replica<T: SerialDataType> {
@@ -297,6 +356,17 @@ pub struct Replica<T: SerialDataType> {
     /// drain (harness instrumentation for the Lemma 9.2 experiments).
     newly_done: Vec<OpId>,
     watermarks: BTreeMap<ReplicaId, Watermark>,
+    /// Per-peer batched-gossip state (`GossipStrategy::Batched` only).
+    batch: BTreeMap<ReplicaId, BatchState>,
+    /// Summary of every identifier ever admitted to `rcvd` (never pruned
+    /// by §10.2 compaction — it encodes *knowledge*, not storage). This is
+    /// the `known` handshake batched gossip advertises.
+    rcvd_summary: IdSummary,
+    /// `done[r]` as a summary, maintained incrementally for O(1)-amortized
+    /// batched-gossip construction.
+    done_here_summary: IdSummary,
+    /// `stable[r]` as a summary.
+    stable_here_summary: IdSummary,
 
     /// Labels restored from stable storage after a crash (see
     /// [`RecoveryStub`]); consulted by `do_it`.
@@ -354,6 +424,10 @@ impl<T: SerialDataType> Replica<T> {
             eager_backlog: Vec::new(),
             newly_done: Vec::new(),
             watermarks: BTreeMap::new(),
+            batch: BTreeMap::new(),
+            rcvd_summary: IdSummary::new(),
+            done_here_summary: IdSummary::new(),
+            stable_here_summary: IdSummary::new(),
             persisted_labels: BTreeMap::new(),
             recovering: None,
             dt,
@@ -605,7 +679,10 @@ impl<T: SerialDataType> Replica<T> {
     /// Builds the gossip message for `peer` (`send_{rr'}` in Fig. 7) and
     /// updates incremental watermarks. A recovering replica gossips an
     /// empty message (it has nothing trustworthy to say yet, but peers
-    /// learn it is alive).
+    /// learn it is alive). Under [`GossipStrategy::Batched`] this returns
+    /// the full snapshot — the always-safe resync message — because the
+    /// batched exchange (delta construction, pacing) lives in
+    /// [`Replica::poll_gossip`].
     pub fn make_gossip(&mut self, peer: ReplicaId) -> GossipMsg<T::Operator> {
         let here = self.idx(self.id);
         let msg = if self.recovering.is_some() {
@@ -618,7 +695,7 @@ impl<T: SerialDataType> Replica<T> {
             }
         } else {
             match self.config.gossip {
-                GossipStrategy::Full => {
+                GossipStrategy::Full | GossipStrategy::Batched => {
                     let peer_stable = &self.stable[self.idx(peer)];
                     let skip =
                         |id: &OpId| -> bool { self.config.gc_gossip && peer_stable.contains(id) };
@@ -684,11 +761,153 @@ impl<T: SerialDataType> Replica<T> {
         msg
     }
 
-    /// Forgets the incremental watermark for `peer` — the harness calls
-    /// this at every healthy replica when `peer` recovers from a crash, so
-    /// the next gossip to it is full ("requesting new gossip", §9.3).
+    /// Forgets the per-peer delta state for `peer` — the incremental
+    /// watermark and the batched handshake/sent summaries — so the next
+    /// gossip to it carries everything again. Called at every healthy
+    /// replica when `peer` recovers from a crash ("requesting new gossip",
+    /// §9.3) and by transports when a connection to `peer` drops (a lost
+    /// delta would otherwise never be re-shipped).
     pub fn reset_watermark(&mut self, peer: ReplicaId) {
         self.watermarks.remove(&peer);
+        self.batch.remove(&peer);
+    }
+
+    /// Produces the gossip message for `peer` under the configured
+    /// strategy's **pacing**: `Full`/`Incremental` emit a snapshot on
+    /// every call; `Batched` returns `None` until
+    /// [`batch_interval`](ReplicaConfig::batch_interval) ticks have
+    /// accumulated for this peer, then one [`BatchedGossipMsg`] covering
+    /// everything since the last exchange. Transports should call this
+    /// once per peer per gossip tick and send only `Some` results.
+    pub fn poll_gossip(&mut self, peer: ReplicaId) -> Option<GossipEnvelope<T::Operator>> {
+        if self.config.gossip != GossipStrategy::Batched || self.recovering.is_some() {
+            return Some(GossipEnvelope::Snapshot(self.make_gossip(peer)));
+        }
+        let interval = self.config.batch_interval.max(1);
+        let bs = self.batch.entry(peer).or_default();
+        bs.ticks += 1;
+        if bs.ticks < interval {
+            return None;
+        }
+        bs.ticks = 0;
+        let msg = self.make_batched_gossip(peer);
+        self.stats.gossip_out += 1;
+        self.stats.gossip_out_bytes += msg.approx_bytes() as u64;
+        Some(GossipEnvelope::Batched(msg))
+    }
+
+    /// Builds one batched exchange for `peer` (see
+    /// [`GossipStrategy::Batched`]): `R`/`L` as deltas against what the
+    /// peer's handshake covers and what we already shipped, `D`/`S` as
+    /// complete summaries, plus our own `known` handshake. Unlike
+    /// [`Replica::poll_gossip`] this ignores pacing and does not touch the
+    /// stats counters.
+    ///
+    /// Wire bytes are O(delta + #clients); *construction* still scans the
+    /// label map (like every other strategy — `LabelMap` has no
+    /// changed-since index), but the per-peer memory is bounded: sent
+    /// descriptors/knowledge live in summaries, and sent-label entries
+    /// are dropped once the op is stable at the peer (vs the incremental
+    /// strategy's ever-growing per-peer id sets).
+    pub fn make_batched_gossip(&mut self, peer: ReplicaId) -> BatchedGossipMsg<T::Operator> {
+        let peer_stable = &self.stable[self.idx(peer)];
+        let bs = self.batch.entry(peer).or_default();
+        let rcvd: Vec<OpDescriptor<T::Operator>> = self
+            .rcvd
+            .values()
+            .filter(|d| !bs.peer_rcvd.contains(d.id) && !bs.sent_rcvd.contains(d.id))
+            .cloned()
+            .collect();
+        for d in &rcvd {
+            bs.sent_rcvd.insert(d.id);
+        }
+        // §10.2 label GC, mirroring `gc_gossip`'s `L` pruning: an op
+        // stable at the peer holds its frozen system-minimum label there
+        // (Invariant 7.19), so its shipped label is retired and its
+        // sent-label bookkeeping dropped — `sent_labels` tracks only
+        // labels still in flux, not all of history. Only *shipped* labels
+        // retire (stability is reached through our own earlier batches),
+        // and retirement lives in `label_gc` so `reset_watermark` rewinds
+        // it for recovered peers.
+        {
+            let BatchState {
+                sent_labels,
+                label_gc,
+                ..
+            } = bs;
+            sent_labels.retain(|id, _| {
+                if peer_stable.contains(id) {
+                    label_gc.insert(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let labels: Vec<(OpId, Label)> = self
+            .labels
+            .iter()
+            .filter(|(id, l)| {
+                !bs.label_gc.contains(*id) && bs.sent_labels.get(id).is_none_or(|sent| l < sent)
+            })
+            .collect();
+        for (id, l) in &labels {
+            bs.sent_labels.insert(*id, *l);
+        }
+        BatchedGossipMsg {
+            from: self.id,
+            rcvd,
+            done: self.done_here_summary.clone(),
+            labels,
+            stable: self.stable_here_summary.clone(),
+            known: self.rcvd_summary.clone(),
+        }
+    }
+
+    /// Handles a batched gossip exchange: records the sender's `known`
+    /// handshake, folds in only the [`IdSummary::difference`] of its
+    /// `done`/`stable` summaries against what this replica has already
+    /// seen from it (O(delta)), and merges the `R`/`L` deltas through the
+    /// ordinary [`Replica::on_gossip`] path. Duplicated messages are
+    /// no-ops (summaries are monotone); lost messages stall only the
+    /// `R`/`L` deltas, which [`Replica::reset_watermark`] at the sender
+    /// rewinds.
+    pub fn on_batched_gossip(
+        &mut self,
+        g: BatchedGossipMsg<T::Operator>,
+    ) -> Vec<RespondEffect<T::Value>> {
+        let BatchedGossipMsg {
+            from,
+            rcvd,
+            done,
+            labels,
+            stable,
+            known,
+        } = g;
+        let bs = self.batch.entry(from).or_default();
+        let new_done = done.difference(&bs.seen_done);
+        let new_stable = stable.difference(&bs.seen_stable);
+        bs.seen_done.merge(&done);
+        bs.seen_stable.merge(&stable);
+        bs.peer_rcvd.merge(&known);
+        self.on_gossip(GossipMsg {
+            from,
+            rcvd,
+            done: new_done.iter().collect(),
+            labels,
+            stable: new_stable.iter().collect(),
+        })
+    }
+
+    /// Dispatches any replica-to-replica message to its handler.
+    pub fn on_gossip_envelope(
+        &mut self,
+        env: GossipEnvelope<T::Operator>,
+    ) -> Vec<RespondEffect<T::Value>> {
+        match env {
+            GossipEnvelope::Snapshot(g) => self.on_gossip(g),
+            GossipEnvelope::Batched(b) => self.on_batched_gossip(b),
+        }
     }
 
     /// §10.2 local compaction: purges the full descriptors (operator and
@@ -763,6 +982,7 @@ impl<T: SerialDataType> Replica<T> {
             .copied()
             .collect();
         self.rcvd.insert(id, desc);
+        self.rcvd_summary.insert(id);
         if self.done[here].contains(&id) {
             // Already done via gossip D/S before the descriptor arrived in
             // R of the same message — nothing to schedule.
@@ -796,6 +1016,7 @@ impl<T: SerialDataType> Replica<T> {
         }
         let here = self.idx(self.id);
         if i == here {
+            self.done_here_summary.insert(x);
             self.newly_done.push(x);
             if self.eager.is_some() {
                 self.eager_backlog.push(x);
@@ -822,6 +1043,9 @@ impl<T: SerialDataType> Replica<T> {
     fn mark_stable_at(&mut self, x: OpId, i: usize) {
         if !self.stable[i].insert(x) {
             return;
+        }
+        if i == self.idx(self.id) {
+            self.stable_here_summary.insert(x);
         }
         let c = self.stable_at_count.entry(x).or_insert(0);
         *c += 1;
@@ -1259,6 +1483,227 @@ mod tests {
         let _ = b.on_gossip(g1);
         let _ = b.on_gossip(g2);
         assert!(b.done_here().contains(&id(0, 0)));
+    }
+
+    /// Exchange one batched round in each direction via poll_gossip
+    /// (batch_interval 1 ⇒ always due).
+    fn sync_batched(a: &mut Replica<Ctr>, b: &mut Replica<Ctr>) -> Vec<RespondEffect<i64>> {
+        let mut effects = Vec::new();
+        if let Some(env) = a.poll_gossip(b.id()) {
+            effects.extend(b.on_gossip_envelope(env));
+        }
+        if let Some(env) = b.poll_gossip(a.id()) {
+            effects.extend(a.on_gossip_envelope(env));
+        }
+        effects
+    }
+
+    #[test]
+    fn batched_gossip_converges_like_full() {
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let _ = b.on_request(OpDescriptor::new(id(1, 0), Op::Inc));
+        for _ in 0..4 {
+            sync_batched(&mut a, &mut b);
+        }
+        assert_eq!(a.local_order(), b.local_order());
+        assert_eq!(a.current_state(), 2);
+        assert!(a.stable_everywhere().contains(&id(0, 0)));
+        assert!(b.stable_everywhere().contains(&id(1, 0)));
+    }
+
+    #[test]
+    fn batched_strict_request_stabilizes() {
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let fx = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc).with_strict(true));
+        assert!(fx.is_empty());
+        let mut fx = Vec::new();
+        for _ in 0..4 {
+            fx.extend(sync_batched(&mut a, &mut b));
+        }
+        let resp: Vec<_> = fx.iter().filter(|e| e.msg.id == id(0, 0)).collect();
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].msg.value, 1);
+    }
+
+    #[test]
+    fn batched_ships_descriptors_once_and_prunes_by_handshake() {
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let Some(GossipEnvelope::Batched(g1)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!("batch_interval 1 must emit");
+        };
+        assert_eq!(g1.rcvd.len(), 1, "first exchange ships the descriptor");
+        let _ = b.on_gossip_envelope(GossipEnvelope::Batched(g1));
+        // Second exchange: the descriptor was already sent.
+        let Some(GossipEnvelope::Batched(g2)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!()
+        };
+        assert!(g2.rcvd.is_empty(), "sent_rcvd suppresses the re-send");
+        // An op b learned elsewhere (directly) is covered by b's handshake:
+        // a never ships its descriptor even though a also holds it.
+        let _ = b.on_request(OpDescriptor::new(id(1, 0), Op::Inc));
+        let Some(env) = b.poll_gossip(ReplicaId(0)) else {
+            panic!()
+        };
+        let _ = a.on_gossip_envelope(env); // a learns b's handshake covers 1:0
+        let Some(GossipEnvelope::Batched(g3)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!()
+        };
+        assert!(
+            g3.rcvd.is_empty(),
+            "peer_rcvd handshake prunes descriptors the peer already has"
+        );
+    }
+
+    #[test]
+    fn batched_interval_paces_exchanges() {
+        let cfg = ReplicaConfig::default().with_batched(3);
+        let (mut a, _) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        assert!(a.poll_gossip(ReplicaId(1)).is_none(), "tick 1 accumulates");
+        assert!(a.poll_gossip(ReplicaId(1)).is_none(), "tick 2 accumulates");
+        let env = a.poll_gossip(ReplicaId(1)).expect("tick 3 emits the batch");
+        match env {
+            GossipEnvelope::Batched(b) => assert_eq!(b.rcvd.len(), 1),
+            GossipEnvelope::Snapshot(_) => panic!("batched strategy emits batches"),
+        }
+        assert!(a.poll_gossip(ReplicaId(1)).is_none(), "pacing restarts");
+    }
+
+    #[test]
+    fn batched_duplicate_delivery_is_idempotent() {
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let Some(GossipEnvelope::Batched(g)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!()
+        };
+        let _ = b.on_batched_gossip(g.clone());
+        let before = (b.done_here().clone(), b.labels().clone());
+        let _ = b.on_batched_gossip(g);
+        assert_eq!(b.done_here(), &before.0);
+        assert_eq!(b.labels(), &before.1);
+    }
+
+    #[test]
+    fn batched_reset_watermark_reships_everything() {
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        // First batch is "lost": b never sees it.
+        let _ = a.poll_gossip(ReplicaId(1)).expect("emitted");
+        let Some(GossipEnvelope::Batched(g2)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!()
+        };
+        assert!(
+            g2.rcvd.is_empty(),
+            "descriptor is not re-shipped by default"
+        );
+        a.reset_watermark(ReplicaId(1));
+        let Some(GossipEnvelope::Batched(g3)) = a.poll_gossip(ReplicaId(1)) else {
+            panic!()
+        };
+        assert_eq!(g3.rcvd.len(), 1, "reset rewinds the delta state");
+        let _ = b.on_gossip_envelope(GossipEnvelope::Batched(g3));
+        assert!(b.done_here().contains(&id(0, 0)));
+    }
+
+    #[test]
+    fn batched_label_gc_retires_peer_stable_labels_until_reset() {
+        // Once an op is stable at the peer its label is frozen there
+        // (Invariant 7.19), so steady-state batches stop carrying it; but
+        // the retirement is part of the rewindable delta state — after
+        // reset_watermark (connection loss, peer recovery) the label
+        // ships again, because a recovered peer has lost it.
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync_batched(&mut a, &mut b);
+        }
+        assert!(a.stable(ReplicaId(1)).contains(&id(0, 0)));
+        let g = a.make_batched_gossip(ReplicaId(1));
+        assert!(g.labels.is_empty(), "peer-stable labels are retired");
+        a.reset_watermark(ReplicaId(1));
+        let g = a.make_batched_gossip(ReplicaId(1));
+        assert_eq!(g.rcvd.len(), 1, "descriptor re-ships after reset");
+        assert_eq!(g.labels.len(), 1, "label re-ships after reset");
+    }
+
+    #[test]
+    fn batched_crash_recovery_relearns_labels() {
+        // Regression (found in review): retiring labels by peek-at-
+        // `stable[peer]` alone made them unrecoverable — a crashed peer
+        // lost its labels, and the sender's stale stability knowledge
+        // suppressed re-shipping them, so the recovered replica marked
+        // ops done without labels (Invariant 7.5 violation).
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync_batched(&mut a, &mut b);
+        }
+        assert!(a.stable(ReplicaId(1)).contains(&id(0, 0)));
+        // Exchange once more so a's label GC retires the stable label.
+        let _ = b.on_batched_gossip(a.make_batched_gossip(ReplicaId(1)));
+        // b crashes and recovers; the harness protocol: peers reset.
+        let stub = b.crash();
+        let mut b = Replica::recover(Ctr, stub, 2, cfg);
+        a.reset_watermark(ReplicaId(1));
+        for _ in 0..4 {
+            sync_batched(&mut a, &mut b);
+        }
+        assert!(!b.is_recovering());
+        assert!(b.labels().is_labeled(id(0, 0)), "label re-learned");
+        assert!(b.done_here().contains(&id(0, 0)));
+        assert_eq!(b.current_state(), 1);
+        assert_eq!(a.local_order(), b.local_order());
+    }
+
+    #[test]
+    fn batched_summaries_survive_compaction() {
+        // §10.2 compaction purges descriptors, not knowledge: the
+        // handshake still covers compacted ids and D/S still carry them.
+        let cfg = ReplicaConfig::default().with_batched(1);
+        let (mut a, mut b) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        for _ in 0..4 {
+            sync_batched(&mut a, &mut b);
+        }
+        assert!(a.stable_here().contains(&id(0, 0)));
+        assert_eq!(a.compact(), 1);
+        let g = a.make_batched_gossip(ReplicaId(1));
+        assert!(g.known.contains(id(0, 0)), "knowledge outlives storage");
+        assert!(g.done.contains(id(0, 0)));
+        assert!(g.stable.contains(id(0, 0)));
+        let _ = b.on_batched_gossip(g);
+    }
+
+    #[test]
+    fn batched_recovering_replica_gossips_empty_snapshot() {
+        let cfg = ReplicaConfig::default().with_batched(2);
+        let (a, _) = two_replicas(cfg);
+        let stub = a.crash();
+        let mut a = Replica::recover(Ctr, stub, 2, cfg);
+        let env = a.poll_gossip(ReplicaId(1)).expect("liveness beacon");
+        match env {
+            GossipEnvelope::Snapshot(g) => assert!(g.is_empty()),
+            GossipEnvelope::Batched(_) => panic!("recovering replicas send empty snapshots"),
+        }
+    }
+
+    #[test]
+    fn make_gossip_under_batched_falls_back_to_snapshot() {
+        let cfg = ReplicaConfig::default().with_batched(4);
+        let (mut a, _) = two_replicas(cfg);
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let g = a.make_gossip(ReplicaId(1));
+        assert_eq!(g.rcvd.len(), 1, "resync message carries the snapshot");
+        assert_eq!(g.done.len(), 1);
     }
 
     #[test]

@@ -477,16 +477,71 @@ pub fn tab_commute(ops: usize) -> (f64, f64) {
     (recompute, eager)
 }
 
-/// A3 — §10.4 gossip strategies: bytes and messages per operation.
-/// Returns `(strategy_name, msgs_per_op, bytes_per_op)`.
-pub fn tab_gossip_strategies(ops: usize) -> Vec<(&'static str, f64, f64)> {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for (name, replica, broadcast) in [
+/// One measured cell of the A3 gossip-strategy sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipStrategyPoint {
+    /// Human-readable strategy name.
+    pub strategy: &'static str,
+    /// Gossip interval `g` in milliseconds.
+    pub g_ms: u64,
+    /// Gossip messages sent per completed operation.
+    pub msgs_per_op: f64,
+    /// Approximate gossip bytes sent per completed operation.
+    pub bytes_per_op: f64,
+    /// Completed operations per virtual second.
+    pub ops_per_sec: f64,
+}
+
+/// Runs one strategy/interval cell of the A3 sweep (the same 4-replica
+/// open-loop workload for every cell), verifying convergence.
+fn gossip_strategy_run(
+    replica: ReplicaConfig,
+    broadcast: bool,
+    g_ms: u64,
+    ops: usize,
+) -> (f64, f64, f64) {
+    let mut cfg = standard_config(4, 31)
+        .with_replica(replica)
+        .with_gossip_interval(SimDuration::from_millis(g_ms));
+    cfg.broadcast_gossip = broadcast;
+    let mut sys = SimSystem::new(Counter, cfg);
+    let w = OpenLoopWorkload::new(4, ops, SimDuration::from_millis(10)).with_strict_fraction(0.2);
+    let mut src = CounterSource::new(0.5, 8);
+    apply_open_loop(&mut sys, &w, &mut src);
+    sys.run_until_quiescent();
+    check_converged(&sys.local_orders(), &sys.replica_states())
+        .expect("all strategies must converge");
+    let (msgs, bytes) = sys.gossip_traffic();
+    let total = (4 * ops) as f64;
+    let end = latest_response(&sys);
+    let ops_per_sec = if end > SimTime::ZERO {
+        sys.completed_count() as f64 / end.as_secs_f64()
+    } else {
+        0.0
+    };
+    (msgs as f64 / total, bytes as f64 / total, ops_per_sec)
+}
+
+/// A3 — §10.4 gossip strategies: messages, bytes, and throughput per
+/// operation, swept across gossip intervals. The headline comparison is
+/// Full vs Incremental vs Batched (4 ticks per exchange): Full re-ships
+/// the whole `(R, D, L, S)` history every tick, Incremental ships deltas
+/// every tick, Batched ships deltas plus summary watermarks every 4th
+/// tick — O(delta) bytes *and* 1/4 the messages at steady state. The GC
+/// and broadcast variants are included at each interval for continuity
+/// with the paper's ablation. Returns one [`GossipStrategyPoint`] per
+/// (strategy, interval) cell.
+pub fn tab_gossip_strategies(ops: usize) -> Vec<GossipStrategyPoint> {
+    let strategies: [(&'static str, ReplicaConfig, bool); 5] = [
         ("full snapshot (paper §6)", ReplicaConfig::default(), false),
         (
             "incremental (§10.4, FIFO channels)",
             ReplicaConfig::default().with_gossip(GossipStrategy::Incremental),
+            false,
+        ),
+        (
+            "batched ×4 (§10.2+§10.4, FIFO channels)",
+            ReplicaConfig::default().with_batched(4),
             false,
         ),
         (
@@ -495,29 +550,38 @@ pub fn tab_gossip_strategies(ops: usize) -> Vec<(&'static str, f64, f64)> {
             false,
         ),
         ("broadcast (§10.4)", ReplicaConfig::default(), true),
-    ] {
-        let mut cfg = standard_config(4, 31).with_replica(replica);
-        cfg.broadcast_gossip = broadcast;
-        let mut sys = SimSystem::new(Counter, cfg);
-        let w =
-            OpenLoopWorkload::new(4, ops, SimDuration::from_millis(10)).with_strict_fraction(0.2);
-        let mut src = CounterSource::new(0.5, 8);
-        apply_open_loop(&mut sys, &w, &mut src);
-        sys.run_until_quiescent();
-        check_converged(&sys.local_orders(), &sys.replica_states())
-            .expect("all strategies must converge");
-        let (msgs, bytes) = sys.gossip_traffic();
-        let total = (4 * ops) as f64;
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}", msgs as f64 / total),
-            format!("{:.0}", bytes as f64 / total),
-        ]);
-        out.push((name, msgs as f64 / total, bytes as f64 / total));
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for g_ms in [10u64, 20, 40] {
+        for (name, replica, broadcast) in strategies {
+            let (msgs_per_op, bytes_per_op, ops_per_sec) =
+                gossip_strategy_run(replica, broadcast, g_ms, ops);
+            rows.push(vec![
+                name.to_string(),
+                format!("{g_ms} ms"),
+                format!("{msgs_per_op:.1}"),
+                format!("{bytes_per_op:.0}"),
+                format!("{ops_per_sec:.0}"),
+            ]);
+            out.push(GossipStrategyPoint {
+                strategy: name,
+                g_ms,
+                msgs_per_op,
+                bytes_per_op,
+                ops_per_sec,
+            });
+        }
     }
     print_table(
-        "A3 — §10.4 gossip strategies (4 replicas; convergence verified for each)",
-        &["strategy", "gossip msgs / op", "gossip bytes / op"],
+        "A3 — §10.4 gossip strategies × gossip interval (4 replicas; convergence verified for each cell)",
+        &[
+            "strategy",
+            "g",
+            "gossip msgs / op",
+            "gossip bytes / op",
+            "ops / s",
+        ],
         &rows,
     );
     out
@@ -789,6 +853,26 @@ mod tests {
         assert!(
             tp4 > tp1 * 1.5,
             "4 shards must beat 1 by ≥1.5×: {tp4:.0} vs {tp1:.0}"
+        );
+    }
+
+    #[test]
+    fn batched_gossip_beats_full_on_bytes_and_messages() {
+        // The PR 3 acceptance criterion in miniature: at steady state the
+        // batched strategy transfers strictly fewer bytes per operation
+        // than full snapshots (O(delta + #clients) vs O(history)) and,
+        // with 4 ticks per exchange, strictly fewer messages.
+        let (full_msgs, full_bytes, _) =
+            gossip_strategy_run(ReplicaConfig::default(), false, 20, 25);
+        let (batched_msgs, batched_bytes, _) =
+            gossip_strategy_run(ReplicaConfig::default().with_batched(4), false, 20, 25);
+        assert!(
+            batched_bytes < full_bytes,
+            "batched bytes/op {batched_bytes:.0} must be < full {full_bytes:.0}"
+        );
+        assert!(
+            batched_msgs < full_msgs,
+            "batched msgs/op {batched_msgs:.1} must be < full {full_msgs:.1}"
         );
     }
 

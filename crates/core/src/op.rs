@@ -71,6 +71,16 @@ impl<O> OpDescriptor<O> {
         self
     }
 
+    /// Approximate encoded size in bytes, the shared estimate of every
+    /// gossip sizing model (`GossipMsg`/`BatchedGossipMsg`/
+    /// `SummarizedGossip::approx_bytes`): id (16) + a small operator
+    /// estimate (8) + prev entries (16 each) + strict/overhead (16).
+    /// Keeping one copy keeps the §10.4 byte comparisons honest — tuning
+    /// the estimate skews every strategy's column together.
+    pub fn approx_bytes(&self) -> usize {
+        16 + 8 + 16 * self.prev.len() + 16
+    }
+
     /// Maps the operator, preserving id/prev/strict. Useful when wrapping a
     /// data type (e.g. instrumentation).
     pub fn map_op<P>(self, f: impl FnOnce(O) -> P) -> OpDescriptor<P> {

@@ -151,6 +151,46 @@ impl IdSummary {
         self.exceptions.len()
     }
 
+    /// The set difference `self − other` as a summary.
+    ///
+    /// Cost is proportional to the *difference* plus the two summaries'
+    /// stored entries (watermarks and exceptions), **not** to
+    /// [`len`](Self::len): per client only the sequences between the two
+    /// watermarks are examined. This is what makes an `IdSummary` exchange
+    /// O(delta) — batched gossip (§10.4) ships complete `done`/`stable`
+    /// summaries and receivers diff them against what they have already
+    /// folded in, touching only the new identifiers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esds_core::{ClientId, IdSummary, OpId};
+    ///
+    /// let big = IdSummary::from_ids((0..100).map(|s| OpId::new(ClientId(0), s)));
+    /// let small = IdSummary::from_ids((0..98).map(|s| OpId::new(ClientId(0), s)));
+    /// let delta = big.difference(&small);
+    /// assert_eq!(delta.len(), 2);
+    /// assert!(delta.contains(OpId::new(ClientId(0), 99)));
+    /// assert!(small.difference(&big).is_empty());
+    /// ```
+    pub fn difference(&self, other: &IdSummary) -> IdSummary {
+        let mut out = IdSummary::new();
+        for (c, w) in &self.watermarks {
+            for seq in other.watermark(*c)..*w {
+                let id = OpId::new(*c, seq);
+                if !other.contains(id) {
+                    out.insert(id);
+                }
+            }
+        }
+        for id in &self.exceptions {
+            if !other.contains(*id) {
+                out.insert(*id);
+            }
+        }
+        out
+    }
+
     /// Whether every member of `other` is a member of `self`.
     pub fn covers(&self, other: &IdSummary) -> bool {
         for (c, w) in &other.watermarks {
@@ -367,6 +407,25 @@ mod tests {
         assert!(!s.covers(&other));
         s.insert(id(0, 0));
         assert!(s.covers(&other));
+    }
+
+    #[test]
+    fn difference_is_set_minus() {
+        let a = IdSummary::from_ids([id(0, 0), id(0, 1), id(0, 2), id(1, 0), id(2, 5)]);
+        let b = IdSummary::from_ids([id(0, 1), id(1, 0), id(1, 1)]);
+        let d = a.difference(&b);
+        let got: BTreeSet<OpId> = d.iter().collect();
+        let want: BTreeSet<OpId> = [id(0, 0), id(0, 2), id(2, 5)].into();
+        assert_eq!(got, want);
+        // other's exceptions above its watermark are honoured.
+        let mut c = IdSummary::new();
+        c.insert(id(0, 2)); // exception, watermark 0
+        let d = a.difference(&c);
+        assert!(!d.contains(id(0, 2)));
+        assert!(d.contains(id(0, 0)));
+        // Difference against self / empty.
+        assert!(a.difference(&a).is_empty());
+        assert_eq!(a.difference(&IdSummary::new()), a);
     }
 
     #[test]

@@ -388,4 +388,106 @@ proptest! {
         let union: BTreeSet<OpId> = ab.iter().collect();
         prop_assert_eq!(union.len(), ab.len());
     }
+
+    /// Merge is associative: (a ∪ b) ∪ c = a ∪ (b ∪ c). Together with the
+    /// commutativity/idempotence properties above this makes gossip merge
+    /// order-insensitive — duplicated, reordered, or re-batched summary
+    /// exchanges all converge to the same state.
+    #[test]
+    fn id_summary_merge_is_associative(
+        a in proptest::collection::btree_set((0u32..3, 0u64..12), 0..15),
+        b in proptest::collection::btree_set((0u32..3, 0u64..12), 0..15),
+        c in proptest::collection::btree_set((0u32..3, 0u64..12), 0..15),
+    ) {
+        use esds_core::IdSummary;
+        let to_sum = |s: &BTreeSet<(u32, u64)>| -> IdSummary {
+            s.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect()
+        };
+        let (sa, sb, sc) = (to_sum(&a), to_sum(&b), to_sum(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// `covers` is a partial order (reflexive, antisymmetric, transitive)
+    /// that agrees with `contains` pointwise.
+    #[test]
+    fn id_summary_covers_is_partial_order(
+        a in proptest::collection::btree_set((0u32..3, 0u64..10), 0..15),
+        b in proptest::collection::btree_set((0u32..3, 0u64..10), 0..15),
+        c in proptest::collection::btree_set((0u32..3, 0u64..10), 0..15),
+    ) {
+        use esds_core::IdSummary;
+        let to_sum = |s: &BTreeSet<(u32, u64)>| -> IdSummary {
+            s.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect()
+        };
+        let (sa, sb, sc) = (to_sum(&a), to_sum(&b), to_sum(&c));
+        // Reflexive.
+        prop_assert!(sa.covers(&sa));
+        // Pointwise agreement with contains.
+        prop_assert_eq!(sa.covers(&sb), sb.iter().all(|id| sa.contains(id)));
+        // Antisymmetric: mutual coverage is equality (the
+        // watermark/exception representation is canonical, so set
+        // equality is structural equality).
+        if sa.covers(&sb) && sb.covers(&sa) {
+            prop_assert_eq!(&sa, &sb);
+        }
+        // Transitive.
+        if sa.covers(&sb) && sb.covers(&sc) {
+            prop_assert!(sa.covers(&sc));
+        }
+    }
+
+    /// `from_ids` round-trips through `iter`: rebuilding a summary from
+    /// its own iteration reproduces it exactly (canonical representation),
+    /// and iteration is duplicate-free and sorted.
+    #[test]
+    fn id_summary_from_ids_roundtrips_through_iter(
+        ids in proptest::collection::vec((0u32..4, 0u64..20), 0..40),
+    ) {
+        use esds_core::IdSummary;
+        let s = IdSummary::from_ids(ids.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)));
+        let listed: Vec<OpId> = s.iter().collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(&listed, &sorted, "iter is sorted and duplicate-free");
+        prop_assert_eq!(listed.len(), s.len());
+        let rebuilt = IdSummary::from_ids(listed);
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    /// `difference` is set subtraction, and merging the difference back
+    /// restores the union — the identity the batched-gossip receive path
+    /// relies on (fold in `incoming − seen`, then `seen ∪= incoming`).
+    #[test]
+    fn id_summary_difference_is_set_minus(
+        a in proptest::collection::btree_set((0u32..3, 0u64..14), 0..20),
+        b in proptest::collection::btree_set((0u32..3, 0u64..14), 0..20),
+    ) {
+        use esds_core::IdSummary;
+        let to_ids = |s: &BTreeSet<(u32, u64)>| -> BTreeSet<OpId> {
+            s.iter().map(|(c, q)| OpId::new(ClientId(*c), *q)).collect()
+        };
+        let (ia, ib) = (to_ids(&a), to_ids(&b));
+        let sa = IdSummary::from_ids(ia.iter().copied());
+        let sb = IdSummary::from_ids(ib.iter().copied());
+        let d = sa.difference(&sb);
+        let got: BTreeSet<OpId> = d.iter().collect();
+        let want: BTreeSet<OpId> = ia.difference(&ib).copied().collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert!(sa.covers(&d));
+        prop_assert!(got.iter().all(|id| !sb.contains(*id)));
+        // b ∪ (a − b) = b ∪ a.
+        let mut patched = sb.clone();
+        patched.merge(&d);
+        let mut union = sb.clone();
+        union.merge(&sa);
+        prop_assert_eq!(patched, union);
+    }
 }

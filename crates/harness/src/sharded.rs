@@ -333,6 +333,34 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         self.run_until(t);
     }
 
+    /// Runs **one** event of shard `shard` and returns its report, then
+    /// releases any deferred cross-shard submissions the event unblocked.
+    /// `None` when that shard's queue is empty. This is the
+    /// fine-grained stepping mode the per-shard
+    /// [`crate::ConformanceObserver`]s need: each shard is an independent
+    /// ESDS instance, so observing every shard's steps against its own
+    /// `ESDS-II` automaton is exactly the sharded conformance statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn step_shard(&mut self, shard: usize) -> Option<crate::system::TimedStep<T>> {
+        let out = self.shards[shard].step_one();
+        self.pump();
+        out
+    }
+
+    /// A live borrow view of shard `shard` for invariant/conformance
+    /// checks (see [`SimSystem::view`]). `None` if a replica of that
+    /// shard is crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_view(&self, shard: usize) -> Option<esds_alg::SystemView<'_, T>> {
+        self.shards[shard].view()
+    }
+
     /// Whether every submission has been released to its shard, answered,
     /// and stabilized within its group.
     pub fn is_converged(&self) -> bool {

@@ -11,8 +11,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use esds_alg::{
-    FrontEnd, GossipMsg, RelayPolicy, Replica, ReplicaConfig, ReplicaStats, RequestMsg,
-    ResponseMsg, SystemView,
+    FrontEnd, GossipEnvelope, GossipMsg, RelayPolicy, Replica, ReplicaConfig, ReplicaStats,
+    RequestMsg, ResponseMsg, SystemView,
 };
 use esds_core::{ClientId, OpDescriptor, OpId, ReplicaId, SerialDataType};
 use esds_sim::{
@@ -231,12 +231,17 @@ enum Event<O, V> {
     },
     DeliverGossip {
         to: ReplicaId,
-        msg: GossipMsg<O>,
+        msg: GossipEnvelope<O>,
         tag: u64,
+        /// The (sender, receiver) incarnations when the message was sent:
+        /// a gossip message in flight across a crash of either endpoint
+        /// dies with the connection.
+        epochs: (u64, u64),
     },
     ProcessGossip {
         at: ReplicaId,
-        msg: GossipMsg<O>,
+        msg: GossipEnvelope<O>,
+        epochs: (u64, u64),
     },
     DeliverResponse {
         to: ClientId,
@@ -316,6 +321,15 @@ struct EsdsWorld<T: SerialDataType + Clone> {
     replicas: Vec<Slot<T>>,
     busy: Vec<SimTime>,
     isolated: Vec<bool>,
+    /// Per-replica incarnation counter, bumped at every crash; gossip
+    /// events carry both endpoints' values at send time so pre-crash
+    /// in-flight messages are dropped instead of crossing the crash.
+    /// Toward a recovered receiver, stale deltas could mark ops done
+    /// whose labels died with the crash (Invariant 7.5); from a dead
+    /// sender, a stale handshake could re-pollute the state the
+    /// receiver's `reset_watermark` just rewound, suppressing re-sends
+    /// the recovered incarnation still needs.
+    crash_epoch: Vec<u64>,
     front_ends: Vec<FrontEnd<T::Operator, T::Value>>,
     users: Users<T::Operator>,
 
@@ -412,7 +426,7 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
         from: ReplicaId,
         to: ReplicaId,
         queue: &mut EventQueue<Event<T::Operator, T::Value>>,
-        msg: GossipMsg<T::Operator>,
+        msg: GossipEnvelope<T::Operator>,
     ) {
         if self.isolated[from.0 as usize] || self.isolated[to.0 as usize] {
             return;
@@ -427,7 +441,9 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
             let tag = self.gossip_tag;
             self.gossip_tag += 1;
             if self.config.track_in_flight {
-                self.in_flight_gossip.insert(tag, (to, msg.clone()));
+                // Checkers reason over the snapshot-shaped view of the
+                // message (batched D/S summaries expanded).
+                self.in_flight_gossip.insert(tag, (to, msg.to_snapshot()));
             }
             queue.schedule_after(
                 d,
@@ -435,6 +451,10 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
                     to,
                     msg: msg.clone(),
                     tag,
+                    epochs: (
+                        self.crash_epoch[from.0 as usize],
+                        self.crash_epoch[to.0 as usize],
+                    ),
                 },
             );
         }
@@ -452,6 +472,17 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
             *b = done;
             Some(done)
         }
+    }
+
+    /// Whether an in-flight gossip message predates a crash of either
+    /// endpoint (see the `crash_epoch` field): such messages died with
+    /// the connection.
+    fn gossip_is_stale(&self, from: ReplicaId, to: ReplicaId, epochs: (u64, u64)) -> bool {
+        epochs
+            != (
+                self.crash_epoch[from.0 as usize],
+                self.crash_epoch[to.0 as usize],
+            )
     }
 
     /// Handles replica output effects: transmit responses, update logs.
@@ -503,6 +534,9 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
                     }),
                 ) {
                     self.replicas[i] = Slot::Crashed(rep.crash());
+                    // In-flight messages to the old incarnation die with
+                    // its connections.
+                    self.crash_epoch[i] += 1;
                 }
             }
             FaultEvent::Recover(r) => {
@@ -585,25 +619,37 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                 self.apply_effects(at, queue, fx);
                 self.note_newly_done(at, queue.now());
             }
-            Event::DeliverGossip { to, msg, tag } => {
+            Event::DeliverGossip {
+                to,
+                msg,
+                tag,
+                epochs,
+            } => {
                 self.in_flight_gossip.remove(&tag);
-                if self.replica(to).is_none() {
+                if self.gossip_is_stale(msg.from(), to, epochs) || self.replica(to).is_none() {
                     return;
                 }
                 match self.finish_time(to, queue.now(), self.config.processing.gossip_cost) {
                     None => {
-                        let fx = self.replica(to).expect("alive").on_gossip(msg);
+                        let fx = self.replica(to).expect("alive").on_gossip_envelope(msg);
                         self.apply_effects(to, queue, fx);
                         self.note_newly_done(to, queue.now());
                     }
-                    Some(at) => queue.schedule_at(at, Event::ProcessGossip { at: to, msg }),
+                    Some(at) => queue.schedule_at(
+                        at,
+                        Event::ProcessGossip {
+                            at: to,
+                            msg,
+                            epochs,
+                        },
+                    ),
                 }
             }
-            Event::ProcessGossip { at, msg } => {
-                if self.replica(at).is_none() {
+            Event::ProcessGossip { at, msg, epochs } => {
+                if self.gossip_is_stale(msg.from(), at, epochs) || self.replica(at).is_none() {
                     return;
                 }
-                let fx = self.replica(at).expect("alive").on_gossip(msg);
+                let fx = self.replica(at).expect("alive").on_gossip_envelope(msg);
                 self.apply_effects(at, queue, fx);
                 self.note_newly_done(at, queue.now());
             }
@@ -622,15 +668,28 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                 if n < 2 {
                     return;
                 }
+                // Isolated endpoints produce/receive nothing. Skipping
+                // *before* constructing the message matters for the delta
+                // strategies: make_gossip/poll_gossip irreversibly record
+                // what was shipped (incremental watermarks, batched
+                // handshake state), so building a message the fault model
+                // then drops would lose those deltas forever (Reconnect,
+                // unlike Recover, does not reset peers' watermarks).
+                if self.isolated[from.0 as usize] {
+                    return;
+                }
                 let peers: Vec<ReplicaId> = (0..n as u32)
                     .map(ReplicaId)
-                    .filter(|p| *p != from)
+                    .filter(|p| *p != from && !self.isolated[p.0 as usize])
                     .collect();
+                if peers.is_empty() {
+                    return;
+                }
                 if self.config.broadcast_gossip {
                     let Some(rep) = self.replica(from) else {
                         return;
                     };
-                    let msg = rep.make_gossip(peers[0]);
+                    let msg = GossipEnvelope::Snapshot(rep.make_gossip(peers[0]));
                     self.gossip_messages_sent += 1;
                     self.gossip_bytes_sent += msg.approx_bytes() as u64;
                     for p in peers {
@@ -641,7 +700,11 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                         let Some(rep) = self.replica(from) else {
                             return;
                         };
-                        let msg = rep.make_gossip(p);
+                        // Batched strategies skip ticks that are still
+                        // accumulating: no message, no bytes.
+                        let Some(msg) = rep.poll_gossip(p) else {
+                            continue;
+                        };
                         self.gossip_messages_sent += 1;
                         self.gossip_bytes_sent += msg.approx_bytes() as u64;
                         self.transmit_r2r(from, p, queue, msg);
@@ -694,9 +757,37 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
         assert!(config.n_replicas > 0, "need at least one replica");
         assert!(
             !(config.broadcast_gossip
-                && config.replica.gossip == esds_alg::GossipStrategy::Incremental),
-            "broadcast gossip sends one message to all peers; per-peer incremental state cannot apply"
+                && config.replica.gossip != esds_alg::GossipStrategy::Full),
+            "broadcast gossip sends one message to all peers; per-peer incremental/batched state cannot apply"
         );
+        assert!(
+            !(config.rr_channel.loss_prob > 0.0
+                && config.replica.gossip != esds_alg::GossipStrategy::Full),
+            "delta gossip (incremental/batched) assumes reliable replica channels: a dropped \
+             message loses its deltas forever (the simulator, unlike the TCP transport, has no \
+             send-failure signal to trigger reset_watermark); use GossipStrategy::Full with lossy \
+             rr channels"
+        );
+        if config.replica.gossip == esds_alg::GossipStrategy::Batched {
+            // Batched exchanges additionally need *in-order* delivery:
+            // each batch carries a complete done/stable summary while the
+            // matching labels ship only once, so a later batch overtaking
+            // an earlier one can mark an op done before its label arrives
+            // (Invariant 7.5). Successive batches to one peer are
+            // batch_interval·g apart, so delivery is order-preserving iff
+            // the channel's delay spread is within that gap. (Incremental
+            // is not gated: its done/stable ids travel in the same
+            // message as their labels.)
+            let delay = config.rr_channel.delay;
+            let spread = delay.upper_bound().as_micros() - delay.lower_bound().as_micros();
+            let gap = config.gossip_interval.as_micros()
+                * u64::from(config.replica.batch_interval.max(1));
+            assert!(
+                spread <= gap,
+                "batched gossip needs FIFO replica channels: rr delay spread {spread}µs exceeds \
+                 the {gap}µs between successive batches, so batches could be reordered"
+            );
+        }
         let replicas = (0..config.n_replicas)
             .map(|i| {
                 Slot::Alive(Box::new(Replica::new(
@@ -720,6 +811,7 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
             dt,
             busy: vec![SimTime::ZERO; config.n_replicas],
             isolated: vec![false; config.n_replicas],
+            crash_epoch: vec![0; config.n_replicas],
             replicas,
             front_ends: Vec::new(),
             users: Users::new(),
@@ -1148,6 +1240,144 @@ mod tests {
         assert!(t > SimTime::ZERO);
         assert_eq!(sys.completed_count(), 10);
         assert_eq!(sys.replica_states()[0], 10);
+    }
+
+    #[test]
+    fn batched_gossip_deployment_converges() {
+        // The §10.4 batched strategy under the full simulator: batching 4
+        // gossip intervals per exchange must still answer everything
+        // (including strict ops) and converge, with fewer messages than
+        // one per peer per tick.
+        let cfg = SystemConfig::new(3)
+            .with_seed(17)
+            .with_replica(ReplicaConfig::default().with_batched(4));
+        let mut sys = SimSystem::new(Counter, cfg);
+        let c = sys.add_client(0);
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            ids.push(sys.submit(c, CounterOp::Increment(1), &[], i % 4 == 0));
+        }
+        sys.run_until_quiescent();
+        for id in &ids {
+            assert_eq!(sys.response(*id), Some(&CounterValue::Ack));
+        }
+        let states = sys.replica_states();
+        assert!(states.iter().all(|s| *s == 8), "diverged: {states:?}");
+        let (msgs, bytes) = sys.gossip_traffic();
+        assert!(msgs > 0 && bytes > 0);
+        // 6 directed pairs tick every interval; batching emits on every
+        // 4th tick per pair.
+        let elapsed_ticks = sys.now().as_micros() / sys.config().gossip_interval.as_micros();
+        assert!(
+            msgs <= 6 * (elapsed_ticks / 4 + 1),
+            "batching must cut message count: {msgs} msgs over {elapsed_ticks} ticks"
+        );
+    }
+
+    #[test]
+    fn batched_gossip_survives_isolation_fault() {
+        // Regression: gossip polled toward an isolated replica used to be
+        // dropped *after* the batched handshake recorded it as sent, so
+        // the deltas were lost forever and the system never converged
+        // after Reconnect.
+        let cfg = SystemConfig::new(3)
+            .with_seed(23)
+            .with_replica(ReplicaConfig::default().with_batched(2));
+        let mut sys = SimSystem::new(Counter, cfg);
+        let c = sys.add_client(0); // attached to replica 0
+        sys.schedule_fault(SimTime::from_millis(10), FaultEvent::Isolate(ReplicaId(2)));
+        sys.schedule_fault(
+            SimTime::from_millis(400),
+            FaultEvent::Reconnect(ReplicaId(2)),
+        );
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(sys.submit(c, CounterOp::Increment(1), &[], false));
+        }
+        // Run through the outage: plenty of gossip ticks fire while
+        // replica 2 is unreachable.
+        sys.run_for(SimDuration::from_millis(300));
+        // A strict op after reconnection needs replica 2 fully caught up.
+        let audit = sys.submit_at(SimTime::from_millis(450), c, CounterOp::Read, &ids, true);
+        sys.run_until_converged(SimTime::from_millis(10_000))
+            .expect("deltas must survive the isolation window");
+        assert_eq!(sys.response(audit), Some(&CounterValue::Count(5)));
+        let states = sys.replica_states();
+        assert!(states.iter().all(|s| *s == 5), "diverged: {states:?}");
+    }
+
+    #[test]
+    fn batched_gossip_survives_crash_with_gossip_in_flight() {
+        // Regression (found in review): a batch sent before a crash and
+        // delivered after a fast recovery carried a complete done summary
+        // whose labels only earlier batches had — the recovered replica
+        // (labels lost) would mark those ops done unlabeled (Invariant
+        // 7.5 panic in debug). Crash now invalidates in-flight gossip.
+        let cfg = SystemConfig::new(2)
+            .with_seed(31)
+            .with_replica(ReplicaConfig::default().with_batched(1))
+            .with_retry(SimDuration::from_millis(50));
+        let mut sys = SimSystem::new(Counter, cfg);
+        let c = sys.add_client(0); // attached to replica 0
+        sys.submit(c, CounterOp::Increment(1), &[], false);
+        // Let op1's label ship and settle, then time the crash inside a
+        // later batch's flight window (ticks every 20 ms, delivery 5 ms
+        // later): batch sent at 240 ms carries D ⊇ op1 but no label.
+        sys.schedule_fault(SimTime::from_millis(241), FaultEvent::Crash(ReplicaId(1)));
+        sys.schedule_fault(SimTime::from_millis(243), FaultEvent::Recover(ReplicaId(1)));
+        sys.run_for(SimDuration::from_millis(400));
+        let audit = sys.submit(c, CounterOp::Read, &[], true);
+        sys.run_until_converged(SimTime::from_millis(10_000))
+            .expect("recovered replica must catch up");
+        assert_eq!(sys.response(audit), Some(&CounterValue::Count(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO replica channels")]
+    fn reordering_channels_reject_batched() {
+        // uniform(1, 60) on a 20 ms gossip interval can reorder
+        // successive batches; the constructor must refuse.
+        let wide =
+            ChannelConfig::uniform(SimDuration::from_millis(1), SimDuration::from_millis(60));
+        let cfg = SystemConfig::new(3)
+            .with_replica(ReplicaConfig::default().with_batched(1))
+            .with_channels(ChannelConfig::fixed(SimDuration::from_millis(5)), wide);
+        let _ = SimSystem::new(Counter, cfg);
+    }
+
+    #[test]
+    fn narrow_jitter_accepts_batched() {
+        // A delay spread inside the batch gap cannot reorder batches:
+        // accepted and converges.
+        let narrow =
+            ChannelConfig::uniform(SimDuration::from_millis(1), SimDuration::from_millis(9));
+        let cfg = SystemConfig::new(3)
+            .with_seed(41)
+            .with_replica(ReplicaConfig::default().with_batched(2))
+            .with_channels(narrow, narrow);
+        let mut sys = SimSystem::new(Counter, cfg);
+        let c = sys.add_client(0);
+        let id = sys.submit(c, CounterOp::Increment(3), &[], true);
+        sys.run_until_quiescent();
+        assert_eq!(sys.response(id), Some(&CounterValue::Ack));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta gossip")]
+    fn lossy_channels_reject_batched() {
+        let lossy = ChannelConfig::fixed(SimDuration::from_millis(5)).with_loss(0.2);
+        let cfg = SystemConfig::new(3)
+            .with_replica(ReplicaConfig::default().with_batched(2))
+            .with_channels(ChannelConfig::fixed(SimDuration::from_millis(5)), lossy);
+        let _ = SimSystem::new(Counter, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast gossip")]
+    fn broadcast_rejects_batched() {
+        let mut cfg = SystemConfig::new(3).with_replica(ReplicaConfig::default().with_batched(2));
+        cfg.broadcast_gossip = true;
+        let _ = SimSystem::new(Counter, cfg);
     }
 
     #[test]

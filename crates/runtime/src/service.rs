@@ -12,7 +12,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use esds_alg::{FrontEnd, GossipMsg, RelayPolicy, Replica, ReplicaConfig, RequestMsg, ResponseMsg};
+use esds_alg::{
+    FrontEnd, GossipEnvelope, RelayPolicy, Replica, ReplicaConfig, RequestMsg, ResponseMsg,
+};
 use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
 use parking_lot::Mutex;
 
@@ -43,7 +45,8 @@ impl RuntimeConfig {
 
 enum Payload<T: SerialDataType> {
     Request(RequestMsg<T::Operator>),
-    Gossip(GossipMsg<T::Operator>),
+    // Boxed: envelopes carry summaries and would dominate the enum size.
+    Gossip(Box<GossipEnvelope<T::Operator>>),
     Response(ResponseMsg<T::Value>),
 }
 
@@ -68,7 +71,7 @@ enum NetInput<T: SerialDataType> {
 
 enum ReplicaInput<T: SerialDataType> {
     Request(RequestMsg<T::Operator>),
-    Gossip(GossipMsg<T::Operator>),
+    Gossip(Box<GossipEnvelope<T::Operator>>),
     Shutdown,
 }
 
@@ -233,10 +236,14 @@ where
                                 if p == rep.id() {
                                     continue;
                                 }
-                                let g = rep.make_gossip(p);
+                                // poll_gossip paces batched strategies:
+                                // accumulating ticks produce no message.
+                                let Some(g) = rep.poll_gossip(p) else {
+                                    continue;
+                                };
                                 let _ = net.send(NetInput::Msg(NetMsg {
                                     to: Endpoint::Replica(p),
-                                    payload: Payload::Gossip(g),
+                                    payload: Payload::Gossip(Box::new(g)),
                                 }));
                             }
                             next_gossip = now + interval;
@@ -249,7 +256,7 @@ where
                         };
                         let effects = match input {
                             ReplicaInput::Request(m) => rep.on_request(m.desc),
-                            ReplicaInput::Gossip(g) => rep.on_gossip(g),
+                            ReplicaInput::Gossip(g) => rep.on_gossip_envelope(*g),
                             ReplicaInput::Shutdown => break,
                         };
                         for e in effects {
@@ -409,6 +416,35 @@ mod tests {
         let reps = svc.shutdown();
         let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
         assert!(states.iter().all(|s| *s == 10), "diverged: {states:?}");
+    }
+
+    #[test]
+    fn batched_gossip_runtime_roundtrip() {
+        // The threaded deployment under GossipStrategy::Batched: strict
+        // ops (which need stability votes flowing through the batched
+        // D/S summaries) must still complete.
+        let mut cfg = RuntimeConfig::new(3);
+        cfg.replica = ReplicaConfig::default().with_batched(2);
+        let mut svc = RuntimeService::start(Counter, cfg);
+        let mut c = svc.client();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(c.submit(CounterOp::Increment(1), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+        let read = c.submit(CounterOp::Read, &ids, true);
+        assert_eq!(
+            c.await_response(read, Duration::from_secs(30)),
+            Some(CounterValue::Count(5))
+        );
+        let reps = svc.shutdown();
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(states.iter().all(|s| *s == 5), "diverged: {states:?}");
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub enum FrameKind {
     GossipSummary = 4,
     /// Connection preamble naming the sender (client or replica).
     Hello = 5,
+    /// A §10.4 batched gossip exchange (deltas + summary watermarks).
+    GossipBatched = 6,
 }
 
 impl FrameKind {
@@ -55,6 +57,7 @@ impl FrameKind {
             3 => Ok(FrameKind::Gossip),
             4 => Ok(FrameKind::GossipSummary),
             5 => Ok(FrameKind::Hello),
+            6 => Ok(FrameKind::GossipBatched),
             tag => Err(WireError::InvalidTag {
                 context: "FrameKind",
                 tag,

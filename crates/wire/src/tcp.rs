@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esds_alg::{
-    FrontEnd, GossipMsg, RecoveryStub, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
+    FrontEnd, GossipEnvelope, RecoveryStub, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
 };
 use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
 use parking_lot::Mutex;
@@ -82,7 +82,7 @@ impl TcpClusterConfig {
 
 enum NodeInput<T: SerialDataType> {
     Request(RequestMsg<T::Operator>),
-    Gossip(GossipMsg<T::Operator>),
+    Gossip(GossipEnvelope<T::Operator>),
     Shutdown,
 }
 
@@ -277,12 +277,26 @@ fn read_connection<T>(
                             }
                         }
                         WireMessage::Gossip(g) => {
-                            if input_tx.send(NodeInput::Gossip(g)).is_err() {
+                            if input_tx
+                                .send(NodeInput::Gossip(GossipEnvelope::Snapshot(g)))
+                                .is_err()
+                            {
                                 break 'conn;
                             }
                         }
                         WireMessage::GossipSummary(s) => {
-                            if input_tx.send(NodeInput::Gossip(s.into_gossip())).is_err() {
+                            if input_tx
+                                .send(NodeInput::Gossip(GossipEnvelope::Snapshot(s.into_gossip())))
+                                .is_err()
+                            {
+                                break 'conn;
+                            }
+                        }
+                        WireMessage::GossipBatched(b) => {
+                            if input_tx
+                                .send(NodeInput::Gossip(GossipEnvelope::Batched(b)))
+                                .is_err()
+                            {
                                 break 'conn;
                             }
                         }
@@ -341,20 +355,34 @@ where
                         if pid == id {
                             continue;
                         }
-                        let g = rep.make_gossip(pid);
+                        // poll_gossip paces batched strategies: a tick
+                        // that is still accumulating sends nothing.
+                        let Some(env) = rep.poll_gossip(pid) else {
+                            continue;
+                        };
                         out.clear();
-                        if config.summarized_gossip {
-                            let msg: WireMessage<T::Operator, T::Value> =
-                                WireMessage::GossipSummary(SummarizedGossip::from_gossip(&g));
-                            encode_message(&msg, &mut out);
-                        } else {
-                            let msg: WireMessage<T::Operator, T::Value> = WireMessage::Gossip(g);
-                            encode_message(&msg, &mut out);
+                        match env {
+                            GossipEnvelope::Batched(b) => {
+                                let msg: WireMessage<T::Operator, T::Value> =
+                                    WireMessage::GossipBatched(b);
+                                encode_message(&msg, &mut out);
+                            }
+                            GossipEnvelope::Snapshot(g) if config.summarized_gossip => {
+                                let msg: WireMessage<T::Operator, T::Value> =
+                                    WireMessage::GossipSummary(SummarizedGossip::from_gossip(&g));
+                                encode_message(&msg, &mut out);
+                            }
+                            GossipEnvelope::Snapshot(g) => {
+                                let msg: WireMessage<T::Operator, T::Value> =
+                                    WireMessage::Gossip(g);
+                                encode_message(&msg, &mut out);
+                            }
                         }
                         let peer_addr = addrs.lock()[p];
                         if !send_to_peer(peer, peer_addr, id, &out) {
-                            // Connection failed: the §10.4 incremental
-                            // watermark must rewind so nothing is lost.
+                            // Connection failed: the §10.4 delta state
+                            // (incremental watermark / batched handshake)
+                            // must rewind so nothing is lost.
                             rep.reset_watermark(pid);
                         }
                     }
@@ -368,7 +396,7 @@ where
                 };
                 let effects = match input {
                     NodeInput::Request(m) => rep.on_request(m.desc),
-                    NodeInput::Gossip(g) => rep.on_gossip(g),
+                    NodeInput::Gossip(g) => rep.on_gossip_envelope(g),
                     NodeInput::Shutdown => break,
                 };
                 for e in effects {
@@ -735,6 +763,16 @@ mod tests {
     #[test]
     fn cluster_roundtrip_summarized_gossip() {
         exercise(TcpClusterConfig::new(3).with_summarized_gossip());
+    }
+
+    #[test]
+    fn cluster_roundtrip_batched_gossip() {
+        // The §10.4 batched wire contract over real sockets: every second
+        // gossip tick one GossipBatched frame per peer, strict ops still
+        // stabilize through the summary-borne votes.
+        let mut config = TcpClusterConfig::new(3);
+        config.replica = ReplicaConfig::default().with_batched(2);
+        exercise(config);
     }
 
     fn exercise(config: TcpClusterConfig) {

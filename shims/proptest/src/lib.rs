@@ -253,6 +253,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
     /// String strategies from a regex-flavoured pattern. This shim
     /// understands the `<atom>{lo,hi}` form where the atom is `.` (any
