@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the rebalancing substrate: routing-table lookups
+//! (the per-operation cost every sharded submission now pays for the
+//! slot indirection) and migration-plan computation/application (the
+//! control-plane cost of an add-shard or drain event).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esds_core::{MigrationPlan, RoutingTable, ShardRouter};
+
+fn bench_routing_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_table_lookup");
+    for s in [2u32, 8, 32] {
+        let router = ShardRouter::new(s);
+        let keys: Vec<String> = (0..256).map(|i| format!("user:{i}")).collect();
+        group.bench_function(format!("shard_of_key_{s}_shards"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                router.shard_of_key(&keys[i])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration_plan");
+    for s in [2u32, 8, 32] {
+        group.bench_function(format!("add_shard_from_{s}"), |b| {
+            let table = RoutingTable::uniform(s);
+            b.iter(|| MigrationPlan::add_shard(&table));
+        });
+        group.bench_function(format!("apply_add_from_{s}"), |b| {
+            let table = RoutingTable::uniform(s);
+            let plan = MigrationPlan::add_shard(&table);
+            b.iter_batched(
+                || table.clone(),
+                |mut t| {
+                    t.apply(&plan);
+                    t
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("drain_shard_from_8", |b| {
+        let table = RoutingTable::uniform(8);
+        b.iter(|| MigrationPlan::drain_shard(&table, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_lookup, bench_migration_plans);
+criterion_main!(benches);

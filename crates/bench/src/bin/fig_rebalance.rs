@@ -1,0 +1,7 @@
+//! F4 — live rebalancing: ops/s and per-op latency through an add-shard
+//! event (before / during / after the stable-prefix handoff), on a
+//! saturated 2-group kv deployment growing to 3 groups (ROADMAP
+//! rebalancing item; the paper's stable prefix as the unit of transfer).
+fn main() {
+    esds_bench::experiments::fig_rebalance(9, 600);
+}

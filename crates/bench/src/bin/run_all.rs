@@ -7,6 +7,7 @@ fn main() {
     ex::fig_scalability(10, 150);
     ex::fig_strict_latency(5, 30);
     ex::fig_shard_scalability(16, 150);
+    ex::fig_rebalance(9, 600);
     ex::tab_response_bounds(1);
     ex::tab_stabilization(1);
     ex::tab_fault_recovery(5);

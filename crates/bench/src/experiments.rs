@@ -130,6 +130,160 @@ pub fn fig_shard_scalability(clients: usize, ops_per_client: usize) -> Vec<(usiz
 /// column derives from this same constant).
 const SHARD_SUBMIT_PERIOD_MS: u64 = 1;
 
+/// Per-client submit period of the F4 rebalancing workload (500 offered
+/// ops/s per client — kept under the 2-group capacity; see
+/// [`fig_rebalance`]).
+const REBALANCE_PERIOD_MS: u64 = 2;
+
+/// One phase of the F4 rebalancing experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalancePhase {
+    /// Phase name (`before` / `during` / `after`).
+    pub phase: &'static str,
+    /// Virtual length of the phase window in seconds.
+    pub window_secs: f64,
+    /// Completed client operations per virtual second inside the window
+    /// (stable-prefix replay traffic excluded).
+    pub ops_per_sec: f64,
+    /// Mean response latency of operations submitted inside the window.
+    pub mean_latency_ms: f64,
+}
+
+/// F4 — live rebalancing: kv throughput and latency **through an
+/// add-shard event**. An `S = 2` deployment runs an open loop near
+/// capacity; a quarter of the way in, `begin_add_shard` starts the slot handoff
+/// (freeze → stable-prefix replay → table flip → drain). The three
+/// windows are `[0, begin)`, `[begin, flip)` (migrating slots frozen,
+/// their submissions queued), and `[flip, end]` (three groups serving).
+/// The acceptance bar: post-migration throughput ≥ the pre-migration
+/// 2-shard baseline. Returns the three phases in order.
+pub fn fig_rebalance(clients: usize, ops_per_client: usize) -> Vec<RebalancePhase> {
+    // Default 20 ms gossip interval: the handoff's stability gate needs
+    // a few gossip rounds, and the experiment wants the flip to land
+    // while load is still being offered. The offered load sits *below*
+    // the 2-group capacity: past saturation, gossip queues behind the
+    // unbounded request backlog and the migrating slots can never
+    // stabilize — a deployment cannot hand off what it cannot stabilize.
+    let shard_cfg = standard_config(3, 9898).with_processing(ProcessingModel {
+        request_cost: SimDuration::from_millis(1),
+        gossip_cost: SimDuration::from_micros(100),
+    });
+    let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(2, shard_cfg));
+    let cs: Vec<ClientId> = (0..clients).map(|i| sys.add_client(i as u32)).collect();
+    let mut src = KvSource::new(0.5, 256, 77);
+    // (id, intent time): latency is measured from the client's submit
+    // call, so time spent queued behind a frozen slot counts against the
+    // "during" phase — the honest cost of the handoff.
+    let mut ids: Vec<(esds_core::ShardedOpId, SimTime)> =
+        Vec::with_capacity(clients * ops_per_client);
+    // Trigger a quarter of the way in: the handoff (freeze → stability →
+    // replay → flip) spans several gossip rounds, and the "after" phase
+    // needs offered load left to measure against three groups.
+    let trigger_at = ops_per_client / 4;
+    let mut t_begin = None;
+    let mut t_flip = None;
+    for seq in 0..ops_per_client {
+        if seq == trigger_at {
+            sys.begin_add_shard();
+            t_begin = Some(sys.now());
+        }
+        for c in &cs {
+            let op = src.next_op(*c, seq as u64);
+            let now = sys.now();
+            ids.push((sys.submit(*c, op, &[], false), now));
+        }
+        sys.run_for(SimDuration::from_millis(REBALANCE_PERIOD_MS));
+        if t_begin.is_some() && t_flip.is_none() && !sys.migration_active() {
+            t_flip = Some(sys.now());
+        }
+    }
+    // End of offered load: the "after" phase is measured up to here, so
+    // every window compares like with like (offered-load steady state,
+    // not the final drain tail).
+    let t_end_offered = sys.now();
+    // Drain: run until every client submission is answered (the handoff
+    // must also complete on the way).
+    let total = clients * ops_per_client;
+    for _ in 0..100_000 {
+        if sys.completed_client_ops() >= total {
+            break;
+        }
+        sys.run_for(SimDuration::from_millis(100));
+        if t_begin.is_some() && t_flip.is_none() && !sys.migration_active() {
+            t_flip = Some(sys.now());
+        }
+    }
+    assert!(
+        sys.completed_client_ops() >= total,
+        "rebalance run did not finish: {}/{total}",
+        sys.completed_client_ops()
+    );
+    let t_begin = t_begin.expect("migration triggered");
+    let t_flip = t_flip.expect("migration completed");
+    assert_eq!(sys.table_version(), 1);
+    assert!(
+        t_flip < t_end_offered,
+        "handoff must complete while load is still offered; raise ops_per_client"
+    );
+
+    // Bucket every client op by the phase window its *submission* fell
+    // into; measure each window's throughput by responses landing in it.
+    let windows = [
+        ("before", SimTime::ZERO, t_begin),
+        ("during", t_begin, t_flip),
+        ("after", t_flip, t_end_offered),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, lo, hi) in windows {
+        let mut completed_in_window = 0usize;
+        let mut latency_sum_us = 0u64;
+        let mut latency_n = 0u64;
+        for (id, intent) in &ids {
+            let Some((_, responded)) = sys.op_timing(*id) else {
+                continue;
+            };
+            if let Some(r) = responded {
+                if r > lo && r <= hi {
+                    completed_in_window += 1;
+                }
+                if *intent >= lo && *intent < hi {
+                    latency_sum_us += r.duration_since(*intent).as_micros();
+                    latency_n += 1;
+                }
+            }
+        }
+        let window_secs = hi.duration_since(lo).as_secs_f64();
+        let phase = RebalancePhase {
+            phase: name,
+            window_secs,
+            ops_per_sec: if window_secs > 0.0 {
+                completed_in_window as f64 / window_secs
+            } else {
+                0.0
+            },
+            mean_latency_ms: if latency_n > 0 {
+                latency_sum_us as f64 / latency_n as f64 / 1e3
+            } else {
+                0.0
+            },
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2} s", phase.window_secs),
+            format!("{:.0}", phase.ops_per_sec),
+            format!("{:.1} ms", phase.mean_latency_ms),
+        ]);
+        out.push(phase);
+    }
+    print_table(
+        "F4 — live rebalancing: add-shard handoff under load (2 → 3 groups, kv, slots frozen only during the handoff)",
+        &["phase", "window", "client ops/s", "mean latency"],
+        &rows,
+    );
+    out
+}
+
 fn shard_run(n_shards: usize, clients: usize, ops_per_client: usize) -> f64 {
     let shard_cfg = standard_config(3, 4242 + n_shards as u64)
         .with_processing(ProcessingModel {
@@ -853,6 +1007,23 @@ mod tests {
         assert!(
             tp4 > tp1 * 1.5,
             "4 shards must beat 1 by ≥1.5×: {tp4:.0} vs {tp1:.0}"
+        );
+    }
+
+    #[test]
+    fn rebalance_recovers_throughput() {
+        // The ISSUE-4 acceptance criterion in miniature: a workload
+        // running while a shard is added completes, and post-migration
+        // throughput is at least the pre-migration 2-shard baseline (the
+        // full-size binary shows the 3-group speedup directly).
+        let phases = fig_rebalance(9, 200);
+        assert_eq!(phases.len(), 3);
+        let before = phases[0].ops_per_sec;
+        let after = phases[2].ops_per_sec;
+        assert!(before > 0.0 && after > 0.0);
+        assert!(
+            after >= before,
+            "post-migration throughput {after:.0} must be ≥ pre-migration {before:.0}"
         );
     }
 

@@ -9,6 +9,7 @@
 //! | `fig_scalability`     | §11.1 throughput-vs-replicas figure (F1) |
 //! | `fig_strict_latency`  | §11.1 latency-vs-strict% figure (F2) |
 //! | `fig_shard_scalability` | throughput vs shard count, sharded kv (F3) |
+//! | `fig_rebalance`       | throughput/latency through an add-shard handoff (F4) |
 //! | `tab_response_bounds` | Theorem 9.3 response-time bounds (T1) |
 //! | `tab_stabilization`   | Lemma 9.2 done-everywhere bound (T2) |
 //! | `tab_fault_recovery`  | Theorem 9.4 recovery bounds (T3) |

@@ -15,9 +15,12 @@
 //! * [`Label`], [`LabelSlot`], [`LabelMap`], [`LabelGenerator`] — the
 //!   replicas' well-ordered label sets (§6.3);
 //! * [`IdSummary`] — watermark + exception summaries of id sets (§10.2);
-//! * [`KeyedDataType`], [`ShardRouter`], [`ShardedOpId`] — keyspace
-//!   partitioning for sharded multi-group deployments (the paper's §10
-//!   commutativity insight applied at the partition level).
+//! * [`KeyedDataType`], [`ShardRouter`], [`RoutingTable`],
+//!   [`MigrationPlan`], [`ShardedOpId`] — keyspace partitioning for
+//!   sharded multi-group deployments (the paper's §10 commutativity
+//!   insight applied at the partition level), with a versioned
+//!   `key → slot → shard` indirection so shards can be added or drained
+//!   by migrating slots.
 //!
 //! Everything here is purely functional/in-memory; the executable
 //! specification lives in `esds-spec`, the distributed algorithm in
@@ -43,5 +46,8 @@ pub use ids::{ClientId, OpId, ReplicaId};
 pub use label::{Label, LabelGenerator, LabelMap, LabelSlot};
 pub use op::{csc, OpDescriptor};
 pub use order::{total_order_consistent, Digraph};
-pub use shard::{fnv1a_64, shard_frontier, KeyedDataType, ShardRouter, ShardedOpId, HOME_SHARD};
+pub use shard::{
+    fnv1a_64, shard_frontier, KeyedDataType, MigrationPlan, RoutingTable, ShardRouter, ShardedOpId,
+    SlotMove, HOME_SHARD, HOME_SLOT, SLOT_COUNT,
+};
 pub use summary::IdSummary;

@@ -16,7 +16,15 @@
 //!
 //! * [`KeyedDataType`] — a serial data type whose operators expose the
 //!   partition key they touch;
-//! * [`ShardRouter`] — the stable hash partitioner mapping keys to shards;
+//! * [`RoutingTable`] — the versioned `key → slot → shard` indirection
+//!   that makes rebalancing possible: keys hash onto a fixed set of
+//!   [`SLOT_COUNT`] slots, and only the small slot→shard map changes when
+//!   shards are added or drained;
+//! * [`MigrationPlan`] — the minimal set of slot moves taking one table
+//!   to the next version (adding a shard relocates only ~`1/S` of the
+//!   keyspace, never rehashing the rest);
+//! * [`ShardRouter`] — the stable partitioner mapping keys to shards,
+//!   routing through a [`RoutingTable`];
 //! * [`ShardedOpId`] — operation identifiers in the *global* namespace of
 //!   a sharded service (each shard keeps its own per-group [`OpId`](crate::OpId)s).
 //!
@@ -25,7 +33,18 @@
 //! predecessor has been *responded to* by its own group, after which the
 //! constraint is vacuous for the state (disjoint objects commute) and the
 //! client-observed order is preserved.
+//!
+//! The *slot migration protocol itself* also lives in the deployment
+//! layers (`harness::sharded`, `runtime::sharded`); this module only
+//! defines the plan/table algebra they agree on. The unit of transfer is
+//! a slot's **stable prefix**: once every operation of a slot is stable,
+//! its effect order is final at every replica of the source group, so
+//! replaying that prefix onto the receiving group reproduces exactly the
+//! state every future strict or eventually-serialized response must
+//! reflect — the paper's checkpoint-from-stable-state idea applied to
+//! rebalancing instead of recovery.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::ids::ClientId;
@@ -95,15 +114,301 @@ pub const fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The shard every keyless (whole-object) operator is routed to.
+/// The fixed number of slots a [`RoutingTable`] partitions the keyspace
+/// into. Keys hash onto slots; slots map onto shards. The count never
+/// changes over the life of a deployment — rebalancing edits only the
+/// slot→shard map — so `256` bounds both the granularity of a migration
+/// (a shard owns multiples of 1/256 of the keyspace) and the size of the
+/// table every router carries.
+pub const SLOT_COUNT: u16 = 256;
+
+/// The slot every keyless (whole-object) operator is attributed to.
+/// Keyless operators follow this slot's owner through migrations.
+pub const HOME_SLOT: u16 = 0;
+
+/// The shard every keyless (whole-object) operator is routed to **under
+/// the initial uniform table** (the owner of [`HOME_SLOT`]). After a
+/// migration moves [`HOME_SLOT`], keyless operators follow the table.
 pub const HOME_SHARD: u32 = 0;
 
-/// Hash-partitions the keyspace of a [`KeyedDataType`] across `S`
-/// independent replica groups.
+/// The versioned `slot → shard` map at the heart of rebalancing.
 ///
-/// Routing is pure and deterministic: shard = FNV-1a(key) mod S. Keyless
-/// operators go to [`HOME_SHARD`]. Every component of a sharded
-/// deployment constructs its own equal router from `n_shards` alone.
+/// A key's slot (`FNV-1a(key) mod` [`SLOT_COUNT`]) never changes; which
+/// shard *owns* the slot does, one [`MigrationPlan`] at a time. The
+/// `version` counts applied plans, so every component of a deployment can
+/// tell whether a routing decision was made against the current table.
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{MigrationPlan, RoutingTable};
+///
+/// let mut t = RoutingTable::uniform(2);
+/// assert_eq!(t.version(), 0);
+/// let owner = t.shard_of_key("user:17");
+/// // Adding a shard moves only ~1/3 of the slots; unmoved keys keep
+/// // their owner.
+/// let plan = MigrationPlan::add_shard(&t);
+/// t.apply(&plan);
+/// assert_eq!(t.version(), 1);
+/// assert_eq!(t.n_shards(), 3);
+/// if !plan.slots().contains(&t.slot_of_key("user:17")) {
+///     assert_eq!(t.shard_of_key("user:17"), owner);
+/// }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutingTable {
+    version: u64,
+    /// `slots[s]` = shard owning slot `s`.
+    slots: Vec<u32>,
+    n_shards: u32,
+}
+
+impl RoutingTable {
+    /// The initial table over `n_shards` shards and [`SLOT_COUNT`] slots:
+    /// slot `s` belongs to shard `s mod n_shards`, version 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn uniform(n_shards: u32) -> Self {
+        Self::with_slots(n_shards, SLOT_COUNT)
+    }
+
+    /// A uniform table with an explicit slot count (tests; production
+    /// deployments use [`RoutingTable::uniform`] so every component
+    /// agrees on the count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or exceeds `n_slots` (a shard must
+    /// own at least one slot to receive any keys).
+    pub fn with_slots(n_shards: u32, n_slots: u16) -> Self {
+        assert!(n_shards > 0, "a sharded service needs at least one shard");
+        assert!(
+            n_shards as u64 <= n_slots as u64,
+            "need at least one slot per shard"
+        );
+        RoutingTable {
+            version: 0,
+            slots: (0..n_slots).map(|s| s as u32 % n_shards).collect(),
+            n_shards,
+        }
+    }
+
+    /// How many plans have been applied to this table.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of slots (fixed for the table's life).
+    pub fn n_slots(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// Number of shards the table addresses (including drained shards,
+    /// which simply own zero slots).
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// The slot `key` hashes to — stable across migrations.
+    pub fn slot_of_key(&self, key: &str) -> u16 {
+        (fnv1a_64(key.as_bytes()) % self.slots.len() as u64) as u16
+    }
+
+    /// The shard currently owning `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn shard_of_slot(&self, slot: u16) -> u32 {
+        self.slots[slot as usize]
+    }
+
+    /// The shard currently owning `key`.
+    pub fn shard_of_key(&self, key: &str) -> u32 {
+        self.shard_of_slot(self.slot_of_key(key))
+    }
+
+    /// The slots currently owned by `shard`, ascending.
+    pub fn slots_of(&self, shard: u32) -> Vec<u16> {
+        (0..self.slots.len() as u16)
+            .filter(|s| self.slots[*s as usize] == shard)
+            .collect()
+    }
+
+    /// Slots owned per shard (index = shard id).
+    pub fn load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.n_shards as usize];
+        for shard in &self.slots {
+            load[*shard as usize] += 1;
+        }
+        load
+    }
+
+    /// Applies a migration plan, bumping the version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was computed against a different version, or if
+    /// a move's `from` shard does not currently own its slot (both
+    /// indicate the caller raced two migrations).
+    pub fn apply(&mut self, plan: &MigrationPlan) {
+        assert_eq!(
+            plan.from_version, self.version,
+            "migration plan is stale: computed for table v{}, table is at v{}",
+            plan.from_version, self.version
+        );
+        for mv in &plan.moves {
+            assert_eq!(
+                self.slots[mv.slot as usize], mv.from,
+                "slot {} is owned by shard {}, plan expected {}",
+                mv.slot, self.slots[mv.slot as usize], mv.from
+            );
+            self.slots[mv.slot as usize] = mv.to;
+        }
+        self.n_shards = self.n_shards.max(plan.n_shards_after);
+        self.version += 1;
+    }
+}
+
+/// One slot changing hands in a [`MigrationPlan`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SlotMove {
+    /// The slot being relocated.
+    pub slot: u16,
+    /// Its current owner.
+    pub from: u32,
+    /// Its owner after the migration.
+    pub to: u32,
+}
+
+/// The minimal set of slot moves taking a [`RoutingTable`] from one
+/// version to the next.
+///
+/// Plans are *minimal by construction*: adding a shard moves exactly
+/// `⌊slots/(S+1)⌋` slots (≈ `1/(S+1)` of the keyspace — compare the
+/// naive `hash mod S` scheme, where growing `S` remaps almost every
+/// key), and draining a shard moves exactly the slots it owned. Every
+/// key outside the moved slots routes identically before and after
+/// (checked by property tests in `crates/core/tests/proptests.rs`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MigrationPlan {
+    from_version: u64,
+    n_shards_after: u32,
+    moves: Vec<SlotMove>,
+}
+
+impl MigrationPlan {
+    /// A plan adding one shard (id = `table.n_shards()`) and rebalancing
+    /// by pulling slots from the currently most-loaded shards, lowest
+    /// slot first — deterministic, so every component computes the same
+    /// plan from the same table.
+    pub fn add_shard(table: &RoutingTable) -> Self {
+        let new = table.n_shards();
+        let n_after = new + 1;
+        let target = table.n_slots() as usize / n_after as usize;
+        let mut load = table.load();
+        let mut taken: BTreeSet<u16> = BTreeSet::new();
+        let mut moves = Vec::with_capacity(target);
+        for _ in 0..target {
+            // Donor: most-loaded shard, ties to the lowest id.
+            let donor = (0..load.len())
+                .max_by_key(|s| (load[*s], usize::MAX - *s))
+                .expect("at least one shard") as u32;
+            let slot = (0..table.n_slots())
+                .find(|s| table.shard_of_slot(*s) == donor && !taken.contains(s))
+                .expect("donor has an unmoved slot");
+            taken.insert(slot);
+            load[donor as usize] -= 1;
+            moves.push(SlotMove {
+                slot,
+                from: donor,
+                to: new,
+            });
+        }
+        MigrationPlan {
+            from_version: table.version(),
+            n_shards_after: n_after,
+            moves,
+        }
+    }
+
+    /// A plan draining `shard`: every slot it owns moves to the
+    /// currently least-loaded other shard (ties to the lowest id). The
+    /// drained shard stays addressable (it may still be answering
+    /// operations submitted before the drain) but owns no slots, so it
+    /// receives no new traffic once the plan is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or is the only shard.
+    pub fn drain_shard(table: &RoutingTable, shard: u32) -> Self {
+        assert!(shard < table.n_shards(), "shard {shard} out of range");
+        let others: Vec<u32> = (0..table.n_shards()).filter(|s| *s != shard).collect();
+        assert!(!others.is_empty(), "cannot drain the only shard");
+        let mut load = table.load();
+        let mut moves = Vec::new();
+        for slot in table.slots_of(shard) {
+            let to = *others
+                .iter()
+                .min_by_key(|s| (load[**s as usize], **s))
+                .expect("nonempty");
+            load[to as usize] += 1;
+            moves.push(SlotMove {
+                slot,
+                from: shard,
+                to,
+            });
+        }
+        MigrationPlan {
+            from_version: table.version(),
+            n_shards_after: table.n_shards(),
+            moves,
+        }
+    }
+
+    /// The table version this plan was computed against.
+    pub fn from_version(&self) -> u64 {
+        self.from_version
+    }
+
+    /// The table version after applying this plan.
+    pub fn to_version(&self) -> u64 {
+        self.from_version + 1
+    }
+
+    /// Number of shards the table addresses after this plan.
+    pub fn n_shards_after(&self) -> u32 {
+        self.n_shards_after
+    }
+
+    /// The slot moves, in execution order.
+    pub fn moves(&self) -> &[SlotMove] {
+        &self.moves
+    }
+
+    /// The set of slots this plan relocates.
+    pub fn slots(&self) -> BTreeSet<u16> {
+        self.moves.iter().map(|m| m.slot).collect()
+    }
+
+    /// Whether the plan moves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Partitions the keyspace of a [`KeyedDataType`] across independent
+/// replica groups through a versioned [`RoutingTable`].
+///
+/// Routing is pure and deterministic: `slot = FNV-1a(key) mod`
+/// [`SLOT_COUNT`], `shard = table[slot]`. Keyless operators are
+/// attributed to [`HOME_SLOT`] and follow its owner. Every component of
+/// a sharded deployment constructs an equal router from `n_shards` alone
+/// (the uniform table) and advances it by applying the same
+/// [`MigrationPlan`]s in the same order.
 ///
 /// # Examples
 ///
@@ -115,39 +420,76 @@ pub const HOME_SHARD: u32 = 0;
 /// assert_eq!(r.shard_of_key("user:17"), r.shard_of_key("user:17"));
 /// assert!(r.shard_of_key("user:17") < 4);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardRouter {
-    n_shards: u32,
+    table: RoutingTable,
 }
 
 impl ShardRouter {
-    /// A router over `n_shards` shards (ids `0..n_shards`).
+    /// A router over `n_shards` shards (ids `0..n_shards`) with the
+    /// initial uniform table.
     ///
     /// # Panics
     ///
     /// Panics if `n_shards` is zero.
     pub fn new(n_shards: u32) -> Self {
-        assert!(n_shards > 0, "a sharded service needs at least one shard");
-        ShardRouter { n_shards }
-    }
-
-    /// Number of shards.
-    pub fn n_shards(&self) -> u32 {
-        self.n_shards
-    }
-
-    /// The shard owning `key`.
-    pub fn shard_of_key(&self, key: &str) -> u32 {
-        (fnv1a_64(key.as_bytes()) % self.n_shards as u64) as u32
-    }
-
-    /// The shard an operator is routed to: its key's owner, or
-    /// [`HOME_SHARD`] for keyless operators.
-    pub fn route<T: KeyedDataType>(&self, dt: &T, op: &T::Operator) -> u32 {
-        match dt.shard_key(op) {
-            Some(k) => self.shard_of_key(k),
-            None => HOME_SHARD,
+        ShardRouter {
+            table: RoutingTable::uniform(n_shards),
         }
+    }
+
+    /// A router over an explicit table (e.g. one restored mid-history).
+    pub fn from_table(table: RoutingTable) -> Self {
+        ShardRouter { table }
+    }
+
+    /// The underlying routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The table version (how many migrations have been applied).
+    pub fn version(&self) -> u64 {
+        self.table.version()
+    }
+
+    /// Number of shards (including drained, slotless ones).
+    pub fn n_shards(&self) -> u32 {
+        self.table.n_shards()
+    }
+
+    /// The slot `key` hashes to — stable across migrations.
+    pub fn slot_of_key(&self, key: &str) -> u16 {
+        self.table.slot_of_key(key)
+    }
+
+    /// The shard currently owning `key`.
+    pub fn shard_of_key(&self, key: &str) -> u32 {
+        self.table.shard_of_key(key)
+    }
+
+    /// The slot an operator is attributed to: its key's slot, or
+    /// [`HOME_SLOT`] for keyless operators.
+    pub fn slot_of<T: KeyedDataType>(&self, dt: &T, op: &T::Operator) -> u16 {
+        match dt.shard_key(op) {
+            Some(k) => self.slot_of_key(k),
+            None => HOME_SLOT,
+        }
+    }
+
+    /// The shard an operator is routed to: its slot's current owner.
+    pub fn route<T: KeyedDataType>(&self, dt: &T, op: &T::Operator) -> u32 {
+        self.table.shard_of_slot(self.slot_of(dt, op))
+    }
+
+    /// Applies a migration plan to the router's table (see
+    /// [`RoutingTable::apply`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is stale (see [`RoutingTable::apply`]).
+    pub fn apply(&mut self, plan: &MigrationPlan) {
+        self.table.apply(plan);
     }
 }
 
@@ -301,6 +643,91 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn uniform_table_balances_slots() {
+        let t = RoutingTable::uniform(4);
+        assert_eq!(t.n_slots(), SLOT_COUNT);
+        let load = t.load();
+        assert_eq!(load.iter().sum::<usize>(), SLOT_COUNT as usize);
+        assert!(load.iter().all(|l| *l == SLOT_COUNT as usize / 4));
+        assert_eq!(t.shard_of_slot(HOME_SLOT), HOME_SHARD);
+    }
+
+    #[test]
+    fn add_shard_moves_one_over_s_plus_one_of_the_slots() {
+        for s in 1u32..9 {
+            let t = RoutingTable::uniform(s);
+            let plan = MigrationPlan::add_shard(&t);
+            assert_eq!(plan.moves().len(), SLOT_COUNT as usize / (s + 1) as usize);
+            assert!(plan.moves().iter().all(|m| m.to == s));
+            let mut t2 = t.clone();
+            t2.apply(&plan);
+            assert_eq!(t2.n_shards(), s + 1);
+            assert_eq!(t2.version(), 1);
+            // Post-migration balance: slots per shard within 1 of each other.
+            let load = t2.load();
+            let (min, max) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced after add: {load:?}");
+        }
+    }
+
+    #[test]
+    fn drain_shard_empties_it_and_keeps_balance() {
+        let mut t = RoutingTable::uniform(4);
+        let plan = MigrationPlan::drain_shard(&t, 2);
+        assert_eq!(plan.moves().len(), SLOT_COUNT as usize / 4);
+        t.apply(&plan);
+        assert_eq!(t.slots_of(2), Vec::<u16>::new());
+        assert_eq!(t.n_shards(), 4, "a drained shard stays addressable");
+        let load = t.load();
+        assert_eq!(load[2], 0);
+        let live: Vec<usize> = [0usize, 1, 3].iter().map(|s| load[*s]).collect();
+        let (min, max) = (live.iter().min().unwrap(), live.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced after drain: {load:?}");
+    }
+
+    #[test]
+    fn unmoved_slots_route_identically() {
+        let t = RoutingTable::uniform(3);
+        let plan = MigrationPlan::add_shard(&t);
+        let mut t2 = t.clone();
+        t2.apply(&plan);
+        let moved = plan.slots();
+        for i in 0..500 {
+            let k = format!("key:{i}");
+            if moved.contains(&t.slot_of_key(&k)) {
+                assert_eq!(t2.shard_of_key(&k), 3, "moved keys go to the new shard");
+            } else {
+                assert_eq!(t.shard_of_key(&k), t2.shard_of_key(&k));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_plan_rejected() {
+        let mut t = RoutingTable::uniform(2);
+        let plan = MigrationPlan::add_shard(&t);
+        t.apply(&plan);
+        let replay = plan.clone();
+        t.apply(&replay); // computed for v0, table now at v1
+    }
+
+    #[test]
+    fn router_follows_applied_plans() {
+        let mut r = ShardRouter::new(2);
+        assert_eq!(r.version(), 0);
+        let plan = MigrationPlan::add_shard(r.table());
+        r.apply(&plan);
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.n_shards(), 3);
+        // Some key must now live on the new shard.
+        assert!(
+            (0..SLOT_COUNT).any(|s| r.table().shard_of_slot(s) == 2),
+            "new shard owns no slots"
+        );
     }
 
     #[test]

@@ -490,4 +490,100 @@ proptest! {
         union.merge(&sa);
         prop_assert_eq!(patched, union);
     }
+
+    /// Minimal movement (the rebalancing differential): growing a
+    /// routing table from `S` to `S+1` shards relocates at most
+    /// `slots/S + 1` slots (in fact exactly `⌊slots/(S+1)⌋`), every key
+    /// on an unmoved slot routes identically before and after, every
+    /// moved key lands on the new shard, and the result is balanced to
+    /// within one slot. Compare `hash mod S`, which remaps almost every
+    /// key when `S` changes.
+    #[test]
+    fn migration_add_shard_is_minimal_and_differential(
+        s in 1u32..9,
+        raw_keys in proptest::collection::vec(0u64..1_000_000, 1..80),
+    ) {
+        use esds_core::{MigrationPlan, RoutingTable};
+        let before = RoutingTable::uniform(s);
+        let plan = MigrationPlan::add_shard(&before);
+        prop_assert!(
+            plan.moves().len() <= before.n_slots() as usize / s as usize + 1,
+            "plan moves {} slots, bound is slots/S + 1 = {}",
+            plan.moves().len(),
+            before.n_slots() as usize / s as usize + 1
+        );
+        prop_assert_eq!(plan.moves().len(), before.n_slots() as usize / (s + 1) as usize);
+        let mut after = before.clone();
+        after.apply(&plan);
+        prop_assert_eq!(after.version(), before.version() + 1);
+        prop_assert_eq!(after.n_shards(), s + 1);
+        let moved = plan.slots();
+        for raw in &raw_keys {
+            let key = format!("k{raw}");
+            let slot = before.slot_of_key(&key);
+            prop_assert_eq!(slot, after.slot_of_key(&key), "a key's slot never changes");
+            if moved.contains(&slot) {
+                prop_assert_eq!(after.shard_of_key(&key), s, "moved keys go to the new shard");
+            } else {
+                prop_assert_eq!(
+                    before.shard_of_key(&key),
+                    after.shard_of_key(&key),
+                    "unmoved keys must route identically"
+                );
+            }
+        }
+        let load = after.load();
+        let (min, max) = (
+            *load.iter().min().expect("nonempty"),
+            *load.iter().max().expect("nonempty"),
+        );
+        prop_assert!(max - min <= 1, "unbalanced after add: {:?}", load);
+    }
+
+    /// Draining relocates exactly the drained shard's slots; keys on
+    /// every other shard route identically, and nothing routes to the
+    /// drained shard afterwards.
+    #[test]
+    fn migration_drain_moves_only_the_drained_keyspace(
+        s in 2u32..9,
+        victim_raw in 0u32..10_000,
+        raw_keys in proptest::collection::vec(0u64..1_000_000, 1..80),
+    ) {
+        use esds_core::{MigrationPlan, RoutingTable};
+        let victim = victim_raw % s;
+        let before = RoutingTable::uniform(s);
+        let owned = before.slots_of(victim);
+        let plan = MigrationPlan::drain_shard(&before, victim);
+        prop_assert_eq!(plan.moves().len(), owned.len());
+        let mut after = before.clone();
+        after.apply(&plan);
+        prop_assert!(after.slots_of(victim).is_empty());
+        for raw in &raw_keys {
+            let key = format!("k{raw}");
+            prop_assert!(after.shard_of_key(&key) != victim);
+            if before.shard_of_key(&key) != victim {
+                prop_assert_eq!(before.shard_of_key(&key), after.shard_of_key(&key));
+            }
+        }
+    }
+
+    /// Plan computation is deterministic (every component of a
+    /// deployment derives the identical plan from the same table), and
+    /// add-then-drain of the new shard is conservative: nothing ever
+    /// routes to a shard outside the table's range.
+    #[test]
+    fn migration_plans_are_deterministic(s in 1u32..9) {
+        use esds_core::{MigrationPlan, RoutingTable};
+        let t = RoutingTable::uniform(s);
+        prop_assert_eq!(MigrationPlan::add_shard(&t), MigrationPlan::add_shard(&t));
+        let mut grown = t.clone();
+        grown.apply(&MigrationPlan::add_shard(&t));
+        let drain = MigrationPlan::drain_shard(&grown, s);
+        let mut back = grown.clone();
+        back.apply(&drain);
+        for slot in 0..back.n_slots() {
+            prop_assert!(back.shard_of_slot(slot) < back.n_shards());
+            prop_assert!(back.shard_of_slot(slot) != s, "drained shard still owns a slot");
+        }
+    }
 }

@@ -19,6 +19,6 @@ pub use system::{
     FaultEvent, OpClass, OpTiming, ProcessingModel, SimSystem, StepReport, SystemConfig,
 };
 pub use workload::{
-    apply_open_loop, CounterSource, DirectorySource, GSetSource, KvSource, OpenLoopWorkload,
-    OperatorSource, RegisterSource,
+    apply_open_loop, apply_sharded_open_loop, CounterSource, DirectorySource, GSetSource, KvSource,
+    OpenLoopWorkload, OperatorSource, RegisterSource,
 };

@@ -1,13 +1,15 @@
 //! A simulated **sharded** ESDS deployment: `S` independent replica
-//! groups, each an unmodified [`SimSystem`], behind one routing layer.
+//! groups, each an unmodified [`SimSystem`], behind one routing layer —
+//! with **live rebalancing** by slot migration.
 //!
-//! The keyspace of a [`KeyedDataType`] is hash-partitioned by a
-//! [`ShardRouter`]; each shard runs the full Section 6 protocol (gossip,
-//! labels, stabilization) over its slice only, so aggregate throughput
-//! scales with the shard count instead of plateauing at one group's
-//! capacity. Operations on different shards touch disjoint state and
-//! commute trivially — the paper's Section 10 commutativity insight
-//! applied at the partition level.
+//! The keyspace of a [`KeyedDataType`] is partitioned through a versioned
+//! [`RoutingTable`] (`key → slot → shard`, fixed
+//! [`SLOT_COUNT`](esds_core::SLOT_COUNT) slots); each shard runs the full
+//! Section 6 protocol (gossip, labels, stabilization) over its slice
+//! only, so aggregate throughput scales with the shard count instead of
+//! plateauing at one group's capacity. Operations on different shards
+//! touch disjoint state and commute trivially — the paper's Section 10
+//! commutativity insight applied at the partition level.
 //!
 //! ## Cross-shard `prev` constraints
 //!
@@ -23,13 +25,47 @@
 //! state-level constraint is vacuous: different shards are disjoint
 //! objects, so every cross-shard pair of operations is independent.
 //!
+//! ## Slot migration (rebalancing)
+//!
+//! [`ShardedSimSystem::begin_migration`] starts executing a
+//! [`MigrationPlan`] (add a shard, drain a shard, or any custom move
+//! set). The handoff runs as a four-phase state machine, entirely inside
+//! virtual time, so it is observable under partitions, crashes, and load:
+//!
+//! 1. **Freeze** — new submissions touching a migrating slot are queued
+//!    in the routing layer (deferred, not rejected); everything already
+//!    inside the source group keeps running.
+//! 2. **Replay** — once every already-submitted operation of the
+//!    migrating slots is answered *and stable everywhere* in its source
+//!    group, each slot's **stable prefix** (its operations in final,
+//!    minimum-label order — see [`SimSystem::stable_prefix`]) is
+//!    resubmitted onto the receiving group by an internal migration
+//!    client, chained with `prev` so the receiving group reproduces the
+//!    exact serialization the source group stabilized. The stable prefix
+//!    is the natural unit of transfer: it is the largest part of the
+//!    history whose order can never change, and the smallest that every
+//!    future response must reflect.
+//! 3. **Flip** — the routing table version is bumped
+//!    ([`esds_core::RoutingTable::apply`]); from this instant the moved
+//!    slots route to their new owner.
+//! 4. **Drain** — the frozen queue is released through the normal
+//!    deferred path; each drained operation carries a `prev` anchor on
+//!    the last replayed operation of its slot, so the receiving group's
+//!    protocol orders it (and everything after it) behind the replayed
+//!    prefix.
+//!
+//! If a source replica is partitioned or crashed, phase 2's stability
+//! gate cannot pass and the migration simply waits — frozen submissions
+//! stay queued and are answered after recovery, never lost.
+//!
 //! Shards advance in lockstep: [`ShardedSimSystem::run_until`] drives
 //! every per-shard event queue to the same virtual instant, releasing
-//! deferred operations between slices.
+//! deferred operations and advancing any active migration between
+//! slices.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use esds_core::{ClientId, KeyedDataType, OpId, ShardRouter, ShardedOpId};
+use esds_core::{ClientId, KeyedDataType, MigrationPlan, OpId, ShardRouter, ShardedOpId};
 use esds_sim::{derive_seed, SimDuration, SimTime};
 
 use crate::system::{SimSystem, SystemConfig};
@@ -41,7 +77,8 @@ pub struct ShardedSystemConfig {
     pub n_shards: usize,
     /// Per-shard configuration template. Each shard derives its own
     /// channel/workload seed from `shard.seed` and its shard index, so
-    /// shards are deterministic but not identical.
+    /// shards are deterministic but not identical. Shards added later by
+    /// a migration are built from the same template.
     pub shard: SystemConfig,
 }
 
@@ -52,23 +89,34 @@ impl ShardedSystemConfig {
     }
 }
 
-/// A deferred submission waiting for foreign-shard predecessors.
+/// A deferred submission waiting for foreign-shard predecessors, its
+/// scheduled submission time, or a frozen (migrating) slot.
 struct PendingOp<T: KeyedDataType> {
     client: ClientId,
-    shard: u32,
+    /// The slot this operation's key hashes to (keyless operators:
+    /// [`esds_core::HOME_SLOT`]). The owning shard is always derived from
+    /// the *current* routing table, so a pending operation follows a
+    /// migration automatically.
+    slot: u16,
     op: T::Operator,
     prev: Vec<ShardedOpId>,
     strict: bool,
+    /// Earliest virtual instant the request may enter the network.
+    at: SimTime,
 }
 
 /// Where a globally-identified operation currently is.
 enum TicketState<T: KeyedDataType> {
-    /// Held back by cross-shard `prev` constraints.
+    /// Held back in the routing layer (cross-shard `prev`, scheduled
+    /// time, or frozen slot).
     Pending(PendingOp<T>),
-    /// Submitted to its shard under a local identifier. The global `prev`
+    /// Submitted to a shard under a local identifier. The global `prev`
     /// set is retained so that later dependents can inherit this
     /// operation's same-shard predecessors through foreign hops (see
-    /// [`ShardedSimSystem::local_frontier`]).
+    /// [`ShardedSimSystem::local_frontier`]). Migrations do not need
+    /// per-ticket slot bookkeeping: their stability gate consults the
+    /// source groups' own request logs, which also cover replayed
+    /// operations no ticket ever named.
     Submitted {
         shard: u32,
         local: OpId,
@@ -76,8 +124,16 @@ enum TicketState<T: KeyedDataType> {
     },
 }
 
+/// An in-progress slot migration (see the module docs' state machine).
+struct Migration {
+    plan: MigrationPlan,
+    /// The slots being moved — frozen until the flip.
+    slots: BTreeSet<u16>,
+}
+
 /// A complete sharded simulated deployment: `S` independent
-/// [`SimSystem`]s multiplexed behind one submit/response API.
+/// [`SimSystem`]s multiplexed behind one submit/response API, with live
+/// slot rebalancing.
 ///
 /// Clients exist in every shard (their per-shard front ends are created
 /// together, so one [`ClientId`] is valid everywhere); each submission is
@@ -102,6 +158,7 @@ enum TicketState<T: KeyedDataType> {
 /// ```
 pub struct ShardedSimSystem<T: KeyedDataType + Clone> {
     dt: T,
+    config: ShardedSystemConfig,
     router: ShardRouter,
     shards: Vec<SimSystem<T>>,
     tickets: BTreeMap<ShardedOpId, TicketState<T>>,
@@ -109,6 +166,18 @@ pub struct ShardedSimSystem<T: KeyedDataType + Clone> {
     /// submission order whenever constraints allow).
     deferred: VecDeque<ShardedOpId>,
     next_seq: BTreeMap<ClientId, u64>,
+    /// Relay hints of every client, in creation order — replayed into
+    /// shards spawned later so per-shard [`ClientId`]s stay aligned.
+    client_hints: Vec<u32>,
+    /// The active migration, if any (at most one at a time).
+    migration: Option<Migration>,
+    /// Internal client used to replay stable prefixes during handoffs.
+    migration_client: Option<ClientId>,
+    /// `(shard, slot) →` the last operation of the slot's replayed
+    /// prefix on that shard. Future submissions on the slot carry it as
+    /// an extra `prev` so the receiving group orders them behind the
+    /// transferred history.
+    replay_anchor: BTreeMap<(u32, u16), OpId>,
 }
 
 impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
@@ -122,11 +191,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     pub fn new(dt: T, config: ShardedSystemConfig) -> Self {
         assert!(config.n_shards > 0, "need at least one shard");
         let shards = (0..config.n_shards)
-            .map(|s| {
-                let mut cfg = config.shard.clone();
-                cfg.seed = derive_seed(config.shard.seed, 0x5A4D ^ s as u64);
-                SimSystem::new(dt.clone(), cfg)
-            })
+            .map(|s| Self::build_shard(&dt, &config.shard, s))
             .collect();
         ShardedSimSystem {
             router: ShardRouter::new(config.n_shards as u32),
@@ -135,15 +200,36 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             tickets: BTreeMap::new(),
             deferred: VecDeque::new(),
             next_seq: BTreeMap::new(),
+            client_hints: Vec::new(),
+            migration: None,
+            migration_client: None,
+            replay_anchor: BTreeMap::new(),
+            config,
         }
     }
 
-    /// The router (key → shard map).
-    pub fn router(&self) -> ShardRouter {
-        self.router
+    fn build_shard(dt: &T, template: &SystemConfig, index: usize) -> SimSystem<T> {
+        let mut cfg = template.clone();
+        cfg.seed = derive_seed(template.seed, 0x5A4D ^ index as u64);
+        SimSystem::new(dt.clone(), cfg)
     }
 
-    /// Number of shards.
+    /// The router (key → slot → shard map), at its current version.
+    pub fn router(&self) -> ShardRouter {
+        self.router.clone()
+    }
+
+    /// The configuration (per-shard template; new shards clone it).
+    pub fn config(&self) -> &ShardedSystemConfig {
+        &self.config
+    }
+
+    /// The routing-table version: how many migrations have completed.
+    pub fn table_version(&self) -> u64 {
+        self.router.version()
+    }
+
+    /// Number of shards (including drained ones, which own no slots).
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
@@ -151,6 +237,18 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// The per-shard systems, for inspection (stats, states, orders).
     pub fn shards(&self) -> &[SimSystem<T>] {
         &self.shards
+    }
+
+    /// Mutable access to one shard's system — for scheduling
+    /// [`crate::FaultEvent`]s against a single group in fault/chaos
+    /// scenarios. Submit operations only through the sharded API, never
+    /// directly through this handle, or global identifiers will drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_mut(&mut self, shard: usize) -> &mut SimSystem<T> {
+        &mut self.shards[shard]
     }
 
     /// Current virtual time (shards run in lockstep; this is the frontier).
@@ -171,13 +269,14 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             "per-shard client ids diverged; add clients only through ShardedSimSystem"
         );
         self.next_seq.insert(c, 0);
+        self.client_hints.push(hint);
         c
     }
 
     /// Submits an operation *now*. Routes it by its shard key, translates
     /// the same-shard part of `prev` to local identifiers, and defers the
-    /// submission while any foreign-shard predecessor is still
-    /// unanswered (see the module docs).
+    /// submission while any foreign-shard predecessor is still unanswered
+    /// or the slot is frozen by a migration (see the module docs).
     ///
     /// # Panics
     ///
@@ -190,19 +289,41 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         prev: &[ShardedOpId],
         strict: bool,
     ) -> ShardedOpId {
+        self.submit_at(self.now(), client, op, prev, strict)
+    }
+
+    /// Submits an operation at a future virtual time (the open-loop
+    /// workload driver, mirroring [`SimSystem::submit_at`]). The global
+    /// identifier is assigned immediately; the request is held in the
+    /// routing layer until `at`, so a migration that freezes its slot in
+    /// the meantime captures it like any live submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is unknown or `prev` names an identifier never
+    /// returned by this system.
+    pub fn submit_at(
+        &mut self,
+        at: SimTime,
+        client: ClientId,
+        op: T::Operator,
+        prev: &[ShardedOpId],
+        strict: bool,
+    ) -> ShardedOpId {
         let seq = self
             .next_seq
             .get_mut(&client)
             .expect("unknown client; use add_client");
         let gid = ShardedOpId::new(client, *seq);
         *seq += 1;
-        let shard = self.router.route(&self.dt, &op);
+        let slot = self.router.slot_of(&self.dt, &op);
         let pending = PendingOp {
             client,
-            shard,
+            slot,
             op,
             prev: prev.to_vec(),
             strict,
+            at,
         };
         if self.is_ready(&pending) {
             self.release(gid, pending);
@@ -213,9 +334,17 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         gid
     }
 
-    /// Whether `p` may be handed to its shard: every `prev` entry has
-    /// itself been released, and every **foreign** operation reachable in
-    /// the constraint closure (the same nodes [`esds_core::shard_frontier`]
+    /// Whether `slot` is currently frozen by an active migration.
+    fn is_frozen(&self, slot: u16) -> bool {
+        self.migration
+            .as_ref()
+            .is_some_and(|m| m.slots.contains(&slot))
+    }
+
+    /// Whether `p` may be handed to its shard: its scheduled time has
+    /// arrived, its slot is not frozen, every `prev` entry has itself
+    /// been released, and every **foreign** operation reachable in the
+    /// constraint closure (the same nodes [`esds_core::shard_frontier`]
     /// visits: descend through foreign nodes, stop at same-shard ones) is
     /// answered.
     ///
@@ -225,8 +354,11 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// walk checks every visited foreign node explicitly, exactly as the
     /// threaded `ShardedClient` awaits each one.
     fn is_ready(&self, p: &PendingOp<T>) -> bool {
-        let mut visited: std::collections::BTreeSet<ShardedOpId> =
-            std::collections::BTreeSet::new();
+        if p.at > self.now() || self.is_frozen(p.slot) {
+            return false;
+        }
+        let target = self.router.table().shard_of_slot(p.slot);
+        let mut visited: BTreeSet<ShardedOpId> = BTreeSet::new();
         let mut stack: Vec<ShardedOpId> = p.prev.clone();
         while let Some(g) = stack.pop() {
             if !visited.insert(g) {
@@ -235,8 +367,10 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             match self.tickets.get(&g) {
                 None => panic!("prev {g} was never submitted to this system"),
                 Some(TicketState::Pending(_)) => return false,
-                Some(TicketState::Submitted { shard, local, prev }) => {
-                    if *shard != p.shard {
+                Some(TicketState::Submitted {
+                    shard, local, prev, ..
+                }) => {
+                    if *shard != target {
                         if self.shards[*shard as usize].response(*local).is_none() {
                             return false;
                         }
@@ -260,6 +394,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
                 shard: s,
                 local,
                 prev,
+                ..
             }) = self.tickets.get(&g)
             else {
                 unreachable!("is_ready guarantees every predecessor is released");
@@ -268,22 +403,32 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         })
     }
 
-    /// Hands a ready operation to its shard and records its placement.
+    /// Hands a ready operation to its shard (derived from the *current*
+    /// routing table) and records its placement. Operations landing on a
+    /// slot with a replayed prefix carry a `prev` anchor on the last
+    /// replayed operation, ordering them behind the transferred history.
     fn release(&mut self, gid: ShardedOpId, p: PendingOp<T>) {
-        let local_prev = self.local_frontier(&p.prev, p.shard);
-        let local = self.shards[p.shard as usize].submit(p.client, p.op, &local_prev, p.strict);
+        let shard = self.router.table().shard_of_slot(p.slot);
+        let mut local_prev = self.local_frontier(&p.prev, shard);
+        if let Some(anchor) = self.replay_anchor.get(&(shard, p.slot)) {
+            local_prev.push(*anchor);
+        }
+        let target = &mut self.shards[shard as usize];
+        let at = p.at.max(target.now());
+        let local = target.submit_at(at, p.client, p.op, &local_prev, p.strict);
         self.tickets.insert(
             gid,
             TicketState::Submitted {
-                shard: p.shard,
+                shard,
                 local,
                 prev: p.prev,
             },
         );
     }
 
-    /// Releases every deferred operation whose predecessors are now
-    /// satisfied, to fixpoint (one release can unblock another).
+    /// Releases every deferred operation whose predecessors, schedule,
+    /// and slot are now clear, to fixpoint (one release can unblock
+    /// another).
     fn pump(&mut self) {
         loop {
             let mut progressed = false;
@@ -310,21 +455,221 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Slot migration
+    // ------------------------------------------------------------------
+
+    /// Starts executing a [`MigrationPlan`] (see the module docs' state
+    /// machine). Any destination shards beyond the current count are
+    /// spawned from the configuration template, with every existing
+    /// client re-created so identities stay aligned. Returns immediately;
+    /// the handoff advances as virtual time runs and completes once the
+    /// migrating slots' history is stable — observe progress with
+    /// [`ShardedSimSystem::migration_active`] and
+    /// [`ShardedSimSystem::table_version`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a migration is already active or the plan was computed
+    /// against a different table version.
+    pub fn begin_migration(&mut self, plan: MigrationPlan) {
+        assert!(
+            self.migration.is_none(),
+            "a migration is already in progress"
+        );
+        assert_eq!(
+            plan.from_version(),
+            self.router.version(),
+            "migration plan is stale"
+        );
+        while (self.shards.len() as u32) < plan.n_shards_after() {
+            let index = self.shards.len();
+            let mut sys = Self::build_shard(&self.dt, &self.config.shard, index);
+            for (i, hint) in self.client_hints.iter().enumerate() {
+                let c = sys.add_client(*hint);
+                assert_eq!(c, ClientId(i as u32), "client ids must align across shards");
+            }
+            self.shards.push(sys);
+        }
+        if self.migration_client.is_none() {
+            self.migration_client = Some(self.add_client(0));
+        }
+        self.migration = Some(Migration {
+            slots: plan.slots(),
+            plan,
+        });
+        // A quiescent system can hand off immediately.
+        self.try_complete_migration();
+    }
+
+    /// Convenience: plan and start an add-shard migration (the new
+    /// group takes ~`1/(S+1)` of the slots). Returns the new shard's id.
+    pub fn begin_add_shard(&mut self) -> u32 {
+        let plan = MigrationPlan::add_shard(self.router.table());
+        let new = self.router.n_shards();
+        self.begin_migration(plan);
+        new
+    }
+
+    /// Convenience: plan and start draining `shard` (its slots spread
+    /// over the remaining shards; the group itself stays alive to finish
+    /// answering what it already accepted).
+    pub fn begin_drain_shard(&mut self, shard: u32) {
+        let plan = MigrationPlan::drain_shard(self.router.table(), shard);
+        self.begin_migration(plan);
+    }
+
+    /// Whether a migration is still in progress (slots frozen, handoff
+    /// pending).
+    pub fn migration_active(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// The slots currently frozen by the active migration.
+    pub fn frozen_slots(&self) -> BTreeSet<u16> {
+        self.migration
+            .as_ref()
+            .map(|m| m.slots.clone())
+            .unwrap_or_default()
+    }
+
+    /// A group's operations on `slot`, restricted to its stable prefix,
+    /// in final minimum-label order — the slot's share of the group's
+    /// transferable history.
+    fn slot_timeline(&self, shard: u32, slot: u16) -> Vec<OpId> {
+        let sys = &self.shards[shard as usize];
+        sys.stable_prefix()
+            .expect("caller checks liveness")
+            .into_iter()
+            .filter(|id| self.router.slot_of(&self.dt, &sys.requested()[id].op) == slot)
+            .collect()
+    }
+
+    /// Advances the active migration if its stability gate is met:
+    /// replays each migrating slot's stable prefix onto its destination,
+    /// flips the routing table, and drains the frozen queue. No-op while
+    /// any operation of a migrating slot is unanswered or unstable in
+    /// its group, or while any group involved in a move has a crashed
+    /// replica (e.g. during a partition or outage — the migration simply
+    /// waits), or when no migration is active.
+    fn try_complete_migration(&mut self) {
+        let Some(m) = &self.migration else { return };
+        // Phase 2 gate, part 1: every group a move touches — source or
+        // destination — must have all replicas alive, so both sides'
+        // stability knowledge is complete.
+        let involved: BTreeSet<u32> = m
+            .plan
+            .moves()
+            .iter()
+            .flat_map(|mv| [mv.from, mv.to])
+            .collect();
+        for shard in &involved {
+            if !self.shards[*shard as usize].all_replicas_alive() {
+                return;
+            }
+        }
+        // Phase 2 gate, part 2: every operation *any* involved group has
+        // received on a migrating slot — client submissions and earlier
+        // handoffs' replays alike — must be answered and stable
+        // everywhere in its group, so the slot's serialization is final
+        // and fully transferable. Checked against each group's own
+        // request log, not the ticket map: a back-to-back migration of a
+        // just-moved slot must wait for the previous handoff's replayed
+        // prefix to stabilize on the group it is now moving out of.
+        for shard in &involved {
+            let sys = &self.shards[*shard as usize];
+            for (id, desc) in sys.requested() {
+                if m.slots.contains(&self.router.slot_of(&self.dt, &desc.op))
+                    && (sys.response(*id).is_none() || !sys.op_is_stable_everywhere(*id))
+                {
+                    return;
+                }
+            }
+        }
+        let m = self.migration.take().expect("checked above");
+        let mc = self.migration_client.expect("set at begin_migration");
+        // Phase 2: replay each slot's stable prefix, in its final
+        // minimum-label order, onto the receiving group. `prev` chains
+        // preserve the order; the last link becomes the slot's anchor.
+        //
+        // A destination that held the slot *earlier* (a drain returning
+        // it to a former owner) already has a frozen prefix of the
+        // slot's timeline in its own history: when the slot left it, the
+        // current owner started from a replay of exactly those
+        // operations, in the same order, and the former owner received
+        // nothing on the slot since. Only the timeline's *suffix* beyond
+        // that shared prefix is replayed — re-applying the shared part
+        // would double-apply non-idempotent operators (a bank deposit
+        // counted twice).
+        for mv in m.plan.moves() {
+            let src_timeline = self.slot_timeline(mv.from, mv.slot);
+            let already_held = self.slot_timeline(mv.to, mv.slot);
+            assert!(
+                already_held.len() <= src_timeline.len(),
+                "destination shard {} holds more of slot {} ({} ops) than the source timeline \
+                 ({} ops); handoff bookkeeping corrupted",
+                mv.to,
+                mv.slot,
+                already_held.len(),
+                src_timeline.len()
+            );
+            let suffix: Vec<T::Operator> = src_timeline[already_held.len()..]
+                .iter()
+                .map(|id| self.shards[mv.from as usize].requested()[id].op.clone())
+                .collect();
+            // Order the replayed suffix — and everything drained after —
+            // behind the destination's existing share of the timeline.
+            let mut anchor = already_held.last().copied();
+            for op in suffix {
+                let prev: Vec<OpId> = anchor.into_iter().collect();
+                let dest = &mut self.shards[mv.to as usize];
+                anchor = Some(dest.submit(mc, op, &prev, false));
+            }
+            if let Some(a) = anchor {
+                self.replay_anchor.insert((mv.to, mv.slot), a);
+            }
+        }
+        // Phase 3: flip the table; phase 4: drain the frozen queue.
+        self.router.apply(&m.plan);
+        self.pump();
+    }
+
+    // ------------------------------------------------------------------
+    // Running
+    // ------------------------------------------------------------------
+
     /// Runs every shard to virtual time `t` in lockstep (slices of the
-    /// gossip interval), releasing deferred submissions between slices.
+    /// gossip interval, shortened so scheduled submissions release on
+    /// time), releasing deferred submissions and advancing any active
+    /// migration between slices.
     pub fn run_until(&mut self, t: SimTime) {
-        let slice = self.shards[0].config().gossip_interval;
+        let slice = self.config.shard.gossip_interval;
         loop {
             let now = self.now();
             if now >= t {
                 return;
             }
-            let target = (now + slice).min(t);
+            let mut target = (now + slice).min(t);
+            if let Some(next_at) = self.next_scheduled_release(now) {
+                target = target.min(next_at);
+            }
             for s in &mut self.shards {
                 s.run_until(target);
             }
             self.pump();
+            self.try_complete_migration();
         }
+    }
+
+    /// The earliest future release instant among deferred submissions.
+    fn next_scheduled_release(&self, now: SimTime) -> Option<SimTime> {
+        self.deferred
+            .iter()
+            .filter_map(|gid| match self.tickets.get(gid) {
+                Some(TicketState::Pending(p)) if p.at > now => Some(p.at),
+                _ => None,
+            })
+            .min()
     }
 
     /// Runs for a span of virtual time.
@@ -334,12 +679,14 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     }
 
     /// Runs **one** event of shard `shard` and returns its report, then
-    /// releases any deferred cross-shard submissions the event unblocked.
-    /// `None` when that shard's queue is empty. This is the
-    /// fine-grained stepping mode the per-shard
+    /// releases any deferred cross-shard submissions the event unblocked
+    /// and advances any active migration. `None` when that shard's queue
+    /// is empty. This is the fine-grained stepping mode the per-shard
     /// [`crate::ConformanceObserver`]s need: each shard is an independent
     /// ESDS instance, so observing every shard's steps against its own
-    /// `ESDS-II` automaton is exactly the sharded conformance statement.
+    /// `ESDS-II` automaton is exactly the sharded conformance statement —
+    /// and it holds *through* a slot handoff, because replayed and
+    /// drained operations are ordinary requests of the receiving shard.
     ///
     /// # Panics
     ///
@@ -347,6 +694,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     pub fn step_shard(&mut self, shard: usize) -> Option<crate::system::TimedStep<T>> {
         let out = self.shards[shard].step_one();
         self.pump();
+        self.try_complete_migration();
         out
     }
 
@@ -362,9 +710,11 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     }
 
     /// Whether every submission has been released to its shard, answered,
-    /// and stabilized within its group.
+    /// and stabilized within its group, and no migration is pending.
     pub fn is_converged(&self) -> bool {
-        self.deferred.is_empty() && self.shards.iter().all(|s| s.is_converged())
+        self.migration.is_none()
+            && self.deferred.is_empty()
+            && self.shards.iter().all(|s| s.is_converged())
     }
 
     /// Runs until converged or until `max` virtual time passes.
@@ -376,6 +726,12 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         while !self.is_converged() {
             if self.now() >= max {
                 let mut parts: Vec<String> = Vec::new();
+                if let Some(m) = &self.migration {
+                    parts.push(format!(
+                        "migration of slots {:?} not handed off",
+                        m.slots.iter().collect::<Vec<_>>()
+                    ));
+                }
                 if !self.deferred.is_empty() {
                     let held: Vec<String> = self.deferred.iter().map(|g| g.to_string()).collect();
                     parts.push(format!("{} deferred {held:?}", self.deferred.len()));
@@ -393,7 +749,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
                 }
                 return Err(format!("not converged by {max}: {}", parts.join("; ")));
             }
-            let t = self.now() + self.shards[0].config().gossip_interval;
+            let t = self.now() + self.config.shard.gossip_interval;
             self.run_until(t.min(max));
         }
         Ok(self.now())
@@ -407,18 +763,24 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// deployments always converge; prefer
     /// [`ShardedSimSystem::run_until_converged`] under faults).
     pub fn run_until_quiescent(&mut self) -> SimTime {
-        let budget = self.shards[0].config().quiescence_budget(self.now());
+        let budget = self.config.shard.quiescence_budget(self.now());
         match self.run_until_converged(budget) {
             Ok(t) => t,
             Err(e) => panic!("run_until_quiescent: {e}"),
         }
     }
 
+    // ------------------------------------------------------------------
+    // Results & inspection
+    // ------------------------------------------------------------------
+
     /// Where `id` was routed: its shard and, once released, its local
-    /// identifier within that shard.
+    /// identifier within that shard. For pending operations the shard is
+    /// the *current* owner of the operation's slot (a pending operation
+    /// follows migrations until it is released).
     pub fn placement(&self, id: ShardedOpId) -> Option<(u32, Option<OpId>)> {
         match self.tickets.get(&id)? {
-            TicketState::Pending(p) => Some((p.shard, None)),
+            TicketState::Pending(p) => Some((self.router.table().shard_of_slot(p.slot), None)),
             TicketState::Submitted { shard, local, .. } => Some((*shard, Some(*local))),
         }
     }
@@ -433,14 +795,31 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         }
     }
 
-    /// Total operations submitted through this system.
+    /// Total operations submitted through this system (excluding
+    /// internal stable-prefix replays).
     pub fn submitted_count(&self) -> usize {
         self.tickets.len()
     }
 
-    /// Total operations answered across all shards.
+    /// Total operations answered across all shards (including internal
+    /// stable-prefix replays, which are requests of the receiving group).
     pub fn completed_count(&self) -> usize {
         self.shards.iter().map(|s| s.completed_count()).sum()
+    }
+
+    /// Total client-submitted operations answered (excluding internal
+    /// stable-prefix replays) — the numerator rebalancing experiments
+    /// should use, so handoff traffic doesn't inflate throughput.
+    pub fn completed_client_ops(&self) -> usize {
+        self.tickets
+            .values()
+            .filter(|t| match t {
+                TicketState::Pending(_) => false,
+                TicketState::Submitted { shard, local, .. } => {
+                    self.shards[*shard as usize].response(*local).is_some()
+                }
+            })
+            .count()
     }
 
     /// The latest response-delivery instant across all shards (the
@@ -454,12 +833,25 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             .unwrap_or(SimTime::ZERO)
     }
 
+    /// The submission/response timing of `id`, if released and known:
+    /// `(submitted, responded)`.
+    pub fn op_timing(&self, id: ShardedOpId) -> Option<(SimTime, Option<SimTime>)> {
+        match self.tickets.get(&id)? {
+            TicketState::Pending { .. } => None,
+            TicketState::Submitted { shard, local, .. } => self.shards[*shard as usize]
+                .op_times()
+                .get(local)
+                .map(|t| (t.submitted, t.responded)),
+        }
+    }
+
     /// Per-shard count of operations routed there (load-balance metric).
+    /// Pending operations count toward their slot's current owner.
     pub fn shard_loads(&self) -> Vec<usize> {
         let mut loads = vec![0usize; self.shards.len()];
         for t in self.tickets.values() {
             let s = match t {
-                TicketState::Pending(p) => p.shard,
+                TicketState::Pending(p) => self.router.table().shard_of_slot(p.slot),
                 TicketState::Submitted { shard, .. } => *shard,
             };
             loads[s as usize] += 1;
@@ -610,7 +1002,10 @@ mod tests {
         let mut sys = kv_sys(4, 6);
         let c = sys.add_client(0);
         let keys = sys.submit(c, KvOp::Keys, &[], false);
-        assert_eq!(sys.placement(keys).map(|(s, _)| s), Some(0));
+        assert_eq!(
+            sys.placement(keys).map(|(s, _)| s),
+            Some(sys.router().table().shard_of_slot(esds_core::HOME_SLOT))
+        );
         sys.run_until_quiescent();
         assert!(matches!(sys.response(keys), Some(KvValue::Keys(_))));
     }
@@ -655,5 +1050,344 @@ mod tests {
         let c = sys.add_client(0);
         let ghost = ShardedOpId::new(c, 99);
         let _ = sys.submit(c, KvOp::put("k", "v"), &[ghost], false);
+    }
+
+    #[test]
+    fn submit_at_schedules_release() {
+        let mut sys = kv_sys(2, 9);
+        let c = sys.add_client(0);
+        let at = SimTime::from_millis(120);
+        let id = sys.submit_at(at, c, KvOp::put("k", "v"), &[], false);
+        // Held in the routing layer until `at`.
+        assert_eq!(sys.placement(id).map(|(_, l)| l), Some(None));
+        sys.run_until(SimTime::from_millis(100));
+        assert_eq!(sys.placement(id).map(|(_, l)| l), Some(None));
+        sys.run_until_quiescent();
+        let (submitted, responded) = sys.op_timing(id).expect("released");
+        assert_eq!(submitted, at, "request must enter the network at `at`");
+        assert!(responded.is_some());
+        assert_eq!(sys.response(id), Some(&KvValue::Ack));
+    }
+
+    // ------------------------------------------------------------------
+    // Slot migration
+    // ------------------------------------------------------------------
+
+    /// Keys of `sys`'s key universe that live on migrating vs staying
+    /// slots under the current table.
+    fn keys_by_slot_move(
+        sys: &ShardedSimSystem<KvStore>,
+        plan_slots: &BTreeSet<u16>,
+        n: usize,
+    ) -> (Vec<String>, Vec<String>) {
+        let router = sys.router();
+        let mut moving = Vec::new();
+        let mut staying = Vec::new();
+        for i in 0..n {
+            let k = format!("k{i}");
+            if plan_slots.contains(&router.slot_of_key(&k)) {
+                moving.push(k);
+            } else {
+                staying.push(k);
+            }
+        }
+        (moving, staying)
+    }
+
+    #[test]
+    fn add_shard_hands_off_state_and_serves_reads() {
+        let mut sys = kv_sys(2, 11);
+        let c = sys.add_client(0);
+        // Populate 40 keys, some strict.
+        let mut writes = Vec::new();
+        for i in 0..40 {
+            writes.push(sys.submit(
+                c,
+                KvOp::put(format!("k{i}"), format!("v{i}")),
+                &[],
+                i % 7 == 0,
+            ));
+        }
+        sys.run_for(SimDuration::from_millis(50));
+        // Begin the migration mid-flight; submissions keep coming.
+        let plan = MigrationPlan::add_shard(sys.router().table());
+        let plan_slots = plan.slots();
+        sys.begin_migration(plan);
+        assert!(sys.migration_active());
+        let (moving, _) = keys_by_slot_move(&sys, &plan_slots, 40);
+        assert!(!moving.is_empty(), "some key must migrate");
+        // Reads of migrating keys submitted during the freeze are queued,
+        // not rejected, and answered by the NEW owner after the flip.
+        let mut frozen_reads = Vec::new();
+        for k in &moving {
+            frozen_reads.push((k.clone(), sys.submit(c, KvOp::get(k), &[], false)));
+        }
+        sys.run_until_quiescent();
+        assert!(!sys.migration_active());
+        assert_eq!(sys.table_version(), 1);
+        assert_eq!(sys.n_shards(), 3);
+        for w in writes {
+            assert_eq!(sys.response(w), Some(&KvValue::Ack));
+        }
+        let router = sys.router();
+        for (k, id) in frozen_reads {
+            let i: usize = k[1..].parse().unwrap();
+            assert_eq!(
+                sys.response(id),
+                Some(&KvValue::Value(Some(format!("v{i}")))),
+                "read of migrated key {k} lost the handed-off state"
+            );
+            let (shard, local) = sys.placement(id).expect("placed");
+            assert!(local.is_some());
+            assert_eq!(shard, 2, "migrated key {k} must be served by the new shard");
+            assert_eq!(router.shard_of_key(&k), 2);
+        }
+        // And post-migration writes/reads on migrated keys work end-to-end.
+        let k = &moving[0];
+        let w2 = sys.submit(c, KvOp::put(k, "fresh"), &[], false);
+        let r2 = sys.submit(c, KvOp::get(k), &[w2], false);
+        sys.run_until_quiescent();
+        assert_eq!(
+            sys.response(r2),
+            Some(&KvValue::Value(Some("fresh".into())))
+        );
+    }
+
+    #[test]
+    fn drain_shard_relocates_its_keyspace() {
+        let mut sys = kv_sys(3, 13);
+        let c = sys.add_client(0);
+        for i in 0..30 {
+            sys.submit(c, KvOp::put(format!("k{i}"), format!("v{i}")), &[], false);
+        }
+        sys.run_for(SimDuration::from_millis(60));
+        sys.begin_drain_shard(1);
+        sys.run_until_quiescent();
+        assert!(!sys.migration_active());
+        let router = sys.router();
+        assert!(
+            router.table().slots_of(1).is_empty(),
+            "shard 1 still owns slots"
+        );
+        // Every key is still readable, none is routed to the drained shard.
+        let mut reads = Vec::new();
+        for i in 0..30 {
+            reads.push((i, sys.submit(c, KvOp::get(format!("k{i}")), &[], false)));
+        }
+        sys.run_until_quiescent();
+        for (i, id) in reads {
+            let (shard, _) = sys.placement(id).expect("placed");
+            assert_ne!(shard, 1, "k{i} still routed to the drained shard");
+            assert_eq!(
+                sys.response(id),
+                Some(&KvValue::Value(Some(format!("v{i}")))),
+                "k{i} lost during drain"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_waits_for_partitioned_source_replica() {
+        use crate::system::FaultEvent;
+        use esds_core::ReplicaId;
+        let shard_cfg = SystemConfig::new(3)
+            .with_seed(17)
+            .with_retry(SimDuration::from_millis(40));
+        let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(2, shard_cfg));
+        let c = sys.add_client(0);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(sys.submit(c, KvOp::put(format!("k{i}"), "v"), &[], false));
+        }
+        sys.run_for(SimDuration::from_millis(30));
+        // Isolate a replica of shard 0: its slots cannot stabilize, so a
+        // migration touching them must hold.
+        let t = sys.now();
+        sys.shard_mut(0).schedule_fault(
+            t + SimDuration::from_millis(1),
+            FaultEvent::Isolate(ReplicaId(2)),
+        );
+        sys.shard_mut(0).schedule_fault(
+            t + SimDuration::from_millis(400),
+            FaultEvent::Reconnect(ReplicaId(2)),
+        );
+        sys.run_for(SimDuration::from_millis(20));
+        sys.begin_add_shard();
+        // While the partition lasts, the migration must not complete
+        // (shard 0's ops cannot become stable everywhere).
+        sys.run_until(t + SimDuration::from_millis(300));
+        assert!(
+            sys.migration_active(),
+            "handoff must wait out the partition"
+        );
+        // After reconnection it completes and everything is answered.
+        sys.run_until_quiescent();
+        assert!(!sys.migration_active());
+        for id in ids {
+            assert_eq!(sys.response(id), Some(&KvValue::Ack));
+        }
+    }
+
+    #[test]
+    fn back_to_back_migrations_wait_for_replayed_prefix() {
+        // Regression (found in review): the stability gate used to scan
+        // only the client ticket map, so a second migration moving a
+        // just-moved slot could replay from the new owner *before* the
+        // previous handoff's replayed prefix had been processed there —
+        // silently dropping the slot's state. The gate must consult the
+        // source group's own request log, which includes replays.
+        let mut sys = kv_sys(2, 29);
+        let c = sys.add_client(0);
+        for i in 0..24 {
+            sys.submit(c, KvOp::put(format!("k{i}"), format!("v{i}")), &[], false);
+        }
+        sys.run_until_quiescent();
+        // First handoff: completes synchronously (everything stable),
+        // replaying the moved slots onto the brand-new shard 2 — whose
+        // replica group has not even processed the requests yet.
+        sys.begin_add_shard();
+        assert!(!sys.migration_active(), "quiescent handoff is immediate");
+        // Immediately drain shard 2, with NO quiescing in between: the
+        // gate must hold until shard 2 has answered and stabilized the
+        // replayed prefix it is about to pass on.
+        sys.begin_drain_shard(2);
+        sys.run_until_quiescent();
+        assert_eq!(sys.table_version(), 2);
+        let mut reads = Vec::new();
+        for i in 0..24 {
+            reads.push((i, sys.submit(c, KvOp::get(format!("k{i}")), &[], false)));
+        }
+        sys.run_until_quiescent();
+        for (i, id) in reads {
+            let (shard, _) = sys.placement(id).expect("placed");
+            assert_ne!(shard, 2, "k{i} still routed to the drained shard");
+            assert_eq!(
+                sys.response(id),
+                Some(&KvValue::Value(Some(format!("v{i}")))),
+                "k{i} lost in back-to-back handoffs"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_back_to_former_owner_does_not_double_apply() {
+        // Regression (found in review): a drain can return a slot to a
+        // former owner whose group still holds the slot's original
+        // history. Replaying the full timeline there would re-apply it —
+        // invisible for last-writer-wins kv, but a bank deposit counted
+        // twice. Only the timeline suffix beyond the shared prefix may
+        // be replayed.
+        let cfg = ShardedSystemConfig::new(2, SystemConfig::new(2).with_seed(33));
+        let mut sys = ShardedSimSystem::new(Bank, cfg);
+        let c = sys.add_client(0);
+        let d = sys.submit(c, BankOp::Deposit(50), &[], false);
+        sys.run_until_quiescent();
+        let (owner, _) = sys.placement(d).expect("placed");
+        let other = 1 - owner;
+        // Send the bank's slot away, deposit more there, then send it
+        // home: the former owner must apply only the new deposit.
+        sys.begin_drain_shard(owner);
+        sys.run_until_quiescent();
+        let d2 = sys.submit(c, BankOp::Deposit(25), &[], false);
+        sys.run_until_quiescent();
+        assert_eq!(sys.placement(d2).map(|(s, _)| s), Some(other));
+        sys.begin_drain_shard(other);
+        sys.run_until_quiescent();
+        assert_eq!(sys.table_version(), 2);
+        let b = sys.submit(c, BankOp::Balance, &[], false);
+        sys.run_until_quiescent();
+        assert_eq!(sys.placement(b).map(|(s, _)| s), Some(owner));
+        assert_eq!(
+            sys.response(b),
+            Some(&BankValue::Balance(75)),
+            "history double-applied on return to the former owner"
+        );
+    }
+
+    #[test]
+    fn migration_waits_for_crashed_replica_in_idle_source() {
+        // Regression (found in review): a source group with a crashed
+        // replica but *no operations on the migrating slots* used to
+        // pass the stability gate vacuously, then panic extracting its
+        // stable prefix. The gate must treat liveness of every involved
+        // group as part of the handoff precondition and simply wait.
+        use crate::system::FaultEvent;
+        use esds_core::ReplicaId;
+        let cfg = ShardedSystemConfig::new(
+            2,
+            SystemConfig::new(3)
+                .with_seed(37)
+                .with_retry(SimDuration::from_millis(40)),
+        );
+        let mut sys = ShardedSimSystem::new(KvStore, cfg);
+        let c = sys.add_client(0);
+        // Route all traffic to shard 0's keyspace: shard 1 stays empty.
+        let router = sys.router();
+        let keys: Vec<String> = (0..200)
+            .map(|i| format!("k{i}"))
+            .filter(|k| router.shard_of_key(k) == 0)
+            .take(6)
+            .collect();
+        for k in &keys {
+            sys.submit(c, KvOp::put(k, "v"), &[], false);
+        }
+        sys.run_until_quiescent();
+        // Crash a replica of the idle shard 1, then start a migration
+        // that donates some of shard 1's (empty) slots.
+        let t = sys.now();
+        sys.shard_mut(1).schedule_fault(
+            t + SimDuration::from_millis(1),
+            FaultEvent::Crash(ReplicaId(2)),
+        );
+        sys.run_for(SimDuration::from_millis(10));
+        sys.begin_add_shard();
+        sys.run_for(SimDuration::from_millis(200));
+        assert!(
+            sys.migration_active(),
+            "handoff must wait out the crashed replica, not panic"
+        );
+        let recover_at = sys.now() + SimDuration::from_millis(1);
+        sys.shard_mut(1)
+            .schedule_fault(recover_at, FaultEvent::Recover(ReplicaId(2)));
+        sys.run_until_quiescent();
+        assert!(!sys.migration_active());
+        assert_eq!(sys.table_version(), 1);
+        for k in &keys {
+            let id = sys.submit(c, KvOp::get(k), &[], false);
+            sys.run_until_quiescent();
+            assert_eq!(sys.response(id), Some(&KvValue::Value(Some("v".into()))));
+        }
+    }
+
+    #[test]
+    fn sequential_migrations_compound() {
+        // Add a shard, then drain the original home shard: slots that
+        // migrated once migrate again, replaying the replayed prefix.
+        let mut sys = kv_sys(2, 19);
+        let c = sys.add_client(0);
+        for i in 0..20 {
+            sys.submit(c, KvOp::put(format!("k{i}"), format!("v{i}")), &[], false);
+        }
+        sys.run_for(SimDuration::from_millis(40));
+        sys.begin_add_shard();
+        sys.run_until_quiescent();
+        assert_eq!(sys.table_version(), 1);
+        sys.begin_drain_shard(0);
+        sys.run_until_quiescent();
+        assert_eq!(sys.table_version(), 2);
+        let mut reads = Vec::new();
+        for i in 0..20 {
+            reads.push((i, sys.submit(c, KvOp::get(format!("k{i}")), &[], false)));
+        }
+        sys.run_until_quiescent();
+        for (i, id) in reads {
+            let (shard, _) = sys.placement(id).expect("placed");
+            assert_ne!(shard, 0);
+            assert_eq!(
+                sys.response(id),
+                Some(&KvValue::Value(Some(format!("v{i}")))),
+                "k{i} lost across two migrations"
+            );
+        }
     }
 }

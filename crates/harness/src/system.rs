@@ -1090,6 +1090,47 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
         self.view().expect("all replicas alive").minlabel_order()
     }
 
+    /// Whether every replica of this deployment is currently alive (not
+    /// crashed). Stability knowledge — and therefore
+    /// [`SimSystem::stable_prefix`] — is only complete when they are.
+    pub fn all_replicas_alive(&self) -> bool {
+        self.world
+            .replicas
+            .iter()
+            .all(|s| matches!(s, Slot::Alive(_)))
+    }
+
+    /// Whether `id` is *stable everywhere at every replica*: each replica
+    /// knows every replica has it stable, so its label — and therefore
+    /// its position in the eventual total order — is final and identical
+    /// across the group. `false` while any replica is crashed (stability
+    /// knowledge cannot be complete).
+    pub fn op_is_stable_everywhere(&self, id: OpId) -> bool {
+        self.world.replicas.iter().all(|s| match s {
+            Slot::Alive(r) => r.stable_everywhere().contains(&id),
+            Slot::Crashed(_) => false,
+        })
+    }
+
+    /// The **stable prefix** of this deployment: every operation that is
+    /// stable everywhere at every replica, in minimum-label order. This
+    /// order is final — no future gossip can reorder it — which makes
+    /// the prefix a *transferable artifact*: replaying it elsewhere
+    /// reproduces exactly the state every strict (and eventually every
+    /// nonstrict) response reflects. Slot migration
+    /// (`ShardedSimSystem::begin_migration`) ships a keyspace slice of
+    /// this prefix to the receiving group. `None` if a replica is
+    /// crashed.
+    pub fn stable_prefix(&self) -> Option<Vec<OpId>> {
+        let order = self.view()?.minlabel_order();
+        Some(
+            order
+                .into_iter()
+                .filter(|id| self.op_is_stable_everywhere(*id))
+                .collect(),
+        )
+    }
+
     /// A live borrow view for invariant checks. `None` if any replica is
     /// crashed or the system has no replicas.
     pub fn view(&self) -> Option<SystemView<'_, T>> {

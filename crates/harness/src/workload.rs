@@ -7,7 +7,7 @@
 //! fractions; [`OperatorSource`] implementations supply data-type-specific
 //! operator mixes.
 
-use esds_core::{ClientId, OpId, SerialDataType};
+use esds_core::{ClientId, KeyedDataType, OpId, SerialDataType, ShardedOpId};
 use esds_datatypes::{
     Counter, CounterOp, Directory, DirectoryOp, GSet, GSetOp, KvOp, KvStore, Register, RegisterOp,
 };
@@ -15,6 +15,7 @@ use esds_sim::{derive_seed, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::sharded::ShardedSimSystem;
 use crate::system::SimSystem;
 
 /// Supplies the operator stream of one workload.
@@ -234,6 +235,45 @@ impl OpenLoopWorkload {
     }
 }
 
+/// The shared open-loop driver: schedules `workload` over `clients`,
+/// sampling strictness and `prev` chains from `seed`, submitting through
+/// `submit_at` (the only part that differs between the single-group and
+/// sharded systems). One copy keeps the workload *shape* — stagger, mix,
+/// chaining policy — identical across deployment layers by construction.
+fn drive_open_loop<T, S, Id>(
+    seed: u64,
+    clients: &[ClientId],
+    workload: &OpenLoopWorkload,
+    source: &mut S,
+    mut submit_at: impl FnMut(SimTime, ClientId, T::Operator, &[Id], bool) -> Id,
+) -> Vec<Id>
+where
+    T: SerialDataType,
+    S: OperatorSource<T>,
+    Id: Copy,
+{
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0xB10B));
+    let mut ids = Vec::with_capacity(clients.len() * workload.ops_per_client);
+    let stagger = workload.period / (clients.len().max(1) as u64);
+    let mut last_op: Vec<Option<Id>> = vec![None; clients.len()];
+    for seq in 0..workload.ops_per_client {
+        for (ci, c) in clients.iter().enumerate() {
+            let at = workload.start + workload.period * seq as u64 + stagger * ci as u64;
+            let op = source.next_op(*c, seq as u64);
+            let strict = rng.gen_bool(workload.strict_fraction);
+            let prev: Vec<Id> = if !strict && rng.gen_bool(workload.prev_fraction) {
+                last_op[ci].into_iter().collect()
+            } else {
+                Vec::new()
+            };
+            let id = submit_at(at, *c, op, &prev, strict);
+            last_op[ci] = Some(id);
+            ids.push(id);
+        }
+    }
+    ids
+}
+
 /// Schedules the whole workload into the system. Returns all submitted
 /// operation ids. Deterministic given the system seed.
 pub fn apply_open_loop<T, S>(
@@ -245,34 +285,52 @@ where
     T: SerialDataType + Clone,
     S: OperatorSource<T>,
 {
-    let mut rng = SmallRng::seed_from_u64(derive_seed(sys.config().seed, 0xB10B));
-    let mut ids = Vec::with_capacity(workload.clients * workload.ops_per_client);
+    let seed = sys.config().seed;
     let clients: Vec<ClientId> = (0..workload.clients)
         .map(|i| sys.add_client(i as u32))
         .collect();
-    let stagger = workload.period / (workload.clients.max(1) as u64);
-    let mut last_op: Vec<Option<OpId>> = vec![None; workload.clients];
-    for seq in 0..workload.ops_per_client {
-        for (ci, c) in clients.iter().enumerate() {
-            let at = workload.start + workload.period * seq as u64 + stagger * ci as u64;
-            let op = source.next_op(*c, seq as u64);
-            let strict = rng.gen_bool(workload.strict_fraction);
-            let prev: Vec<OpId> = if !strict && rng.gen_bool(workload.prev_fraction) {
-                last_op[ci].into_iter().collect()
-            } else {
-                Vec::new()
-            };
-            let id = sys.submit_at(at, *c, op, &prev, strict);
-            last_op[ci] = Some(id);
-            ids.push(id);
-        }
-    }
-    ids
+    drive_open_loop(
+        seed,
+        &clients,
+        workload,
+        source,
+        |at, c, op, prev, strict| sys.submit_at(at, c, op, prev, strict),
+    )
+}
+
+/// Schedules the whole workload into a **sharded** system — the sharded
+/// analogue of [`apply_open_loop`], for latency-vs-load sweeps against
+/// multi-group deployments (and through rebalancing events: submissions
+/// scheduled onto a slot that later freezes are queued by the routing
+/// layer and drained to the new owner, like any live submission).
+/// Returns all submitted global operation ids. Deterministic given the
+/// system seed.
+pub fn apply_sharded_open_loop<T, S>(
+    sys: &mut ShardedSimSystem<T>,
+    workload: &OpenLoopWorkload,
+    source: &mut S,
+) -> Vec<ShardedOpId>
+where
+    T: KeyedDataType + Clone,
+    S: OperatorSource<T>,
+{
+    let seed = sys.config().shard.seed;
+    let clients: Vec<ClientId> = (0..workload.clients)
+        .map(|i| sys.add_client(i as u32))
+        .collect();
+    drive_open_loop(
+        seed,
+        &clients,
+        workload,
+        source,
+        |at, c, op, prev, strict| sys.submit_at(at, c, op, prev, strict),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sharded::ShardedSystemConfig;
     use crate::system::SystemConfig;
     use esds_spec::check_converged;
 
@@ -289,6 +347,48 @@ mod tests {
         sys.run_until_quiescent();
         assert_eq!(sys.completed_count(), 30);
         assert!(check_converged(&sys.local_orders(), &sys.replica_states()).is_ok());
+    }
+
+    #[test]
+    fn sharded_open_loop_runs_to_convergence() {
+        let cfg = ShardedSystemConfig::new(3, SystemConfig::new(3).with_seed(11));
+        let mut sys = ShardedSimSystem::new(KvStore, cfg);
+        let w = OpenLoopWorkload::new(4, 8, SimDuration::from_millis(10))
+            .with_strict_fraction(0.2)
+            .with_prev_fraction(0.3);
+        let mut src = KvSource::new(0.5, 32, 5);
+        let ids = apply_sharded_open_loop(&mut sys, &w, &mut src);
+        assert_eq!(ids.len(), 32);
+        sys.run_until_quiescent();
+        for id in &ids {
+            assert!(sys.response(*id).is_some(), "op {id} unanswered");
+        }
+        // Submissions entered the network paced, not all at once.
+        let times: Vec<_> = ids
+            .iter()
+            .filter_map(|id| sys.op_timing(*id).map(|(s, _)| s))
+            .collect();
+        assert!(times.iter().max() > times.iter().min());
+    }
+
+    #[test]
+    fn sharded_open_loop_survives_mid_sweep_rebalance() {
+        // The ROADMAP ask: latency-vs-load sweeps against shards — here
+        // with a shard added mid-sweep. Submissions scheduled before the
+        // freeze drain to the new owner without loss.
+        let cfg = ShardedSystemConfig::new(2, SystemConfig::new(3).with_seed(23));
+        let mut sys = ShardedSimSystem::new(KvStore, cfg);
+        let w = OpenLoopWorkload::new(3, 12, SimDuration::from_millis(8));
+        let mut src = KvSource::new(0.4, 24, 9);
+        let ids = apply_sharded_open_loop(&mut sys, &w, &mut src);
+        sys.run_for(SimDuration::from_millis(30));
+        sys.begin_add_shard();
+        sys.run_until_quiescent();
+        assert!(!sys.migration_active());
+        assert_eq!(sys.n_shards(), 3);
+        for id in &ids {
+            assert!(sys.response(*id).is_some(), "op {id} lost in rebalance");
+        }
     }
 
     #[test]

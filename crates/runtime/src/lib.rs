@@ -12,5 +12,5 @@
 mod service;
 mod sharded;
 
-pub use service::{RuntimeClient, RuntimeConfig, RuntimeService};
+pub use service::{OpFilter, ReplicaSnapshot, RuntimeClient, RuntimeConfig, RuntimeService};
 pub use sharded::{ShardedClient, ShardedService};

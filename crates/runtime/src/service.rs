@@ -69,10 +69,31 @@ enum NetInput<T: SerialDataType> {
     Shutdown,
 }
 
+/// A predicate over operators, shipped to a replica thread by
+/// [`RuntimeService::count_unstable`].
+pub type OpFilter<T> = Box<dyn Fn(&<T as SerialDataType>::Operator) -> bool + Send>;
+
 enum ReplicaInput<T: SerialDataType> {
     Request(RequestMsg<T::Operator>),
     Gossip(Box<GossipEnvelope<T::Operator>>),
+    Inspect(Sender<ReplicaSnapshot<T>>),
+    CountUnstable(OpFilter<T>, Sender<usize>),
     Shutdown,
+}
+
+/// A point-in-time view of one replica's history, answered over the
+/// replica's own input channel (so it is consistent: no message is half-
+/// applied). The sharded layer's slot migration uses it to find a slot's
+/// **stable prefix** — the operations whose order is final at every
+/// replica — which is the unit of state transfer during a handoff.
+pub struct ReplicaSnapshot<T: SerialDataType> {
+    /// The replica's local label order.
+    pub order: Vec<esds_core::OpId>,
+    /// Operations the replica knows are stable at *every* replica; their
+    /// labels — and positions in `order` — can never change again.
+    pub stable_everywhere: std::collections::BTreeSet<esds_core::OpId>,
+    /// The operator of every operation the replica has received.
+    pub ops: std::collections::BTreeMap<esds_core::OpId, T::Operator>,
 }
 
 struct Timed<T: SerialDataType> {
@@ -163,6 +184,15 @@ where
     /// The value previously returned for `id`, if completed.
     pub fn value_of(&self, id: OpId) -> Option<&T::Value> {
         self.fe.value_of(id)
+    }
+
+    /// Drains any responses already delivered to this client's channel
+    /// into the front end, without blocking. Makes [`RuntimeClient::value_of`]
+    /// reflect everything the network has handed over so far.
+    pub fn poll_responses(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.fe.on_response(msg);
+        }
     }
 
     /// The client identity.
@@ -257,6 +287,29 @@ where
                         let effects = match input {
                             ReplicaInput::Request(m) => rep.on_request(m.desc),
                             ReplicaInput::Gossip(g) => rep.on_gossip_envelope(*g),
+                            ReplicaInput::Inspect(tx) => {
+                                let _ = tx.send(ReplicaSnapshot {
+                                    order: rep.local_order(),
+                                    stable_everywhere: rep.stable_everywhere().clone(),
+                                    ops: rep
+                                        .rcvd()
+                                        .iter()
+                                        .map(|(id, d)| (*id, d.op.clone()))
+                                        .collect(),
+                                });
+                                Vec::new()
+                            }
+                            ReplicaInput::CountUnstable(filter, tx) => {
+                                let n = rep
+                                    .rcvd()
+                                    .iter()
+                                    .filter(|(id, d)| {
+                                        filter(&d.op) && !rep.stable_everywhere().contains(id)
+                                    })
+                                    .count();
+                                let _ = tx.send(n);
+                                Vec::new()
+                            }
                             ReplicaInput::Shutdown => break,
                         };
                         for e in effects {
@@ -337,6 +390,43 @@ where
             replica_inputs,
             net_thread: Some(net_thread),
         }
+    }
+
+    /// Number of replica threads in this group.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// A consistent snapshot of one replica's history (order, stability
+    /// knowledge, operators), fetched through the replica's input channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range or the service is shut down.
+    pub fn snapshot(&self, replica: usize) -> ReplicaSnapshot<T> {
+        let (tx, rx) = bounded(1);
+        self.replica_inputs[replica]
+            .send(ReplicaInput::Inspect(tx))
+            .expect("replica thread alive");
+        rx.recv().expect("replica thread alive")
+    }
+
+    /// How many operations matching `filter` the replica has received
+    /// but does not yet know to be stable at every replica. A cheap,
+    /// allocation-light probe for migration stability gates — unlike
+    /// [`RuntimeService::snapshot`], nothing is cloned across the
+    /// channel, so polling it does not stall the replica thread on
+    /// copying its whole history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range or the service is shut down.
+    pub fn count_unstable(&self, replica: usize, filter: OpFilter<T>) -> usize {
+        let (tx, rx) = bounded(1);
+        self.replica_inputs[replica]
+            .send(ReplicaInput::CountUnstable(filter, tx))
+            .expect("replica thread alive");
+        rx.recv().expect("replica thread alive")
     }
 
     /// Creates a new client attached (fixed policy) to replica

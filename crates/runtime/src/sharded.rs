@@ -1,28 +1,89 @@
 //! The threaded **sharded** deployment: one [`RuntimeService`] (replica
-//! threads + network thread) per shard, behind a single client handle.
+//! threads + network thread) per shard, behind a single client handle —
+//! with **live rebalancing** by slot migration.
 //!
 //! Mirrors `esds-harness`'s `ShardedSimSystem` for real threads: a
-//! [`ShardRouter`] hash-partitions the keyspace of a [`KeyedDataType`]
-//! across `S` independent replica groups, each running the unmodified
-//! Section 6 protocol. A [`ShardedClient`] owns one front end per shard
-//! and routes each submission to the group owning its key.
+//! versioned [`RoutingTable`] (`key → slot → shard`) partitions the
+//! keyspace of a [`KeyedDataType`] across `S` independent replica
+//! groups, each running the unmodified Section 6 protocol. A
+//! [`ShardedClient`] owns one front end per shard and routes each
+//! submission through the **shared, versioned** table.
 //!
-//! Cross-shard `prev` constraints are enforced at submission time: the
-//! client **waits** for every foreign-shard predecessor's response before
-//! handing the dependent operation to its shard (different shards are
-//! disjoint objects, so once the predecessor is answered the remaining
-//! constraint is vacuous). Same-shard predecessors are passed through to
-//! the group's protocol unchanged.
+//! ## Table versions and in-flight operations
+//!
+//! Every routing decision happens under the shared table lock, and every
+//! submission registers itself against its slot before the lock is
+//! released. A migration ([`ShardedService::add_shard`]) can therefore
+//! never catch an operation "routed with a stale table": it freezes the
+//! migrating slots first (submissions targeting them block on a condition
+//! variable — retried after the flip against the new table), then waits
+//! for every registered in-flight operation on those slots to be
+//! answered. Operations in flight at freeze time keep their original
+//! owner, which still answers them — and because the handoff waits for
+//! them *and* for their stability, their effects are part of the stable
+//! prefix that is replayed onto the new owner. Clients observe the flip
+//! as a version bump ([`ShardedClient::table_version`]).
+//!
+//! The handoff is the same four-phase state machine as the simulated
+//! layer (freeze → replay stable prefix → flip → drain), with the replay
+//! chained by `prev` and its final link submitted **strict**, so the
+//! transferred state is stable at every replica of the receiving group
+//! before any client request is allowed to route there.
+//!
+//! One liveness requirement follows from client-side response tracking:
+//! every submission must eventually be awaited (or another call made on
+//! its handle) so the client can observe the response and deregister the
+//! operation; a handle that submits to a migrating slot and then goes
+//! silent forever holds the migration until its timeout.
+//!
+//! ## Cross-shard `prev` constraints
+//!
+//! As before: the client **waits** for every foreign-shard predecessor's
+//! response before handing the dependent operation to its shard
+//! (different shards are disjoint objects, so once the predecessor is
+//! answered the remaining constraint is vacuous). Same-shard
+//! predecessors are passed through to the group's protocol unchanged.
 
-use std::collections::BTreeMap;
-use std::time::Duration;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use esds_alg::Replica;
-use esds_core::{ClientId, KeyedDataType, OpId, ShardRouter, ShardedOpId};
+use esds_core::{
+    ClientId, KeyedDataType, MigrationPlan, OpId, RoutingTable, ShardedOpId, HOME_SLOT,
+};
 
 use crate::service::{RuntimeClient, RuntimeConfig, RuntimeService};
 
-/// The running sharded service: `S` independent [`RuntimeService`]s.
+/// The slot an operator is attributed to (keyless → [`HOME_SLOT`]).
+fn slot_of_op<T: KeyedDataType>(dt: &T, table: &RoutingTable, op: &T::Operator) -> u16 {
+    match dt.shard_key(op) {
+        Some(k) => table.slot_of_key(k),
+        None => HOME_SLOT,
+    }
+}
+
+/// Routing state shared by the service and every client handle.
+struct RouteState {
+    table: RoutingTable,
+    /// Slots frozen by an in-progress migration; submissions block.
+    frozen: BTreeSet<u16>,
+    /// In-flight (submitted, response not yet observed) operations per
+    /// slot. A migration waits for its slots to drain to zero.
+    inflight: BTreeMap<u16, u64>,
+}
+
+struct RoutingShared {
+    state: Mutex<RouteState>,
+    cv: Condvar,
+}
+
+/// Front ends created for existing client handles when a shard is added,
+/// waiting to be picked up: `handle → [(shard, front end)]`.
+type Mailbox<T> = Arc<Mutex<BTreeMap<u32, Vec<(u32, RuntimeClient<T>)>>>>;
+
+/// The running sharded service: `S` independent [`RuntimeService`]s
+/// behind a shared, versioned routing table.
 ///
 /// # Examples
 ///
@@ -41,10 +102,16 @@ use crate::service::{RuntimeClient, RuntimeConfig, RuntimeService};
 /// ```
 pub struct ShardedService<T: KeyedDataType> {
     dt: T,
-    router: ShardRouter,
+    config: RuntimeConfig,
     shards: Vec<RuntimeService<T>>,
+    routing: Arc<RoutingShared>,
+    mailbox: Mailbox<T>,
+    /// Client handles created so far (mailbox keys).
+    n_handles: u32,
     /// Timeout a client uses when waiting out a foreign-shard `prev`.
     cross_shard_wait: Duration,
+    /// Timeout for a migration's drain/stability/replay phases.
+    migration_timeout: Duration,
 }
 
 impl<T> ShardedService<T>
@@ -55,7 +122,7 @@ where
     T::State: Send,
 {
     /// Starts `n_shards` independent replica groups, each configured by
-    /// `config`.
+    /// `config`, with the initial uniform routing table (version 0).
     ///
     /// # Panics
     ///
@@ -66,10 +133,21 @@ where
             .map(|_| RuntimeService::start(dt.clone(), config.clone()))
             .collect();
         ShardedService {
-            router: ShardRouter::new(n_shards as u32),
+            routing: Arc::new(RoutingShared {
+                state: Mutex::new(RouteState {
+                    table: RoutingTable::uniform(n_shards as u32),
+                    frozen: BTreeSet::new(),
+                    inflight: BTreeMap::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+            mailbox: Arc::new(Mutex::new(BTreeMap::new())),
+            n_handles: 0,
             dt,
+            config,
             shards,
             cross_shard_wait: Duration::from_secs(30),
+            migration_timeout: Duration::from_secs(30),
         }
     }
 
@@ -81,33 +159,198 @@ where
         self
     }
 
-    /// The router (key → shard map).
-    pub fn router(&self) -> ShardRouter {
-        self.router
+    /// Overrides the migration timeout (default 30 s).
+    #[must_use]
+    pub fn with_migration_timeout(mut self, d: Duration) -> Self {
+        self.migration_timeout = d;
+        self
     }
 
-    /// Number of shards.
+    /// The current routing table (a snapshot — the live table is shared
+    /// with every client and advances on migrations).
+    pub fn table(&self) -> RoutingTable {
+        self.routing
+            .state
+            .lock()
+            .expect("routing lock")
+            .table
+            .clone()
+    }
+
+    /// The current table version (how many migrations have completed).
+    pub fn table_version(&self) -> u64 {
+        self.table().version()
+    }
+
+    /// Number of shards (including drained ones).
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
 
     /// Creates a client with a front end in **every** shard.
+    ///
+    /// Per-group [`ClientId`]s may differ across shards once shards have
+    /// been added (each group numbers its own front ends); the handle's
+    /// global identity is its shard-0 id, and all bookkeeping tracks
+    /// group-local ids per placement, so this is invisible to callers.
     pub fn client(&mut self) -> ShardedClient<T> {
         let fes: Vec<RuntimeClient<T>> = self.shards.iter_mut().map(|s| s.client()).collect();
         let id = fes[0].client();
-        assert!(
-            fes.iter().all(|f| f.client() == id),
-            "per-shard client ids diverged; create clients only through ShardedService"
-        );
+        let handle = self.n_handles;
+        self.n_handles += 1;
         ShardedClient {
             dt: self.dt.clone(),
-            router: self.router,
+            routing: self.routing.clone(),
+            mailbox: self.mailbox.clone(),
+            handle,
             id,
             fes,
             next_seq: 0,
             placements: BTreeMap::new(),
+            unsettled: BTreeSet::new(),
             cross_shard_wait: self.cross_shard_wait,
         }
+    }
+
+    /// Adds a shard and live-migrates ~`1/(S+1)` of the slots onto it
+    /// (freeze → replay stable prefix → flip → drain; see module docs).
+    /// Blocks until the handoff completes and returns the new shard's id.
+    /// Existing client handles pick up their new front end automatically
+    /// on their next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if in-flight operations on the migrating slots are not
+    /// settled, or the replayed prefix does not stabilize, within the
+    /// migration timeout.
+    pub fn add_shard(&mut self) -> u32 {
+        let plan = {
+            let st = self.routing.state.lock().expect("routing lock");
+            assert!(st.frozen.is_empty(), "a migration is already in progress");
+            MigrationPlan::add_shard(&st.table)
+        };
+        let new_idx = self.shards.len() as u32;
+        // Start the receiving group and pre-create a front end in it for
+        // every existing client handle (picked up lazily via the mailbox)
+        // — in handle order, before any other client can reach the group,
+        // so the assignment is deterministic.
+        let mut svc = RuntimeService::start(self.dt.clone(), self.config.clone());
+        {
+            let mut mb = self.mailbox.lock().expect("mailbox lock");
+            for h in 0..self.n_handles {
+                mb.entry(h).or_default().push((new_idx, svc.client()));
+            }
+        }
+        // The migration's own front end for the stable-prefix replay.
+        let mut mfe = svc.client();
+        self.shards.push(svc);
+
+        let slots = plan.slots();
+        let deadline = Instant::now() + self.migration_timeout;
+        // Phase 1: freeze. New submissions on migrating slots now block.
+        {
+            let mut st = self.routing.state.lock().expect("routing lock");
+            st.frozen = slots.clone();
+        }
+        // Wait for registered in-flight operations on those slots to be
+        // answered and observed by their clients.
+        {
+            let mut st = self.routing.state.lock().expect("routing lock");
+            while slots
+                .iter()
+                .any(|s| st.inflight.get(s).copied().unwrap_or(0) > 0)
+            {
+                assert!(
+                    Instant::now() < deadline,
+                    "migration timed out: in-flight operations on migrating slots were never \
+                     settled (every submission must eventually be awaited)"
+                );
+                let (guard, _) = self
+                    .routing
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(10))
+                    .expect("routing lock");
+                st = guard;
+            }
+        }
+        // Phase 2 gate: wait until every replica of every source group
+        // has the migrating slots' operations stable everywhere — the
+        // slots' serialization is then final and fully transferable.
+        // Probed with the allocation-light `count_unstable` (the full
+        // snapshot is fetched exactly once afterwards, for the replay),
+        // so polling does not stall busy replica threads on copying
+        // their history.
+        let table = self.table();
+        let sources: BTreeSet<u32> = plan.moves().iter().map(|m| m.from).collect();
+        let make_filter = || -> crate::service::OpFilter<T> {
+            let dt = self.dt.clone();
+            let table = table.clone();
+            let slots = slots.clone();
+            Box::new(move |op| slots.contains(&slot_of_op(&dt, &table, op)))
+        };
+        loop {
+            let pending = sources.iter().any(|src| {
+                let group = &self.shards[*src as usize];
+                (0..group.n_replicas()).any(|r| group.count_unstable(r, make_filter()) > 0)
+            });
+            if !pending {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "migration timed out waiting for slot stability in the source groups"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Phase 2: replay each slot's stable prefix in its final order,
+        // chained with prev; the last link is strict so the transferred
+        // state is stable at every replica of the new group before any
+        // client request routes there. One full snapshot per *source
+        // shard* (not per move — an add-shard plan has ~256/(S+1) moves
+        // but at most S sources), taken after the gate passed, so the
+        // history is cloned a bounded number of times. The receiving
+        // group is brand new and empty, so the whole prefix is the delta
+        // (unlike the simulated layer's drain path, nothing can already
+        // hold a slice of the slot's timeline here).
+        let snapshots: BTreeMap<u32, crate::service::ReplicaSnapshot<T>> = sources
+            .iter()
+            .map(|src| (*src, self.shards[*src as usize].snapshot(0)))
+            .collect();
+        for mv in plan.moves() {
+            let snap = &snapshots[&mv.from];
+            let prefix: Vec<T::Operator> = snap
+                .order
+                .iter()
+                .filter(|id| {
+                    snap.stable_everywhere.contains(id)
+                        && slot_of_op(&self.dt, &table, &snap.ops[id]) == mv.slot
+                })
+                .map(|id| snap.ops[id].clone())
+                .collect();
+            let mut anchor: Option<OpId> = None;
+            let n = prefix.len();
+            for (i, op) in prefix.into_iter().enumerate() {
+                let prev: Vec<OpId> = anchor.into_iter().collect();
+                anchor = Some(mfe.submit(op, &prev, i + 1 == n));
+            }
+            if let Some(a) = anchor {
+                assert!(
+                    mfe.await_response(a, deadline.saturating_duration_since(Instant::now()))
+                        .is_some(),
+                    "replayed stable prefix of slot {} did not stabilize on the new shard",
+                    mv.slot
+                );
+            }
+        }
+        // Phase 3 + 4: flip the table and unfreeze; blocked submissions
+        // retry their routing decision against the new version.
+        {
+            let mut st = self.routing.state.lock().expect("routing lock");
+            st.table.apply(&plan);
+            st.frozen.clear();
+        }
+        self.routing.cv.notify_all();
+        new_idx
     }
 
     /// Stops every shard and returns the final replica states per shard
@@ -125,12 +368,17 @@ where
 /// a front end only ever learns identifiers it requested, paper §6.2).
 pub struct ShardedClient<T: KeyedDataType> {
     dt: T,
-    router: ShardRouter,
+    routing: Arc<RoutingShared>,
+    mailbox: Mailbox<T>,
+    handle: u32,
     id: ClientId,
     fes: Vec<RuntimeClient<T>>,
     next_seq: u64,
     /// Global sequence number → where the operation went.
     placements: BTreeMap<u64, Placement>,
+    /// Sequence numbers whose response has not yet been observed by this
+    /// handle (still registered as in-flight against their slot).
+    unsettled: BTreeSet<u64>,
     cross_shard_wait: Duration,
 }
 
@@ -142,6 +390,9 @@ struct Placement {
     shard: u32,
     local: OpId,
     prev: Vec<u64>,
+    slot: u16,
+    /// The routing-table version this operation was routed under.
+    version: u64,
 }
 
 impl<T: KeyedDataType> ShardedClient<T>
@@ -149,25 +400,88 @@ where
     T::Operator: Clone,
     T::Value: Clone,
 {
-    /// The client identity (shared by all per-shard front ends).
+    /// The client identity (its shard-0 front end's id, used to mint
+    /// global identifiers).
     pub fn client(&self) -> ClientId {
         self.id
     }
 
-    /// Submits an operation to the shard owning its key and returns its
-    /// global id. Foreign-shard `prev` entries are awaited (blocking, up
-    /// to the configured cross-shard timeout) before the submission is
+    /// The routing-table version this handle currently observes.
+    pub fn table_version(&self) -> u64 {
+        self.routing
+            .state
+            .lock()
+            .expect("routing lock")
+            .table
+            .version()
+    }
+
+    /// Picks up front ends for shards added since this handle last
+    /// looked (created by [`ShardedService::add_shard`]).
+    fn sync_shards(&mut self) {
+        let mut mb = self.mailbox.lock().expect("mailbox lock");
+        if let Some(pending) = mb.get_mut(&self.handle) {
+            pending.sort_by_key(|(s, _)| *s);
+            for (s, fe) in pending.drain(..) {
+                assert_eq!(
+                    s as usize,
+                    self.fes.len(),
+                    "shard front ends must arrive in order"
+                );
+                self.fes.push(fe);
+            }
+        }
+    }
+
+    /// Observes any responses that have arrived and deregisters the
+    /// corresponding operations from the shared in-flight table (what a
+    /// pending migration waits on).
+    fn settle_answered(&mut self) {
+        for fe in &mut self.fes {
+            fe.poll_responses();
+        }
+        let done: Vec<u64> = self
+            .unsettled
+            .iter()
+            .copied()
+            .filter(|seq| {
+                let p = &self.placements[seq];
+                self.fes[p.shard as usize].value_of(p.local).is_some()
+            })
+            .collect();
+        if done.is_empty() {
+            return;
+        }
+        let mut st = self.routing.state.lock().expect("routing lock");
+        for seq in &done {
+            let slot = self.placements[seq].slot;
+            let n = st.inflight.get_mut(&slot).expect("registered at submit");
+            *n -= 1;
+            self.unsettled.remove(seq);
+        }
+        drop(st);
+        self.routing.cv.notify_all();
+    }
+
+    /// Submits an operation to the shard owning its key under the
+    /// current routing table and returns its global id. If the slot is
+    /// frozen by an in-progress migration, the submission blocks and is
+    /// retried against the flipped table (never rejected, never routed
+    /// stale). Foreign-shard `prev` entries are awaited (blocking, up to
+    /// the configured cross-shard timeout) before the submission is
     /// handed to its group; same-shard entries ride the group's own
     /// protocol.
     ///
     /// # Panics
     ///
-    /// Panics if `prev` names an id this handle did not issue, or if a
-    /// foreign predecessor stays unanswered past the cross-shard timeout
-    /// (the deployment is then considered broken — the same situation in
+    /// Panics if `prev` names an id this handle did not issue, if a
+    /// foreign predecessor stays unanswered past the cross-shard timeout,
+    /// or if a migration keeps the slot frozen past that timeout (the
+    /// deployment is then considered broken — the same situation in
     /// which [`ShardedClient::await_response`] would return `None`).
     pub fn submit(&mut self, op: T::Operator, prev: &[ShardedOpId], strict: bool) -> ShardedOpId {
-        let shard = self.router.route(&self.dt, &op);
+        self.sync_shards();
+        self.settle_answered();
         for g in prev {
             assert!(
                 g.client() == self.id,
@@ -178,6 +492,34 @@ where
                 "prev {g} was never submitted via this handle"
             );
         }
+        // Route under the shared lock: the slot's owner and the version
+        // are read atomically with the in-flight registration, so a
+        // migration can never observe this operation as "routed but
+        // unregistered" (no stale-table submissions, ever). While the
+        // slot is frozen, the wait loop drops the lock and settles any
+        // answered in-flight operations between polls — the migration
+        // may be waiting on *this very handle* to observe a response on
+        // the frozen slot, so blocking without settling would deadlock
+        // both sides into their timeouts.
+        let deadline = Instant::now() + self.cross_shard_wait;
+        let (slot, shard, version) = loop {
+            {
+                let mut st = self.routing.state.lock().expect("routing lock");
+                let slot = slot_of_op(&self.dt, &st.table, &op);
+                if !st.frozen.contains(&slot) {
+                    *st.inflight.entry(slot).or_default() += 1;
+                    break (slot, st.table.shard_of_slot(slot), st.table.version());
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slot frozen past the cross-shard timeout; migration stuck?"
+            );
+            self.settle_answered();
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        // The table may have grown since this handle last synced.
+        self.sync_shards();
         // The shared frontier walk ([`esds_core::shard_frontier`]):
         // same-shard predecessors — including those inherited *through*
         // foreign hops — become local `prev` constraints, and every
@@ -198,6 +540,7 @@ where
             }
             (p.shard, p.local, p.prev)
         });
+        self.settle_answered();
         let local = self.fes[shard as usize].submit(op, &local_prev, strict);
         let gid = ShardedOpId::new(self.id, self.next_seq);
         self.placements.insert(
@@ -205,18 +548,27 @@ where
             Placement {
                 shard,
                 local,
-                prev: prev.iter().map(|g| g.seq()).collect(),
+                prev: seqs,
+                slot,
+                version,
             },
         );
+        self.unsettled.insert(self.next_seq);
         self.next_seq += 1;
         gid
     }
 
     /// Waits until `id` is answered or `timeout` elapses (with the
-    /// underlying front end's retry behaviour).
+    /// underlying front end's retry behaviour). An operation submitted
+    /// before a migration of its slot is still answered by its original
+    /// group — the handoff waits for it, so its effect is part of the
+    /// transferred stable prefix.
     pub fn await_response(&mut self, id: ShardedOpId, timeout: Duration) -> Option<T::Value> {
+        self.sync_shards();
         let (shard, local) = self.resolve(id)?;
-        self.fes[shard as usize].await_response(local, timeout)
+        let v = self.fes[shard as usize].await_response(local, timeout);
+        self.settle_answered();
+        v
     }
 
     /// The value previously returned for `id`, if completed.
@@ -228,6 +580,18 @@ where
     /// The shard `id` was routed to, if issued by this handle.
     pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
         self.resolve(id).map(|(s, _)| s)
+    }
+
+    /// The routing-table version `id` was routed under, if issued by
+    /// this handle. An id with `routed_version(id) < table_version()`
+    /// was submitted before a later migration; its response remains
+    /// valid because migrations wait for in-flight operations before
+    /// transferring their slots.
+    pub fn routed_version(&self, id: ShardedOpId) -> Option<u64> {
+        if id.client() != self.id {
+            return None;
+        }
+        self.placements.get(&id.seq()).map(|p| p.version)
     }
 
     fn resolve(&self, id: ShardedOpId) -> Option<(u32, OpId)> {
@@ -246,7 +610,7 @@ mod tests {
     #[test]
     fn sharded_runtime_roundtrip_and_isolation() {
         let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
-        let router = svc.router();
+        let table = svc.table();
         let mut c = svc.client();
         let mut ids = Vec::new();
         for i in 0..10 {
@@ -267,7 +631,7 @@ mod tests {
         }
         // Both shards actually received traffic (10 keys over 2 shards).
         let shards: std::collections::BTreeSet<u32> = (0..10)
-            .map(|i| router.shard_of_key(&format!("k{i}")))
+            .map(|i| table.shard_of_key(&format!("k{i}")))
             .collect();
         assert_eq!(shards.len(), 2);
         svc.shutdown();
@@ -276,13 +640,13 @@ mod tests {
     #[test]
     fn cross_shard_prev_waits_for_response() {
         let mut svc = ShardedService::start(KvStore, 4, RuntimeConfig::new(2));
-        let router = svc.router();
+        let table = svc.table();
         let mut c = svc.client();
         // Two keys on different shards.
         let ka = "a".to_string();
         let kb = (0..100)
             .map(|i| format!("b{i}"))
-            .find(|k| router.shard_of_key(k) != router.shard_of_key(&ka))
+            .find(|k| table.shard_of_key(k) != table.shard_of_key(&ka))
             .expect("some key lands elsewhere");
         let wa = c.submit(KvOp::put(&ka, "1"), &[], false);
         // Submitting with a cross-shard prev blocks until wa is answered,
@@ -303,12 +667,12 @@ mod tests {
         let mut cfg = RuntimeConfig::new(2);
         cfg.gossip_interval = Duration::from_secs(5);
         let mut svc = ShardedService::start(KvStore, 4, cfg);
-        let router = svc.router();
+        let table = svc.table();
         let mut c = svc.client();
         let ka = "a".to_string();
         let kb = (0..100)
             .map(|i| format!("b{i}"))
-            .find(|k| router.shard_of_key(k) != router.shard_of_key(&ka))
+            .find(|k| table.shard_of_key(k) != table.shard_of_key(&ka))
             .expect("some key lands elsewhere");
         let a = c.submit(KvOp::put(&ka, "1"), &[], false);
         let b = c.submit(KvOp::put(&kb, "2"), &[a], false);
@@ -329,6 +693,98 @@ mod tests {
         let get = c.submit(KvOp::get("x"), &[put], true);
         let v = c.await_response(get, Duration::from_secs(30));
         assert_eq!(v, Some(KvValue::Value(Some("1".into()))));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn add_shard_hands_off_state_live() {
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        let mut c = svc.client();
+        assert_eq!(c.table_version(), 0);
+        // Populate, then rebalance onto a third group.
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            ids.push(c.submit(KvOp::put(format!("k{i}"), format!("v{i}")), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(KvValue::Ack)
+            );
+        }
+        let new = svc.add_shard();
+        assert_eq!(new, 2);
+        assert_eq!(svc.table_version(), 1);
+        let table = svc.table();
+        assert!(
+            !table.slots_of(2).is_empty(),
+            "new shard must own slots after the migration"
+        );
+        // Every key is still readable — including those now owned by the
+        // new shard, which must serve the replayed stable prefix.
+        let mut migrated = 0;
+        for i in 0..16 {
+            let k = format!("k{i}");
+            let get = c.submit(KvOp::get(&k), &[], false);
+            assert_eq!(c.table_version(), 1);
+            let v = c.await_response(get, Duration::from_secs(10));
+            assert_eq!(
+                v,
+                Some(KvValue::Value(Some(format!("v{i}")))),
+                "{k} lost in the handoff"
+            );
+            if c.shard_of(get) == Some(2) {
+                migrated += 1;
+                assert_eq!(c.routed_version(get), Some(1));
+            }
+        }
+        assert!(migrated > 0, "no test key migrated; widen the key set");
+        // Pre-migration ids report the version they were routed under.
+        assert_eq!(c.routed_version(ids[0]), Some(0));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn writer_in_another_thread_survives_add_shard() {
+        // A concurrent writer hammers a key that the migration will move;
+        // the freeze blocks it (never rejects, never routes stale), and
+        // after the flip its writes land on the new owner. The final read
+        // must see the last write — nothing lost, nothing duplicated.
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        // Find a key the deterministic add-shard plan will migrate.
+        let plan = MigrationPlan::add_shard(&svc.table());
+        let table = svc.table();
+        let hot = (0..1000)
+            .map(|i| format!("hot{i}"))
+            .find(|k| plan.slots().contains(&table.slot_of_key(k)))
+            .expect("some key migrates");
+        let mut writer = svc.client();
+        let hot_w = hot.clone();
+        let handle = std::thread::spawn(move || {
+            let mut last = 0u32;
+            for i in 0..200u32 {
+                let id = writer.submit(KvOp::put(&hot_w, format!("{i}")), &[], false);
+                assert_eq!(
+                    writer.await_response(id, Duration::from_secs(10)),
+                    Some(KvValue::Ack)
+                );
+                last = i;
+            }
+            last
+        });
+        // Let the writer get going, then migrate under it.
+        std::thread::sleep(Duration::from_millis(30));
+        let new = svc.add_shard();
+        let last = handle.join().expect("writer panicked");
+        assert_eq!(last, 199);
+        // A fresh client reads the final value from the new owner.
+        let mut reader = svc.client();
+        let get = reader.submit(KvOp::get(&hot), &[], false);
+        assert_eq!(reader.shard_of(get), Some(new));
+        assert_eq!(
+            reader.await_response(get, Duration::from_secs(10)),
+            Some(KvValue::Value(Some("199".into())))
+        );
         svc.shutdown();
     }
 }

@@ -179,6 +179,68 @@ fn sharded_runtime_end_to_end() {
     assert_eq!(states.len(), 3, "one replica group per shard");
 }
 
+/// Live rebalancing through the facade: grow, then shrink, a sharded kv
+/// deployment under a continuing workload. Every key keeps its
+/// last-written value across both handoffs, and the sequential-map
+/// equivalence of `sharded_kv_equals_sequential_map` still holds over
+/// the *final* table (drained groups keep stale history, but no key
+/// routes to them any more).
+#[test]
+fn sharded_kv_rebalance_grow_then_shrink() {
+    let mut sys = ShardedSimSystem::new(KvStore, kv_cfg(2, 61));
+    let c = sys.add_client(0);
+    let mut expect: BTreeMap<String, String> = BTreeMap::new();
+    let mut last_write: BTreeMap<String, ShardedOpId> = BTreeMap::new();
+    let mut put = |sys: &mut ShardedSimSystem<KvStore>, i: usize| {
+        let k = format!("k{}", i % 12);
+        let v = format!("v{i}");
+        let prev: Vec<ShardedOpId> = last_write.get(&k).copied().into_iter().collect();
+        let id = sys.submit(c, KvOp::put(&k, &v), &prev, false);
+        last_write.insert(k.clone(), id);
+        expect.insert(k, v);
+    };
+    for i in 0..16 {
+        put(&mut sys, i);
+    }
+    sys.run_for(esds::sim::SimDuration::from_millis(40));
+    // Grow 2 → 3 while writing continues.
+    let new = sys.begin_add_shard();
+    assert_eq!(new, 2);
+    for i in 16..32 {
+        put(&mut sys, i);
+    }
+    sys.run_until_quiescent();
+    assert_eq!(sys.table_version(), 1);
+    // Shrink: drain shard 0 (the original home shard) while writing.
+    sys.begin_drain_shard(0);
+    for i in 32..48 {
+        put(&mut sys, i);
+    }
+    sys.run_until_quiescent();
+    assert_eq!(sys.table_version(), 2);
+    assert!(sys.router().table().slots_of(0).is_empty());
+
+    // Read everything back, constrained after its last write.
+    let mut reads = Vec::new();
+    for (k, wid) in &last_write {
+        reads.push((k.clone(), sys.submit(c, KvOp::get(k), &[*wid], false)));
+    }
+    sys.run_until_quiescent();
+    for (k, rid) in reads {
+        let (shard, _) = sys.placement(rid).expect("placed");
+        assert_ne!(shard, 0, "key {k} still routed to the drained shard");
+        assert_eq!(
+            sys.response(rid),
+            Some(&KvValue::Value(Some(expect[&k].clone()))),
+            "key {k} across two rebalances"
+        );
+    }
+    // Per-shard convergence everywhere, including the drained group.
+    for shard in sys.shards() {
+        assert!(check_converged(&shard.local_orders(), &shard.replica_states()).is_ok());
+    }
+}
+
 /// `KeyedDataType` keys imply commutativity across shards (the soundness
 /// condition the router relies on): sample operator pairs with different
 /// keys and brute-force check independence.
