@@ -1,0 +1,9 @@
+//! F5 — the sharded TCP deployment's aggregate throughput vs shard
+//! count: S ∈ {1, 2, 4} independent clusters over loopback sockets under
+//! a fixed 8-replica budget (scale-out of the real `esds-wire`
+//! deployment, not the simulator). Sizes keep the monolithic S = 1
+//! cluster just below its gossip-collapse point (see
+//! [`esds_bench::experiments::fig_wire_shards`]).
+fn main() {
+    esds_bench::experiments::fig_wire_shards(4, 80);
+}

@@ -196,6 +196,42 @@ impl RoutingTable {
         }
     }
 
+    /// Reassembles a table from its broadcast form: the version counter,
+    /// the shard count, and the raw `slot → shard` map. This is the
+    /// wire-decoding constructor — a sharded TCP deployment ships the
+    /// authoritative table to stale clients inside a version-mismatch
+    /// NAK, and the receiver rebuilds it here. The inverse accessors are
+    /// [`RoutingTable::version`], [`RoutingTable::n_shards`], and
+    /// [`RoutingTable::slot_owners`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the defect if the map is empty,
+    /// oversized (> [`SLOT_COUNT`] entries — no honest table is ever
+    /// bigger), or names a shard ≥ `n_shards`.
+    pub fn from_parts(version: u64, n_shards: u32, slots: Vec<u32>) -> Result<Self, &'static str> {
+        if n_shards == 0 {
+            return Err("routing table must address at least one shard");
+        }
+        if slots.is_empty() || slots.len() > SLOT_COUNT as usize {
+            return Err("routing table slot map has an impossible size");
+        }
+        if slots.iter().any(|s| *s >= n_shards) {
+            return Err("routing table slot map names an out-of-range shard");
+        }
+        Ok(RoutingTable {
+            version,
+            slots,
+            n_shards,
+        })
+    }
+
+    /// The raw `slot → shard` map (index = slot), the encode-side
+    /// counterpart of [`RoutingTable::from_parts`].
+    pub fn slot_owners(&self) -> &[u32] {
+        &self.slots
+    }
+
     /// How many plans have been applied to this table.
     pub fn version(&self) -> u64 {
         self.version
@@ -747,6 +783,19 @@ mod tests {
         assert_eq!(f, vec!['b']);
         // No predecessors at all: empty frontier.
         assert_eq!(shard_frontier::<u8, char>(&[], 0, node), Vec::<char>::new());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut t = RoutingTable::uniform(3);
+        t.apply(&MigrationPlan::add_shard(&t));
+        let back =
+            RoutingTable::from_parts(t.version(), t.n_shards(), t.slot_owners().to_vec()).unwrap();
+        assert_eq!(back, t);
+        assert!(RoutingTable::from_parts(0, 0, vec![0]).is_err());
+        assert!(RoutingTable::from_parts(0, 2, vec![]).is_err());
+        assert!(RoutingTable::from_parts(0, 2, vec![0; SLOT_COUNT as usize + 1]).is_err());
+        assert!(RoutingTable::from_parts(0, 2, vec![0, 2]).is_err());
     }
 
     #[test]

@@ -33,17 +33,91 @@ pub struct ChaosConfig {
     pub drop_probability: f64,
     /// Probability that a forwarded frame is sent twice.
     pub dup_probability: f64,
+    /// Probability that a forwarded frame is *held back* and re-emitted
+    /// after the next frame on the connection (adjacent reordering). A
+    /// held frame still pending when the connection closes is lost —
+    /// which the algorithm tolerates anyway.
+    pub reorder_probability: f64,
+    /// Added one-way latency: each forwarded frame waits this long before
+    /// being written out. The proxy models an in-order slow link, so the
+    /// delay also throttles the connection to one frame per `delay`.
+    pub delay: Duration,
     /// RNG seed (per-connection streams are derived from it).
     pub seed: u64,
 }
 
 impl ChaosConfig {
-    /// A proxy that drops `drop_probability` of frames and duplicates
-    /// none.
+    /// A proxy that drops `drop_probability` of frames and injects no
+    /// other fault.
     pub fn lossy(drop_probability: f64, seed: u64) -> Self {
         ChaosConfig {
             drop_probability,
             dup_probability: 0.0,
+            reorder_probability: 0.0,
+            delay: Duration::ZERO,
+            seed,
+        }
+    }
+
+    /// Adds duplication on top of an existing fault model.
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.dup_probability = p;
+        self
+    }
+
+    /// Adds adjacent reordering on top of an existing fault model.
+    ///
+    /// Reordering is safe for requests, responses, and the *snapshot*
+    /// gossip encodings (their merges are commutative and monotone), but
+    /// it violates the channel assumption of the **delta** gossip
+    /// strategies (§10.4 incremental/batched): those ship only what is
+    /// new since the last exchange, relying on the in-order delivery TCP
+    /// provides, so a stability summary overtaking the batch that
+    /// carried its labels breaks Invariant 7.5's bookkeeping. Do not put
+    /// a reordering proxy on delta-gossip links — the same rule as "a
+    /// dropped delta connection must rewind the watermark"
+    /// (`Replica::reset_watermark`), where reordering within a live
+    /// connection has no rewind trigger.
+    #[must_use]
+    pub fn with_reordering(mut self, p: f64) -> Self {
+        self.reorder_probability = p;
+        self
+    }
+
+    /// Adds a per-frame one-way delay on top of an existing fault model.
+    #[must_use]
+    pub fn with_delay(mut self, d: Duration) -> Self {
+        self.delay = d;
+        self
+    }
+
+    /// The fault model named by the `ESDS_CHAOS_*` environment variables —
+    /// how the CI chaos matrix parameterizes the sharded-wire lane:
+    ///
+    /// * `ESDS_CHAOS_LOSS` — drop probability (default 0)
+    /// * `ESDS_CHAOS_DUP` — duplication probability (default 0)
+    /// * `ESDS_CHAOS_REORDER` — reorder probability (default 0)
+    /// * `ESDS_CHAOS_DELAY_MS` — one-way delay in milliseconds (default 0)
+    ///
+    /// Unparsable values fall back to the default so a typo degrades to
+    /// "no fault", never to a panic inside a test harness.
+    pub fn from_env(seed: u64) -> Self {
+        fn prob(var: &str) -> f64 {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0)
+        }
+        let delay_ms: u64 = std::env::var("ESDS_CHAOS_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        ChaosConfig {
+            drop_probability: prob("ESDS_CHAOS_LOSS"),
+            dup_probability: prob("ESDS_CHAOS_DUP"),
+            reorder_probability: prob("ESDS_CHAOS_REORDER"),
+            delay: Duration::from_millis(delay_ms),
             seed,
         }
     }
@@ -62,6 +136,8 @@ pub struct ChaosProxy {
     acceptor: Option<JoinHandle<()>>,
     dropped: Arc<AtomicU64>,
     forwarded: Arc<AtomicU64>,
+    duplicated: Arc<AtomicU64>,
+    reordered: Arc<AtomicU64>,
 }
 
 impl ChaosProxy {
@@ -76,12 +152,18 @@ impl ChaosProxy {
         let stop = Arc::new(AtomicBool::new(false));
         let dropped = Arc::new(AtomicU64::new(0));
         let forwarded = Arc::new(AtomicU64::new(0));
+        let duplicated = Arc::new(AtomicU64::new(0));
+        let reordered = Arc::new(AtomicU64::new(0));
         let conn_seq = AtomicU64::new(0);
 
         let acceptor = {
             let stop = stop.clone();
-            let dropped = dropped.clone();
-            let forwarded = forwarded.clone();
+            let counters = ChaosCounters {
+                dropped: dropped.clone(),
+                forwarded: forwarded.clone(),
+                duplicated: duplicated.clone(),
+                reordered: reordered.clone(),
+            };
             std::thread::Builder::new()
                 .name("esds-chaos-accept".into())
                 .spawn(move || {
@@ -106,8 +188,7 @@ impl ChaosProxy {
                             config,
                             rng,
                             stop.clone(),
-                            dropped.clone(),
-                            forwarded.clone(),
+                            counters.clone(),
                         );
                     }
                 })
@@ -120,6 +201,8 @@ impl ChaosProxy {
             acceptor: Some(acceptor),
             dropped,
             forwarded,
+            duplicated,
+            reordered,
         }
     }
 
@@ -138,6 +221,17 @@ impl ChaosProxy {
         self.forwarded.load(Ordering::SeqCst)
     }
 
+    /// Frames sent twice so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::SeqCst)
+    }
+
+    /// Frames emitted out of order so far (each count is one held-back
+    /// frame that was overtaken by its successor).
+    pub fn reordered(&self) -> u64 {
+        self.reordered.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting new connections. Existing pump threads drain and
     /// exit when either endpoint closes.
     pub fn shutdown(mut self) {
@@ -149,6 +243,15 @@ impl ChaosProxy {
     }
 }
 
+/// The proxy's shared fault counters.
+#[derive(Clone)]
+struct ChaosCounters {
+    dropped: Arc<AtomicU64>,
+    forwarded: Arc<AtomicU64>,
+    duplicated: Arc<AtomicU64>,
+    reordered: Arc<AtomicU64>,
+}
+
 /// Forwards inbound→outbound with frame-level fault injection, and
 /// outbound→inbound verbatim.
 fn spawn_pumps(
@@ -157,25 +260,51 @@ fn spawn_pumps(
     config: ChaosConfig,
     mut rng: SmallRng,
     stop: Arc<AtomicBool>,
-    dropped: Arc<AtomicU64>,
-    forwarded: Arc<AtomicU64>,
+    counters: ChaosCounters,
 ) {
     let in_read = inbound.try_clone().expect("clone inbound");
     let out_write = outbound.try_clone().expect("clone outbound");
     {
         let stop = stop.clone();
+        // A frame held back for reordering; emitted after the next frame
+        // on the connection overtakes it — or on the next idle tick, so a
+        // held frame at the tail of a burst is merely *delayed*, never
+        // silently stranded (the fault model is reordering, not loss).
+        let mut held: Option<(crate::frame::FrameKind, Vec<u8>)> = None;
         let _ = std::thread::Builder::new()
             .name("esds-chaos-fwd".into())
             .spawn(move || {
-                pump_frames(in_read, out_write, stop, |frame_kind, payload, out| {
+                pump_frames(in_read, out_write, stop, |frame, out| {
+                    let Some((frame_kind, payload)) = frame else {
+                        // Idle tick: flush anything still held back.
+                        if let Some((k, p)) = held.take() {
+                            encode_frame(k, &p, out);
+                        }
+                        return;
+                    };
                     if rng.gen_bool(config.drop_probability.clamp(0.0, 1.0)) {
-                        dropped.fetch_add(1, Ordering::SeqCst);
+                        counters.dropped.fetch_add(1, Ordering::SeqCst);
                         return;
                     }
-                    forwarded.fetch_add(1, Ordering::SeqCst);
+                    if !config.delay.is_zero() {
+                        // In-order slow link: every surviving frame waits
+                        // the one-way latency before hitting the wire.
+                        std::thread::sleep(config.delay);
+                    }
+                    counters.forwarded.fetch_add(1, Ordering::SeqCst);
+                    if held.is_none() && rng.gen_bool(config.reorder_probability.clamp(0.0, 1.0)) {
+                        // Hold this frame back; its successor overtakes it.
+                        held = Some((frame_kind, payload.to_vec()));
+                        return;
+                    }
                     encode_frame(frame_kind, payload, out);
                     if rng.gen_bool(config.dup_probability.clamp(0.0, 1.0)) {
+                        counters.duplicated.fetch_add(1, Ordering::SeqCst);
                         encode_frame(frame_kind, payload, out);
+                    }
+                    if let Some((k, p)) = held.take() {
+                        counters.reordered.fetch_add(1, Ordering::SeqCst);
+                        encode_frame(k, &p, out);
                     }
                 });
             });
@@ -184,19 +313,24 @@ fn spawn_pumps(
         .name("esds-chaos-back".into())
         .spawn(move || {
             // Reverse direction: verbatim frame forwarding.
-            pump_frames(outbound, inbound, stop, |kind, payload, out| {
-                encode_frame(kind, payload, out);
+            pump_frames(outbound, inbound, stop, |frame, out| {
+                if let Some((kind, payload)) = frame {
+                    encode_frame(kind, payload, out);
+                }
             });
         });
 }
 
 /// Reads frames from `src` (buffered, partial-read safe) and lets `f`
-/// decide what to write to `dst`. Exits on EOF, error, or shutdown.
+/// decide what to write to `dst`: it is called with `Some(frame)` for
+/// every decoded frame and with `None` on idle read-timeout ticks (so
+/// stateful fault models can flush held-back frames even when the
+/// connection goes quiet). Exits on EOF, error, or shutdown.
 fn pump_frames(
     mut src: TcpStream,
     mut dst: TcpStream,
     stop: Arc<AtomicBool>,
-    mut f: impl FnMut(crate::frame::FrameKind, &[u8], &mut BytesMut),
+    mut f: impl FnMut(Option<(crate::frame::FrameKind, &[u8])>, &mut BytesMut),
 ) {
     let _ = src.set_read_timeout(Some(Duration::from_millis(25)));
     let mut buf = BytesMut::with_capacity(8 * 1024);
@@ -207,7 +341,7 @@ fn pump_frames(
             match decode_frame(&mut buf) {
                 Ok(Some(frame)) => {
                     out.clear();
-                    f(frame.kind, &frame.payload, &mut out);
+                    f(Some((frame.kind, &frame.payload)), &mut out);
                     if !out.is_empty() && dst.write_all(&out).is_err() {
                         return;
                     }
@@ -222,7 +356,13 @@ fn pump_frames(
         match src.read(&mut chunk) {
             Ok(0) => return,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                out.clear();
+                f(None, &mut out);
+                if !out.is_empty() && dst.write_all(&out).is_err() {
+                    return;
+                }
+            }
             Err(_) => return,
         }
     }
@@ -320,6 +460,117 @@ mod tests {
         stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(target);
         proxy.shutdown();
+    }
+
+    /// Proxies every gossip link of a 3-node cluster with `chaos` and
+    /// runs the increments-plus-strict-audit workload; returns the
+    /// proxies for fault-counter assertions (already shut down cleanly
+    /// is the caller's job via the returned handles).
+    fn exercise_gossip_chaos(
+        replica: esds_alg::ReplicaConfig,
+        chaos: impl Fn(usize) -> ChaosConfig,
+    ) -> Vec<ChaosProxy> {
+        let mut config = TcpClusterConfig::new(3);
+        config.replica = replica;
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let real: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let proxies: Vec<ChaosProxy> = real
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ChaosProxy::spawn(*a, chaos(i)))
+            .collect();
+        let gossip_table: crate::tcp::AddrTable =
+            Arc::new(Mutex::new(proxies.iter().map(|p| p.addr()).collect()));
+        let nodes: Vec<TcpReplicaNode<Counter>> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                TcpReplicaNode::spawn(
+                    Counter,
+                    ReplicaId(i as u32),
+                    l,
+                    gossip_table.clone(),
+                    &config,
+                )
+            })
+            .collect();
+        let mut client: TcpClient<Counter> = TcpClient::connect(ClientId(0), real.clone());
+
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(client.submit(CounterOp::Increment(1), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                client.await_response(*id, Duration::from_secs(10)),
+                Some(CounterValue::Ack)
+            );
+        }
+        // The strict audit needs stability votes to flow through the
+        // faulty gossip links — and pins the exact final value.
+        let audit = client.submit(CounterOp::Read, &ids, true);
+        assert_eq!(
+            client.await_response(audit, Duration::from_secs(60)),
+            Some(CounterValue::Count(8)),
+            "gossip mis-applied under chaos"
+        );
+
+        let reps: Vec<_> = nodes.into_iter().map(TcpReplicaNode::shutdown).collect();
+        let states: Vec<i64> = reps.iter().map(|r| r.current_state()).collect();
+        assert!(
+            states.iter().all(|s| *s == 8),
+            "chaos corrupted the history: {states:?}"
+        );
+        proxies
+    }
+
+    #[test]
+    fn duplicated_batched_gossip_does_not_double_apply() {
+        // §10.4 batched gossip under heavy duplication of `GossipBatched`
+        // frames. The watermark handshake makes a batch idempotent
+        // (knowledge summaries are monotone, descriptor deltas are
+        // unions), so a duplicated batch must change nothing: the counter
+        // converges to *exactly* the sum of the increments — a double-
+        // applied delta would overshoot, and the strict audit pins the
+        // final value at every replica. (Reordering is deliberately NOT
+        // injected here: delta strategies assume the in-order delivery
+        // TCP provides — see `ChaosConfig::with_reordering`.)
+        let proxies =
+            exercise_gossip_chaos(esds_alg::ReplicaConfig::default().with_batched(2), |i| {
+                ChaosConfig::lossy(0.0, 900 + i as u64).with_duplication(0.4)
+            });
+        let dup: u64 = proxies.iter().map(|p| p.duplicated()).sum();
+        assert!(
+            dup > 0,
+            "the proxies should actually have duplicated frames"
+        );
+        for p in proxies {
+            p.shutdown();
+        }
+    }
+
+    #[test]
+    fn reordered_snapshot_gossip_converges() {
+        // Adjacent reordering (plus duplication) of full-snapshot gossip
+        // frames: snapshot merges are commutative and monotone, so an
+        // overtaken frame must change nothing. This is the encoding a
+        // reordering network is *allowed* to carry — the delta
+        // strategies are not (`ChaosConfig::with_reordering`).
+        let proxies = exercise_gossip_chaos(esds_alg::ReplicaConfig::default(), |i| {
+            ChaosConfig::lossy(0.0, 1700 + i as u64)
+                .with_duplication(0.2)
+                .with_reordering(0.3)
+        });
+        let reord: u64 = proxies.iter().map(|p| p.reordered()).sum();
+        assert!(
+            reord > 0,
+            "the proxies should actually have reordered frames"
+        );
+        for p in proxies {
+            p.shutdown();
+        }
     }
 
     #[test]

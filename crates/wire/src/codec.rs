@@ -9,7 +9,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::{Buf, BufMut};
-use esds_core::{ClientId, IdSummary, Label, LabelSlot, OpDescriptor, OpId, ReplicaId};
+use esds_core::{
+    ClientId, IdSummary, Label, LabelSlot, OpDescriptor, OpId, ReplicaId, RoutingTable, ShardedOpId,
+};
 
 use crate::error::WireError;
 
@@ -395,6 +397,40 @@ impl Wire for IdSummary {
         }
         s.extend(ex);
         Ok(s)
+    }
+}
+
+impl Wire for ShardedOpId {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.client().encode(buf);
+        self.seq().encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        let client = ClientId::decode(buf)?;
+        let seq = u64::decode(buf)?;
+        Ok(ShardedOpId::new(client, seq))
+    }
+}
+
+impl Wire for RoutingTable {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.version().encode(buf);
+        self.n_shards().encode(buf);
+        // Same bytes as Vec<u32>::encode, without cloning the slot map.
+        let owners = self.slot_owners();
+        put_varint(buf, owners.len() as u64);
+        for s in owners {
+            s.encode(buf);
+        }
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        let version = u64::decode(buf)?;
+        let n_shards = u32::decode(buf)?;
+        let slots: Vec<u32> = Vec::decode(buf)?;
+        RoutingTable::from_parts(version, n_shards, slots).map_err(|_| WireError::InvalidTag {
+            context: "RoutingTable",
+            tag: 0,
+        })
     }
 }
 
@@ -979,6 +1015,20 @@ mod tests {
             OpId::new(ClientId(1), 4),
         ]);
         roundtrip(&s);
+    }
+
+    #[test]
+    fn sharded_id_and_routing_table_roundtrip() {
+        roundtrip(&ShardedOpId::new(ClientId(9), u64::MAX));
+        let mut t = RoutingTable::uniform(3);
+        t.apply(&esds_core::MigrationPlan::add_shard(&t));
+        roundtrip(&t);
+        // A table naming an out-of-range shard is rejected, not absorbed.
+        let mut bytes = Vec::new();
+        0u64.encode(&mut bytes); // version
+        2u32.encode(&mut bytes); // n_shards
+        vec![0u32, 7].encode(&mut bytes); // slot owned by shard 7 of 2
+        assert!(RoutingTable::from_wire_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -47,10 +47,35 @@ pub enum FrameKind {
     Hello = 5,
     /// A §10.4 batched gossip exchange (deltas + summary watermarks).
     GossipBatched = 6,
+    /// A sharded-deployment request: a `ShardedOpId`-tagged descriptor
+    /// plus the routing-table version the client routed under.
+    ShardedRequest = 7,
+    /// A sharded-deployment response: the answered global operation, or a
+    /// version-mismatch NAK carrying the authoritative routing table.
+    ShardedResponse = 8,
 }
 
 impl FrameKind {
-    fn from_u8(tag: u8) -> Result<Self, WireError> {
+    /// Every frame kind the protocol defines, in tag order. Exhaustive by
+    /// construction — the round-trip tests iterate this so a new variant
+    /// cannot be added without entering the coverage.
+    pub const ALL: [FrameKind; 8] = [
+        FrameKind::Request,
+        FrameKind::Response,
+        FrameKind::Gossip,
+        FrameKind::GossipSummary,
+        FrameKind::Hello,
+        FrameKind::GossipBatched,
+        FrameKind::ShardedRequest,
+        FrameKind::ShardedResponse,
+    ];
+
+    /// Decodes a tag byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidTag`] for a byte naming no variant.
+    pub fn from_u8(tag: u8) -> Result<Self, WireError> {
         match tag {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
@@ -58,6 +83,8 @@ impl FrameKind {
             4 => Ok(FrameKind::GossipSummary),
             5 => Ok(FrameKind::Hello),
             6 => Ok(FrameKind::GossipBatched),
+            7 => Ok(FrameKind::ShardedRequest),
+            8 => Ok(FrameKind::ShardedResponse),
             tag => Err(WireError::InvalidTag {
                 context: "FrameKind",
                 tag,
@@ -301,6 +328,21 @@ mod tests {
         let mut r = &wire[..];
         let err = read_frame(&mut r).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_kind_all_is_exhaustive() {
+        // Every listed kind round-trips through its tag…
+        for k in FrameKind::ALL {
+            assert_eq!(FrameKind::from_u8(k as u8).unwrap(), k);
+        }
+        // …and no tag outside the list decodes, so ALL really is the
+        // whole protocol.
+        let tags: std::collections::BTreeSet<u8> =
+            FrameKind::ALL.iter().map(|k| *k as u8).collect();
+        for t in 0..=255u8 {
+            assert_eq!(FrameKind::from_u8(t).is_ok(), tags.contains(&t), "tag {t}");
+        }
     }
 
     #[test]

@@ -21,7 +21,14 @@
 //!   [`tcp::TcpCluster`] for launching a localhost cluster (with
 //!   crash/restart, §9.3);
 //! * [`chaos`] — a frame-aware fault-injecting proxy ([`ChaosProxy`]) for
-//!   exercising the §9.3 loss/duplication tolerance on real sockets.
+//!   exercising the §9.3 loss/duplication/delay/reordering tolerance on
+//!   real sockets;
+//! * [`sharded`] — the sharded TCP deployment: one cluster per shard
+//!   behind [`sharded::ShardedWireClient`]s that route `key → slot →
+//!   shard` through the shared [`esds_core::RoutingTable`], speak
+//!   `ShardedOpId`-carrying frames with a routing-table-version
+//!   handshake, and resolve cross-shard `prev` constraints by awaiting
+//!   the foreign shard's response over the wire.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +37,7 @@ pub mod chaos;
 pub mod codec;
 pub mod frame;
 pub mod message;
+pub mod sharded;
 pub mod tcp;
 
 mod error;
@@ -38,5 +46,9 @@ pub use chaos::{ChaosConfig, ChaosProxy};
 pub use codec::Wire;
 pub use error::WireError;
 pub use frame::{read_frame, write_frame, Frame, FrameKind, MAX_FRAME_LEN};
-pub use message::{decode_message, encode_message, SummarizedGossip, WireMessage};
+pub use message::{
+    decode_message, encode_message, ShardedRequestMsg, ShardedResponseMsg, SummarizedGossip,
+    WireMessage,
+};
+pub use sharded::{ChaosStats, ShardedWireClient, ShardedWireConfig, ShardedWireService};
 pub use tcp::{AddrTable, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode};

@@ -8,7 +8,9 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use esds_alg::{BatchedGossipMsg, GossipMsg, RequestMsg, ResponseMsg};
-use esds_core::{ClientId, IdSummary, Label, OpDescriptor, OpId, ReplicaId};
+use esds_core::{
+    ClientId, IdSummary, Label, OpDescriptor, OpId, ReplicaId, RoutingTable, ShardedOpId,
+};
 
 use crate::codec::{get_u8, Wire};
 use crate::error::WireError;
@@ -185,6 +187,95 @@ impl<O: Wire> Wire for SummarizedGossip<O> {
     }
 }
 
+/// A sharded-deployment request (client → a shard's relay replica).
+///
+/// Carries the client's **global** identifier alongside the per-shard
+/// descriptor, plus the [`RoutingTable`] version the client routed the
+/// operation under — the routing-table-version handshake. A node whose
+/// deployment is at a different version refuses the descriptor (it never
+/// reaches the replica state machine) and answers with
+/// [`ShardedResponseMsg::Nak`] carrying the authoritative table, so a
+/// stale client re-routes instead of reading or writing the wrong shard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardedRequestMsg<O> {
+    /// The routing-table version the sender routed under.
+    pub version: u64,
+    /// The operation's identity in the service-global namespace.
+    pub global: ShardedOpId,
+    /// The per-shard descriptor (local id, operator, same-shard `prev`,
+    /// strictness) handed to the shard's protocol if the version matches.
+    pub desc: OpDescriptor<O>,
+}
+
+impl<O: Wire> Wire for ShardedRequestMsg<O> {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.version.encode(buf);
+        self.global.encode(buf);
+        self.desc.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        Ok(ShardedRequestMsg {
+            version: u64::decode(buf)?,
+            global: ShardedOpId::decode(buf)?,
+            desc: OpDescriptor::decode(buf)?,
+        })
+    }
+}
+
+/// A sharded-deployment response (a shard's relay replica → client).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShardedResponseMsg<V> {
+    /// The operation was accepted and answered by its shard.
+    Ok {
+        /// The service-global identity the request carried.
+        global: ShardedOpId,
+        /// The shard-local response (local id, value, optional witness).
+        resp: ResponseMsg<V>,
+    },
+    /// Version-mismatch NAK: the request was **refused** before reaching
+    /// the replica (nothing was applied). The authoritative table rides
+    /// along so the client can adopt it and re-route.
+    Nak {
+        /// The refused operation.
+        global: ShardedOpId,
+        /// The deployment's current routing table.
+        table: RoutingTable,
+    },
+}
+
+impl<V: Wire> Wire for ShardedResponseMsg<V> {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            ShardedResponseMsg::Ok { global, resp } => {
+                buf.put_u8(0);
+                global.encode(buf);
+                resp.encode(buf);
+            }
+            ShardedResponseMsg::Nak { global, table } => {
+                buf.put_u8(1);
+                global.encode(buf);
+                table.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        match get_u8(buf, "ShardedResponseMsg")? {
+            0 => Ok(ShardedResponseMsg::Ok {
+                global: ShardedOpId::decode(buf)?,
+                resp: ResponseMsg::decode(buf)?,
+            }),
+            1 => Ok(ShardedResponseMsg::Nak {
+                global: ShardedOpId::decode(buf)?,
+                table: RoutingTable::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                context: "ShardedResponseMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Any message the transport can carry, tagged by [`FrameKind`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireMessage<O, V> {
@@ -201,6 +292,10 @@ pub enum WireMessage<O, V> {
     GossipBatched(BatchedGossipMsg<O>),
     /// Connection preamble.
     Hello(HelloId),
+    /// Sharded client → shard relay replica (global id + table version).
+    ShardedRequest(ShardedRequestMsg<O>),
+    /// Shard relay replica → sharded client (answer or version NAK).
+    ShardedResponse(ShardedResponseMsg<V>),
 }
 
 /// Encodes a message as a complete frame appended to `out`.
@@ -231,6 +326,14 @@ pub fn encode_message<O: Wire, V: Wire>(msg: &WireMessage<O, V>, out: &mut Bytes
             h.encode(&mut payload);
             FrameKind::Hello
         }
+        WireMessage::ShardedRequest(m) => {
+            m.encode(&mut payload);
+            FrameKind::ShardedRequest
+        }
+        WireMessage::ShardedResponse(m) => {
+            m.encode(&mut payload);
+            FrameKind::ShardedResponse
+        }
     };
     encode_frame(kind, &payload, out);
 }
@@ -249,6 +352,12 @@ pub fn decode_message<O: Wire, V: Wire>(frame: &Frame) -> Result<WireMessage<O, 
         FrameKind::GossipSummary => WireMessage::GossipSummary(SummarizedGossip::decode(&mut buf)?),
         FrameKind::GossipBatched => WireMessage::GossipBatched(BatchedGossipMsg::decode(&mut buf)?),
         FrameKind::Hello => WireMessage::Hello(HelloId::decode(&mut buf)?),
+        FrameKind::ShardedRequest => {
+            WireMessage::ShardedRequest(ShardedRequestMsg::decode(&mut buf)?)
+        }
+        FrameKind::ShardedResponse => {
+            WireMessage::ShardedResponse(ShardedResponseMsg::decode(&mut buf)?)
+        }
     };
     if buf.has_remaining() {
         return Err(WireError::InvalidTag {
@@ -313,6 +422,35 @@ mod tests {
     fn hello_roundtrip() {
         roundtrip(Msg::Hello(HelloId::Replica(ReplicaId(2))));
         roundtrip(Msg::Hello(HelloId::Client(ClientId(77))));
+    }
+
+    #[test]
+    fn sharded_request_roundtrip() {
+        roundtrip(Msg::ShardedRequest(ShardedRequestMsg {
+            version: 3,
+            global: ShardedOpId::new(ClientId(4), 17),
+            desc: OpDescriptor::new(id(4, 2), CounterOp::Increment(-9))
+                .with_prev([id(4, 1)])
+                .with_strict(true),
+        }));
+    }
+
+    #[test]
+    fn sharded_response_roundtrip() {
+        roundtrip(Msg::ShardedResponse(ShardedResponseMsg::Ok {
+            global: ShardedOpId::new(ClientId(1), 0),
+            resp: ResponseMsg {
+                id: id(1, 0),
+                value: CounterValue::Count(12),
+                witness: Some(vec![id(0, 0), id(1, 0)]),
+            },
+        }));
+        let mut table = RoutingTable::uniform(2);
+        table.apply(&esds_core::MigrationPlan::add_shard(&table));
+        roundtrip(Msg::ShardedResponse(ShardedResponseMsg::Nak {
+            global: ShardedOpId::new(ClientId(1), 5),
+            table,
+        }));
     }
 
     #[test]

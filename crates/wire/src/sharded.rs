@@ -1,0 +1,1054 @@
+//! The **sharded TCP deployment**: `S` independent replica clusters on
+//! real sockets behind shard-aware clients.
+//!
+//! This is the wire-layer analogue of `esds-runtime`'s `ShardedService`
+//! (threads) and `esds-harness`'s `ShardedSimSystem` (virtual time): the
+//! keyspace of a [`KeyedDataType`] is partitioned through the shared,
+//! versioned [`RoutingTable`] (`key → slot → shard`), and each shard is a
+//! complete, unmodified ESDS cluster — its own replicas, its own gossip
+//! domain, its own labels and stabilization — here made of
+//! [`TcpReplicaNode`]s speaking the framed protocol of this crate.
+//!
+//! ## The routing-table-version handshake
+//!
+//! Requests travel as [`FrameKind::ShardedRequest`](crate::FrameKind)
+//! frames carrying the client's global [`ShardedOpId`], the per-shard
+//! descriptor, **and the table version the client routed under**. A node
+//! checks the version against the deployment's shared table *before* the
+//! descriptor can reach its replica:
+//!
+//! * match → the operation is accepted; its eventual answer is a
+//!   [`ShardedResponseMsg::Ok`] frame carrying the global id back;
+//! * mismatch → the node refuses the descriptor and answers a
+//!   [`ShardedResponseMsg::Nak`] carrying the authoritative table. The
+//!   client adopts the newer table and **re-routes** the operation —
+//!   minting a fresh per-shard identifier on the correct shard — so a
+//!   stale view can never read or write the wrong shard's slice.
+//!
+//! Routing is deterministic from the table, so a version match certifies
+//! the shard choice itself; no per-key check is needed.
+//!
+//! ## Cross-shard `prev` over the wire
+//!
+//! Exactly the submit-time wait of `runtime::sharded`: different shards
+//! hold disjoint slices of the object state, so operations on different
+//! shards commute and are mutually oblivious — once a foreign-shard
+//! predecessor has been *responded to*, the remaining constraint is
+//! vacuous for the state and satisfied for the client-observed order.
+//! [`ShardedWireClient::submit`] therefore walks the `prev` DAG with
+//! [`esds_core::shard_frontier`]: same-shard predecessors (including
+//! those inherited *through* foreign hops) become the local `prev` set,
+//! and every foreign predecessor encountered is awaited **over the wire**
+//! before the dependent request frame is sent to its shard.
+//!
+//! ## Chaos
+//!
+//! [`ShardedWireConfig::with_chaos`] puts a [`ChaosProxy`] in front of
+//! **every per-shard listener**: all request, response-path, and gossip
+//! traffic of every cluster dials through the proxies, so loss, delay,
+//! duplication and reordering exercise the cross-shard waits and the
+//! version handshake — not just a single group's gossip. Lost request
+//! frames are re-sent by the client's retry loop (paper footnote 3);
+//! lost gossip is re-shipped by the next tick (§9.3); duplicated batched
+//! gossip is absorbed by the watermark handshake (§10.4).
+//!
+//! Rebalancing *over TCP* (executing a `MigrationPlan` handoff between
+//! live clusters) is future work — see `ROADMAP.md`; the version
+//! handshake and NAK re-route implemented here are its client-visible
+//! half.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use esds_alg::Replica;
+use esds_core::{
+    ClientId, KeyedDataType, OpDescriptor, OpId, ReplicaId, RoutingTable, ShardedOpId, HOME_SLOT,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::chaos::{ChaosConfig, ChaosProxy};
+use crate::codec::Wire;
+use crate::frame::decode_frame;
+use crate::message::{
+    decode_message, encode_message, HelloId, ShardedRequestMsg, ShardedResponseMsg, WireMessage,
+};
+use crate::tcp::{AddrTable, ShardCtx, TcpClusterConfig, TcpReplicaNode};
+
+/// How often a client re-sends unanswered requests (paper footnote 3).
+const RETRY_EVERY: Duration = Duration::from_millis(50);
+
+/// How long an awaiting client sleeps between pumps. Client sockets are
+/// **non-blocking** (a client pumps every shard's connection in turn, so
+/// even a short blocking read per idle shard would add S× its timeout to
+/// every response); this sleep bounds the resulting spin instead.
+const AWAIT_NAP: Duration = Duration::from_micros(200);
+
+/// Configuration of a sharded TCP deployment.
+#[derive(Clone, Debug)]
+pub struct ShardedWireConfig {
+    /// Per-shard cluster configuration (replica count, gossip interval,
+    /// gossip encoding, replica state-machine config).
+    pub cluster: TcpClusterConfig,
+    /// When set, a [`ChaosProxy`] with this fault model fronts every
+    /// per-shard listener (per-proxy seeds are derived from the config's
+    /// seed, so distinct links get distinct fault streams).
+    pub chaos: Option<ChaosConfig>,
+    /// How long a submitting client waits for a foreign-shard
+    /// predecessor's response before declaring the deployment broken.
+    pub cross_shard_wait: Duration,
+}
+
+impl ShardedWireConfig {
+    /// Defaults: `n_replicas` per shard, 5 ms gossip, plain gossip
+    /// encoding, no chaos, 30 s cross-shard wait.
+    pub fn new(n_replicas: usize) -> Self {
+        ShardedWireConfig {
+            cluster: TcpClusterConfig::new(n_replicas),
+            chaos: None,
+            cross_shard_wait: Duration::from_secs(30),
+        }
+    }
+
+    /// Fronts every per-shard listener with a chaos proxy.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Overrides the cross-shard predecessor wait (default 30 s).
+    #[must_use]
+    pub fn with_cross_shard_wait(mut self, d: Duration) -> Self {
+        self.cross_shard_wait = d;
+        self
+    }
+}
+
+/// One shard's cluster: its nodes, the address table everyone dials
+/// (proxy addresses under chaos), and the proxies themselves.
+struct WireShard<T: esds_core::SerialDataType> {
+    nodes: Vec<TcpReplicaNode<T>>,
+    addrs: AddrTable,
+    proxies: Vec<ChaosProxy>,
+}
+
+/// Aggregate fault counters of a deployment's chaos proxies.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct ChaosStats {
+    /// Frames dropped across all proxies.
+    pub dropped: u64,
+    /// Frames forwarded (duplicates counted once).
+    pub forwarded: u64,
+    /// Frames sent twice.
+    pub duplicated: u64,
+    /// Frames emitted out of order.
+    pub reordered: u64,
+}
+
+/// A sharded deployment over real sockets: one TCP cluster per shard,
+/// all sharing one versioned routing table.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use esds_datatypes::{KvOp, KvStore, KvValue};
+/// use esds_wire::{ShardedWireConfig, ShardedWireService};
+///
+/// let mut svc = ShardedWireService::launch(KvStore, 2, ShardedWireConfig::new(3));
+/// let mut client = svc.client();
+/// let put = client.submit(KvOp::put("user:1", "ada"), &[], false);
+/// let get = client.submit(KvOp::get("user:1"), &[put], false);
+/// assert_eq!(
+///     client.await_response(get, Duration::from_secs(10)),
+///     Some(KvValue::Value(Some("ada".into())))
+/// );
+/// svc.shutdown();
+/// ```
+pub struct ShardedWireService<T: KeyedDataType> {
+    table: Arc<Mutex<RoutingTable>>,
+    shards: Vec<WireShard<T>>,
+    dt: T,
+    cross_shard_wait: Duration,
+    next_client: u32,
+}
+
+impl<T> ShardedWireService<T>
+where
+    T: KeyedDataType + Clone + Send + 'static,
+    T::Operator: Wire + Send + Clone,
+    T::Value: Wire + Send + Clone,
+    T::State: Send,
+{
+    /// Launches `n_shards` independent clusters on ephemeral localhost
+    /// ports under the initial uniform routing table (version 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or listeners cannot bind.
+    pub fn launch(dt: T, n_shards: u32, config: ShardedWireConfig) -> Self {
+        Self::launch_with_table(dt, RoutingTable::uniform(n_shards), config)
+    }
+
+    /// Launches one cluster per shard the `table` addresses, serving
+    /// `table` as the deployment's authoritative routing state. Lets a
+    /// deployment start mid-history (a nonzero version), which is how the
+    /// NAK path is exercised against deliberately stale client views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if listeners cannot bind.
+    pub fn launch_with_table(dt: T, table: RoutingTable, config: ShardedWireConfig) -> Self {
+        let n_shards = table.n_shards();
+        let table = Arc::new(Mutex::new(table));
+        let shards = (0..n_shards)
+            .map(|s| Self::launch_shard(&dt, s, &table, &config))
+            .collect();
+        ShardedWireService {
+            table,
+            shards,
+            dt,
+            cross_shard_wait: config.cross_shard_wait,
+            next_client: 0,
+        }
+    }
+
+    fn launch_shard(
+        dt: &T,
+        shard: u32,
+        table: &Arc<Mutex<RoutingTable>>,
+        config: &ShardedWireConfig,
+    ) -> WireShard<T> {
+        let n = config.cluster.n_replicas;
+        assert!(n > 0, "each shard needs at least one replica");
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost"))
+            .collect();
+        let real: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        // Under chaos, everyone — clients and peer replicas alike — dials
+        // through the proxies, so every frame of the shard's traffic is
+        // subject to the fault model.
+        let (proxies, dialed): (Vec<ChaosProxy>, Vec<SocketAddr>) = match &config.chaos {
+            Some(chaos) => real
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let mut c = *chaos;
+                    c.seed = chaos
+                        .seed
+                        .wrapping_add(u64::from(shard) * 1009)
+                        .wrapping_add(i as u64 * 31);
+                    let p = ChaosProxy::spawn(*a, c);
+                    let addr = p.addr();
+                    (p, addr)
+                })
+                .unzip(),
+            None => (Vec::new(), real),
+        };
+        let addrs: AddrTable = Arc::new(Mutex::new(dialed));
+        let globals: Arc<Mutex<HashMap<OpId, ShardedOpId>>> = Arc::new(Mutex::new(HashMap::new()));
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                TcpReplicaNode::spawn_sharded(
+                    dt.clone(),
+                    ReplicaId(i as u32),
+                    l,
+                    addrs.clone(),
+                    &config.cluster,
+                    ShardCtx {
+                        table: table.clone(),
+                        globals: globals.clone(),
+                    },
+                )
+            })
+            .collect();
+        WireShard {
+            nodes,
+            addrs,
+            proxies,
+        }
+    }
+
+    /// A snapshot of the deployment's routing table.
+    pub fn table(&self) -> RoutingTable {
+        self.table.lock().clone()
+    }
+
+    /// Number of shard clusters.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate fault counters across every chaos proxy (all zero when
+    /// the deployment was launched without chaos).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut s = ChaosStats::default();
+        for shard in &self.shards {
+            for p in &shard.proxies {
+                s.dropped += p.dropped();
+                s.forwarded += p.forwarded();
+                s.duplicated += p.duplicated();
+                s.reordered += p.reordered();
+            }
+        }
+        s
+    }
+
+    /// A client with the next unused identity and a current view of the
+    /// routing table.
+    pub fn client(&mut self) -> ShardedWireClient<T> {
+        let table = self.table();
+        self.client_with_table(table)
+    }
+
+    /// A client whose initial routing view is `table` — possibly stale,
+    /// in which case its first submission per shard is NAKed and the
+    /// client re-routes against the authoritative table. The table must
+    /// address no more shards than the deployment has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` addresses more shards than the deployment runs.
+    pub fn client_with_table(&mut self, table: RoutingTable) -> ShardedWireClient<T> {
+        assert!(
+            table.n_shards() as usize <= self.shards.len(),
+            "client table addresses shards the deployment does not run"
+        );
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        let links = self
+            .shards
+            .iter()
+            .map(|s| {
+                let n = s.nodes.len();
+                ShardLink {
+                    addrs: s.addrs.clone(),
+                    relay: id.0 as usize % n,
+                    conn: None,
+                    buf: BytesMut::with_capacity(4 * 1024),
+                }
+            })
+            .collect();
+        ShardedWireClient {
+            dt: self.dt.clone(),
+            id,
+            table,
+            links,
+            next_global: 0,
+            next_local: vec![0; self.shards.len()],
+            placements: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            needs_reroute: BTreeSet::new(),
+            values: BTreeMap::new(),
+            cross_shard_wait: self.cross_shard_wait,
+            next_retry: Instant::now() + RETRY_EVERY,
+        }
+    }
+
+    /// Stops every node and proxy, returning the final replica state
+    /// machines per shard (outer index = shard, inner = replica).
+    pub fn shutdown(self) -> Vec<Vec<Replica<T>>> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for shard in self.shards {
+            out.push(
+                shard
+                    .nodes
+                    .into_iter()
+                    .map(TcpReplicaNode::shutdown)
+                    .collect(),
+            );
+            for p in shard.proxies {
+                p.shutdown();
+            }
+        }
+        out
+    }
+}
+
+/// One client↔shard wire: the shard's address table and the lazily
+/// dialed connection to this client's relay replica.
+struct ShardLink {
+    addrs: AddrTable,
+    relay: usize,
+    conn: Option<(SocketAddr, TcpStream)>,
+    buf: BytesMut,
+}
+
+/// Where one global operation currently lives.
+struct WirePlacement<O> {
+    shard: u32,
+    local: OpId,
+    /// The operator, kept so a NAKed operation can be re-routed.
+    op: O,
+    /// Global `prev` sequence numbers as submitted.
+    prev: Vec<u64>,
+    strict: bool,
+    /// The per-shard `prev` set the descriptor carried.
+    local_prev: Vec<OpId>,
+    /// The table version the operation was last routed under.
+    version: u64,
+}
+
+impl<O: Clone> WirePlacement<O> {
+    /// The per-shard descriptor this placement is submitted as — the
+    /// single source for both the request frame and the trace exposed to
+    /// black-box checkers.
+    fn descriptor(&self) -> OpDescriptor<O> {
+        OpDescriptor::new(self.local, self.op.clone())
+            .with_prev(self.local_prev.iter().copied())
+            .with_strict(self.strict)
+    }
+}
+
+/// A client of a [`ShardedWireService`]: routes `key → slot → shard`
+/// through its view of the [`RoutingTable`], speaks the
+/// `ShardedRequest`/`ShardedResponse` protocol with each shard's relay
+/// replica, re-sends unanswered requests, and adopts newer tables from
+/// version-mismatch NAKs (re-routing the refused operation).
+///
+/// The handle resolves only identifiers it issued itself; `prev` sets
+/// may reference any of this client's earlier submissions (a front end
+/// only ever learns identifiers it requested, paper §6.2).
+pub struct ShardedWireClient<T: KeyedDataType> {
+    dt: T,
+    id: ClientId,
+    table: RoutingTable,
+    links: Vec<ShardLink>,
+    next_global: u64,
+    /// Per-shard local sequence counters (each shard is its own OpId
+    /// namespace).
+    next_local: Vec<u64>,
+    /// Global sequence number → current placement.
+    placements: BTreeMap<u64, WirePlacement<T::Operator>>,
+    /// Global sequence numbers not yet answered.
+    pending: BTreeSet<u64>,
+    /// Pending operations refused by a NAK, awaiting re-route.
+    needs_reroute: BTreeSet<u64>,
+    /// Answers: global sequence → (value, witness).
+    values: BTreeMap<u64, (T::Value, Option<Vec<OpId>>)>,
+    cross_shard_wait: Duration,
+    next_retry: Instant,
+}
+
+impl<T> ShardedWireClient<T>
+where
+    T: KeyedDataType,
+    T::Operator: Wire + Clone,
+    T::Value: Wire + Clone,
+{
+    /// The client identity (mints both global and per-shard ids).
+    pub fn client(&self) -> ClientId {
+        self.id
+    }
+
+    /// The routing-table version this client currently routes under.
+    pub fn table_version(&self) -> u64 {
+        self.table.version()
+    }
+
+    /// The shard `id` is currently placed on, if issued by this handle.
+    pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
+        self.placement(id).map(|p| p.shard)
+    }
+
+    /// The table version `id` was last routed under.
+    pub fn routed_version(&self, id: ShardedOpId) -> Option<u64> {
+        self.placement(id).map(|p| p.version)
+    }
+
+    /// The per-shard descriptor `id` is currently submitted as (shard,
+    /// local id, same-shard `prev`, strictness) — what a black-box trace
+    /// checker records as the shard's `request(x)` action. Built by the
+    /// same constructor as the request frame's descriptor, so the
+    /// recorded trace cannot diverge from what was sent.
+    pub fn local_descriptor(&self, id: ShardedOpId) -> Option<(u32, OpDescriptor<T::Operator>)> {
+        self.placement(id).map(|p| (p.shard, p.descriptor()))
+    }
+
+    /// The value previously returned for `id`, if answered.
+    pub fn value_of(&self, id: ShardedOpId) -> Option<&T::Value> {
+        self.answer(id).map(|(v, _)| v)
+    }
+
+    /// The witness the response carried, if any (requires the deployment
+    /// to run with `ReplicaConfig::with_witness`).
+    pub fn witness_of(&self, id: ShardedOpId) -> Option<&Vec<OpId>> {
+        self.answer(id).and_then(|(_, w)| w.as_ref())
+    }
+
+    fn placement(&self, id: ShardedOpId) -> Option<&WirePlacement<T::Operator>> {
+        (id.client() == self.id)
+            .then(|| self.placements.get(&id.seq()))
+            .flatten()
+    }
+
+    fn answer(&self, id: ShardedOpId) -> Option<&(T::Value, Option<Vec<OpId>>)> {
+        (id.client() == self.id)
+            .then(|| self.values.get(&id.seq()))
+            .flatten()
+    }
+
+    /// Submits an operation to the shard owning its key under this
+    /// client's table view and returns its global id. Foreign-shard
+    /// `prev` entries are awaited over the wire (blocking, up to the
+    /// configured cross-shard timeout) before the request frame is sent;
+    /// same-shard entries — including those inherited through foreign
+    /// hops — ride the shard's own protocol as the local `prev` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` names an id this handle did not issue, or if a
+    /// foreign predecessor stays unanswered past the cross-shard timeout
+    /// (the deployment is then considered broken — the same situation in
+    /// which [`ShardedWireClient::await_response`] would return `None`).
+    pub fn submit(&mut self, op: T::Operator, prev: &[ShardedOpId], strict: bool) -> ShardedOpId {
+        for g in prev {
+            assert!(
+                g.client() == self.id,
+                "prev {g} was not issued by this client handle"
+            );
+            assert!(
+                self.placements.contains_key(&g.seq()),
+                "prev {g} was never submitted via this handle"
+            );
+        }
+        self.pump();
+        let slot = self.slot_of_op(&op);
+        let shard = self.table.shard_of_slot(slot);
+        let version = self.table.version();
+        // The shared frontier walk (`esds_core::shard_frontier`):
+        // same-shard predecessors become local `prev` constraints, and
+        // every foreign predecessor encountered is awaited — over the
+        // wire — before descending through it.
+        let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
+        let wait = self.cross_shard_wait;
+        let local_prev: Vec<OpId> = esds_core::shard_frontier(&seqs, shard, |seq| {
+            let (p_shard, p_local, p_prev) = {
+                let p = &self.placements[&seq];
+                (p.shard, p.local, p.prev.clone())
+            };
+            if p_shard != shard && !self.values.contains_key(&seq) {
+                let answered = self.await_seq(seq, wait);
+                assert!(
+                    answered,
+                    "cross-shard prev {} unanswered after {:?}",
+                    ShardedOpId::new(self.id, seq),
+                    wait
+                );
+            }
+            (p_shard, p_local, p_prev)
+        });
+        let local = OpId::new(self.id, self.next_local[shard as usize]);
+        self.next_local[shard as usize] += 1;
+        let seq = self.next_global;
+        self.next_global += 1;
+        self.placements.insert(
+            seq,
+            WirePlacement {
+                shard,
+                local,
+                op,
+                prev: seqs,
+                strict,
+                local_prev,
+                version,
+            },
+        );
+        self.pending.insert(seq);
+        self.send_placed(seq);
+        ShardedOpId::new(self.id, seq)
+    }
+
+    /// Waits until `id` is answered or `timeout` elapses, re-sending
+    /// unanswered requests every 50 ms and processing NAK re-routes.
+    pub fn await_response(&mut self, id: ShardedOpId, timeout: Duration) -> Option<T::Value> {
+        if id.client() != self.id || !self.placements.contains_key(&id.seq()) {
+            return None;
+        }
+        if self.await_seq(id.seq(), timeout) {
+            return self.values.get(&id.seq()).map(|(v, _)| v.clone());
+        }
+        None
+    }
+
+    fn await_seq(&mut self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.values.contains_key(&seq) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.maybe_retry();
+            self.pump();
+            std::thread::sleep(AWAIT_NAP);
+        }
+    }
+
+    /// The slot an operator is attributed to (keyless → [`HOME_SLOT`]).
+    fn slot_of_op(&self, op: &T::Operator) -> u16 {
+        match self.dt.shard_key(op) {
+            Some(k) => self.table.slot_of_key(k),
+            None => HOME_SLOT,
+        }
+    }
+
+    /// Re-sends every unanswered request when the retry period lapses
+    /// (paper footnote 3 — requests, like gossip, may be lost).
+    fn maybe_retry(&mut self) {
+        if Instant::now() < self.next_retry {
+            return;
+        }
+        self.next_retry = Instant::now() + RETRY_EVERY;
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|s| !self.needs_reroute.contains(s))
+            .collect();
+        // Retries refresh the Hello preamble: under chaos the original
+        // Hello may have been dropped while the connection stayed up, in
+        // which case the node is answering an unregistered client into
+        // the void. Re-registering is idempotent and a Hello frame is a
+        // few bytes, so every retry tick repairs registration for free.
+        for seq in due {
+            self.send_placed_refreshing(seq, true);
+        }
+        let rerouted: Vec<u64> = self.needs_reroute.iter().copied().collect();
+        for seq in rerouted {
+            if self.try_reroute(seq) {
+                self.needs_reroute.remove(&seq);
+            }
+        }
+    }
+
+    /// Encodes and sends the request frame for a placed operation to its
+    /// shard's relay. Failures are absorbed — the retry loop re-sends.
+    fn send_placed(&mut self, seq: u64) {
+        self.send_placed_refreshing(seq, false);
+    }
+
+    /// Like [`Self::send_placed`]; `refresh_hello` additionally repeats
+    /// the Hello preamble on an already-open connection (see
+    /// [`Self::maybe_retry`]).
+    fn send_placed_refreshing(&mut self, seq: u64, refresh_hello: bool) {
+        let p = &self.placements[&seq];
+        let msg: WireMessage<T::Operator, T::Value> =
+            WireMessage::ShardedRequest(ShardedRequestMsg {
+                version: p.version,
+                global: ShardedOpId::new(self.id, seq),
+                desc: p.descriptor(),
+            });
+        let mut out = BytesMut::new();
+        encode_message(&msg, &mut out);
+        let shard = p.shard as usize;
+        let id = self.id;
+        self.links[shard].send(id, &out, refresh_hello);
+    }
+
+    /// Re-routes a NAK-refused operation under the (newer) adopted
+    /// table. Returns false — leaving the operation queued — while a
+    /// now-foreign predecessor is still unanswered; the next retry tick
+    /// tries again, so a re-route can never deadlock the pump.
+    fn try_reroute(&mut self, seq: u64) -> bool {
+        if self.values.contains_key(&seq) {
+            return true; // answered in the meantime; nothing to move
+        }
+        if self.placements[&seq].version == self.table.version() {
+            // Already re-routed under the current table: this NAK is a
+            // straggler or a duplicate (lossy/duplicating links retry
+            // the refused frame, and every copy is NAKed). Minting a
+            // *new* per-shard id here would submit the operation twice —
+            // the shard dedupes by id, so a second id is a second
+            // application. Just re-send the current placement.
+            self.send_placed(seq);
+            return true;
+        }
+        let (op, prev) = {
+            let p = &self.placements[&seq];
+            (p.op.clone(), p.prev.clone())
+        };
+        let slot = self.slot_of_op(&op);
+        let shard = self.table.shard_of_slot(slot);
+        // Every foreign predecessor must already be answered; a re-route
+        // happens inside the pump, so it must not block.
+        let mut ready = true;
+        let local_prev: Vec<OpId> = esds_core::shard_frontier(&prev, shard, |s| {
+            let p = &self.placements[&s];
+            if p.shard != shard && !self.values.contains_key(&s) {
+                ready = false;
+            }
+            (p.shard, p.local, p.prev.clone())
+        });
+        if !ready {
+            return false;
+        }
+        let local = OpId::new(self.id, self.next_local[shard as usize]);
+        self.next_local[shard as usize] += 1;
+        let version = self.table.version();
+        let p = self.placements.get_mut(&seq).expect("placed");
+        p.shard = shard;
+        p.local = local;
+        p.local_prev = local_prev;
+        p.version = version;
+        self.send_placed(seq);
+        true
+    }
+
+    /// Drains whatever response frames have arrived on any shard link.
+    fn pump(&mut self) {
+        let mut naks: Vec<(u64, RoutingTable)> = Vec::new();
+        for link in &mut self.links {
+            link.read_into_buf();
+            loop {
+                match decode_frame(&mut link.buf) {
+                    Ok(Some(frame)) => {
+                        let Ok(msg) = decode_message::<T::Operator, T::Value>(&frame) else {
+                            link.conn = None;
+                            link.buf.clear();
+                            break;
+                        };
+                        match msg {
+                            WireMessage::ShardedResponse(ShardedResponseMsg::Ok {
+                                global,
+                                resp,
+                            }) if global.client() == self.id => {
+                                self.pending.remove(&global.seq());
+                                self.needs_reroute.remove(&global.seq());
+                                self.values
+                                    .entry(global.seq())
+                                    .or_insert((resp.value, resp.witness));
+                            }
+                            WireMessage::ShardedResponse(ShardedResponseMsg::Nak {
+                                global,
+                                table,
+                            }) if global.client() == self.id => {
+                                naks.push((global.seq(), table));
+                            }
+                            _ => {} // other clients' frames / plain frames: not ours
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        link.conn = None;
+                        link.buf.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        for (seq, table) in naks {
+            if table.version() > self.table.version() {
+                self.table = table;
+            }
+            if self.pending.contains(&seq) && !self.try_reroute(seq) {
+                self.needs_reroute.insert(seq);
+            }
+        }
+    }
+}
+
+impl ShardLink {
+    /// Ensures a live connection to the relay (Hello preamble included)
+    /// and writes `frame_bytes`; failures clear the slot for a retry.
+    /// With `refresh_hello`, the Hello preamble is repeated even on an
+    /// already-open connection — registration at the node is idempotent,
+    /// and under a lossy link the dial-time Hello may never have arrived
+    /// (the node then answers an unregistered client into the void, and
+    /// nothing else would ever re-register on the still-healthy socket).
+    fn send(&mut self, client: ClientId, frame_bytes: &[u8], refresh_hello: bool) {
+        let addr = self.addrs.lock()[self.relay];
+        if self.conn.as_ref().is_some_and(|(d, _)| *d != addr) {
+            self.conn = None;
+        }
+        let mut hello = BytesMut::new();
+        // Hello frames carry no operator/value payloads, so the
+        // concrete message type parameters are irrelevant here.
+        encode_message::<u64, u64>(&WireMessage::Hello(HelloId::Client(client)), &mut hello);
+        if self.conn.is_none() {
+            let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+                return;
+            };
+            let _ = s.set_nodelay(true);
+            let _ = s.set_nonblocking(true);
+            if s.write_all(&hello).is_err() {
+                return;
+            }
+            self.buf.clear();
+            self.conn = Some((addr, s));
+        } else if refresh_hello {
+            if let Some((_, s)) = &mut self.conn {
+                if s.write_all(&hello).is_err() {
+                    self.conn = None;
+                    return;
+                }
+            }
+        }
+        if let Some((_, s)) = &mut self.conn {
+            if s.write_all(frame_bytes).is_err() {
+                self.conn = None;
+            }
+        }
+    }
+
+    /// Drains whatever bytes are available right now (the socket is
+    /// non-blocking) into this link's frame buffer.
+    fn read_into_buf(&mut self) {
+        let Some((_, s)) = &mut self.conn else { return };
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => {
+                    self.conn = None;
+                    return;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.conn = None;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::MigrationPlan;
+    use esds_datatypes::{KvOp, KvStore, KvValue};
+
+    #[test]
+    fn sharded_wire_roundtrip_and_spread() {
+        let mut svc = ShardedWireService::launch(KvStore, 2, ShardedWireConfig::new(2));
+        let table = svc.table();
+        let mut c = svc.client();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(c.submit(KvOp::put(format!("k{i}"), format!("{i}")), &[], false));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(KvValue::Ack),
+                "put k{i} timed out"
+            );
+        }
+        for i in 0..10 {
+            let get = c.submit(KvOp::get(format!("k{i}")), &[], false);
+            assert_eq!(
+                c.await_response(get, Duration::from_secs(10)),
+                Some(KvValue::Value(Some(format!("{i}"))))
+            );
+        }
+        // Both shards actually received traffic.
+        let shards: BTreeSet<u32> = (0..10)
+            .map(|i| table.shard_of_key(&format!("k{i}")))
+            .collect();
+        assert_eq!(shards.len(), 2);
+        // A strict fence per shard: when it answers, everything before
+        // it is stable at every replica of its shard, so the
+        // convergence check below cannot race gossip.
+        for shard in 0..2u32 {
+            let key = (0..10)
+                .map(|i| format!("k{i}"))
+                .find(|k| table.shard_of_key(k) == shard)
+                .expect("both shards have keys");
+            let fence = c.submit(KvOp::get(key), &ids.clone(), true);
+            assert!(
+                c.await_response(fence, Duration::from_secs(30)).is_some(),
+                "strict fence on shard {shard} did not stabilize"
+            );
+        }
+        // Each shard's replicas converged among themselves.
+        for (s, reps) in svc.shutdown().into_iter().enumerate() {
+            let states: Vec<_> = reps.iter().map(|r| r.current_state()).collect();
+            assert!(
+                states.windows(2).all(|w| w[0] == w[1]),
+                "shard {s} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_prev_waits_over_the_wire() {
+        let mut svc = ShardedWireService::launch(KvStore, 2, ShardedWireConfig::new(2));
+        let table = svc.table();
+        let mut c = svc.client();
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| table.shard_of_key(k) != table.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let wa = c.submit(KvOp::put(&ka, "1"), &[], false);
+        // Submitting with a cross-shard prev blocks until wa is answered.
+        let wb = c.submit(KvOp::put(&kb, "2"), &[wa], false);
+        assert_eq!(c.value_of(wa), Some(&KvValue::Ack));
+        assert_ne!(c.shard_of(wa), c.shard_of(wb));
+        assert_eq!(
+            c.await_response(wb, Duration::from_secs(10)),
+            Some(KvValue::Ack)
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn transitive_prev_through_foreign_hop_is_inherited() {
+        // Chain A (shard s) ← B (foreign) ← C (shard s): C must carry
+        // A's ordering into the shard even though its only direct prev
+        // is foreign. Slow gossip keeps A from propagating on its own.
+        let mut cfg = ShardedWireConfig::new(2);
+        cfg.cluster.gossip_interval = Duration::from_secs(5);
+        let mut svc = ShardedWireService::launch(KvStore, 2, cfg);
+        let table = svc.table();
+        let mut c = svc.client();
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| table.shard_of_key(k) != table.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let a = c.submit(KvOp::put(&ka, "1"), &[], false);
+        let b = c.submit(KvOp::put(&kb, "2"), &[a], false);
+        let read = c.submit(KvOp::get(&ka), &[b], false);
+        assert_eq!(c.shard_of(read), c.shard_of(a), "same key, same shard");
+        assert_eq!(
+            c.await_response(read, Duration::from_secs(10)),
+            Some(KvValue::Value(Some("1".into())))
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stale_client_is_nakked_and_reroutes() {
+        // The deployment runs at table v1 (a 2-shard table grown to 3);
+        // the client's view is the v0 uniform 2-shard table. Every
+        // submission under v0 is refused with a NAK carrying the v1
+        // table; the client adopts it, re-routes, and the operation
+        // lands on the correct shard — reads never route stale.
+        let mut grown = RoutingTable::uniform(2);
+        grown.apply(&MigrationPlan::add_shard(&grown));
+        assert_eq!(grown.version(), 1);
+        let mut svc = ShardedWireService::launch_with_table(
+            KvStore,
+            grown.clone(),
+            ShardedWireConfig::new(2),
+        );
+        let stale = RoutingTable::uniform(2);
+        let mut c = svc.client_with_table(stale.clone());
+        assert_eq!(c.table_version(), 0);
+
+        // A key the two tables route differently (one that moved to the
+        // new shard).
+        let key = (0..1000)
+            .map(|i| format!("k{i}"))
+            .find(|k| grown.shard_of_key(k) != stale.shard_of_key(k))
+            .expect("some key moved");
+        let put = c.submit(KvOp::put(&key, "fresh"), &[], false);
+        assert_eq!(
+            c.await_response(put, Duration::from_secs(10)),
+            Some(KvValue::Ack)
+        );
+        // The NAK upgraded the client and relocated the operation.
+        assert_eq!(c.table_version(), 1);
+        assert_eq!(c.shard_of(put), Some(grown.shard_of_key(&key)));
+        assert_eq!(c.routed_version(put), Some(1));
+
+        // A fresh, current-table client reads the value from the right
+        // shard — the stale client's write did not land on the old
+        // owner. The reader relays through a *different* replica than
+        // the writer, so a nonstrict read may race gossip; poll until
+        // the eventually-consistent read converges (bounded).
+        let mut reader = svc.client();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let get = reader.submit(KvOp::get(&key), &[], false);
+            assert_eq!(reader.shard_of(get), Some(grown.shard_of_key(&key)));
+            let v = reader.await_response(get, Duration::from_secs(10));
+            if v == Some(KvValue::Value(Some("fresh".into()))) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "re-routed write never became visible on the new owner: {v:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicate_naks_do_not_double_apply_the_rerouted_op() {
+        // Every frame is duplicated, so each stale-version request
+        // provokes (at least) two NAKs for the same global operation.
+        // The re-route must be idempotent: the first NAK relocates the
+        // operation, stragglers merely re-send the *same* per-shard id.
+        // Minting a fresh id per NAK would deposit twice — Bank is
+        // non-idempotent, so the strict balance pins the exact amount.
+        use esds_datatypes::{Bank, BankOp, BankValue};
+        let mut grown = RoutingTable::uniform(2);
+        grown.apply(&MigrationPlan::add_shard(&grown));
+        let chaos = ChaosConfig::lossy(0.0, 77).with_duplication(1.0);
+        let mut svc = ShardedWireService::launch_with_table(
+            Bank,
+            grown,
+            ShardedWireConfig::new(2).with_chaos(chaos),
+        );
+        let mut c = svc.client_with_table(RoutingTable::uniform(2));
+        let dep = c.submit(BankOp::Deposit(10), &[], false);
+        assert_eq!(
+            c.await_response(dep, Duration::from_secs(10)),
+            Some(BankValue::Ack)
+        );
+        assert_eq!(c.table_version(), 1, "NAK adopted");
+        let bal = c.submit(BankOp::Balance, &[dep], true);
+        assert_eq!(
+            c.await_response(bal, Duration::from_secs(30)),
+            Some(BankValue::Balance(10)),
+            "a duplicated NAK re-minted the deposit"
+        );
+        let stats = svc.chaos_stats();
+        assert!(stats.duplicated > 0, "duplication must actually happen");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn chaos_fronts_every_listener_and_work_completes() {
+        // 10% loss plus duplication on every frame of every shard's
+        // traffic (requests, responses, gossip): retries and gossip
+        // re-shipping must still drive a cross-shard chain to completion.
+        let chaos = ChaosConfig::lossy(0.10, 1234).with_duplication(0.10);
+        let mut svc =
+            ShardedWireService::launch(KvStore, 2, ShardedWireConfig::new(2).with_chaos(chaos));
+        let table = svc.table();
+        let mut c = svc.client();
+        let ka = "a".to_string();
+        let kb = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| table.shard_of_key(k) != table.shard_of_key(&ka))
+            .expect("some key lands elsewhere");
+        let wa = c.submit(KvOp::put(&ka, "1"), &[], false);
+        let wb = c.submit(KvOp::put(&kb, "2"), &[wa], false);
+        let ra = c.submit(KvOp::get(&ka), &[wb], false);
+        assert_eq!(
+            c.await_response(ra, Duration::from_secs(30)),
+            Some(KvValue::Value(Some("1".into())))
+        );
+        let stats = svc.chaos_stats();
+        assert!(stats.forwarded > 0, "proxies must carry the traffic");
+        svc.shutdown();
+    }
+}

@@ -32,7 +32,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esds_alg::{
     FrontEnd, GossipEnvelope, RecoveryStub, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
 };
-use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
+use esds_core::{ClientId, OpId, ReplicaId, RoutingTable, SerialDataType, ShardedOpId};
 use parking_lot::Mutex;
 
 /// The cluster's address table, shared by nodes and clients. Restarting a
@@ -43,7 +43,9 @@ pub type AddrTable = Arc<Mutex<Vec<SocketAddr>>>;
 
 use crate::codec::Wire;
 use crate::frame::decode_frame;
-use crate::message::{decode_message, encode_message, HelloId, SummarizedGossip, WireMessage};
+use crate::message::{
+    decode_message, encode_message, HelloId, ShardedResponseMsg, SummarizedGossip, WireMessage,
+};
 
 /// Read-poll granularity: how often blocked readers check for shutdown.
 const POLL: Duration = Duration::from_millis(25);
@@ -86,6 +88,18 @@ enum NodeInput<T: SerialDataType> {
     Shutdown,
 }
 
+/// What makes a replica node **shard-aware**: the deployment's shared
+/// routing table (the authority for the version handshake) and the
+/// shard's `local id → global id` map, filled in as `ShardedRequest`
+/// frames are accepted and consulted when responses go out (a mapped
+/// operation is answered with a `ShardedResponse::Ok` carrying its
+/// global identity; unmapped ones keep the plain `Response` encoding).
+#[derive(Clone)]
+pub(crate) struct ShardCtx {
+    pub(crate) table: Arc<Mutex<RoutingTable>>,
+    pub(crate) globals: Arc<Mutex<HashMap<OpId, ShardedOpId>>>,
+}
+
 /// One replica server: a listener, reader threads, and the core thread
 /// driving the replica state machine and the gossip timer.
 pub struct TcpReplicaNode<T: SerialDataType> {
@@ -120,7 +134,24 @@ where
         config: &TcpClusterConfig,
     ) -> Self {
         let rep = Replica::new(dt, id, config.n_replicas, config.replica);
-        Self::spawn_node(rep, listener, addrs, config)
+        Self::spawn_node(rep, listener, addrs, config, None)
+    }
+
+    /// Like [`TcpReplicaNode::spawn`], but shard-aware: `ShardedRequest`
+    /// frames are version-checked against the deployment's shared routing
+    /// table (stale versions are NAKed with the authoritative table) and
+    /// accepted operations answer as `ShardedResponse` frames carrying
+    /// their global identity.
+    pub(crate) fn spawn_sharded(
+        dt: T,
+        id: ReplicaId,
+        listener: TcpListener,
+        addrs: AddrTable,
+        config: &TcpClusterConfig,
+        shard: ShardCtx,
+    ) -> Self {
+        let rep = Replica::new(dt, id, config.n_replicas, config.replica);
+        Self::spawn_node(rep, listener, addrs, config, Some(shard))
     }
 
     /// Spawns a node recovering from a crash (paper §9.3): the replica
@@ -139,7 +170,7 @@ where
         config: &TcpClusterConfig,
     ) -> Self {
         let rep = Replica::recover(dt, stub, config.n_replicas, config.replica);
-        Self::spawn_node(rep, listener, addrs, config)
+        Self::spawn_node(rep, listener, addrs, config, None)
     }
 
     fn spawn_node(
@@ -147,6 +178,7 @@ where
         listener: TcpListener,
         addrs: AddrTable,
         config: &TcpClusterConfig,
+        shard: Option<ShardCtx>,
     ) -> Self {
         let id = rep.id();
         let addr = listener.local_addr().expect("listener address");
@@ -161,8 +193,17 @@ where
             input_tx.clone(),
             clients.clone(),
             stop.clone(),
+            shard.clone(),
         );
-        let core = spawn_core::<T>(rep, config.clone(), addrs, input_rx, clients, stop.clone());
+        let core = spawn_core::<T>(
+            rep,
+            config.clone(),
+            addrs,
+            input_rx,
+            clients,
+            stop.clone(),
+            shard,
+        );
 
         TcpReplicaNode {
             id,
@@ -208,6 +249,7 @@ fn spawn_acceptor<T>(
     input_tx: Sender<NodeInput<T>>,
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
+    shard: Option<ShardCtx>,
 ) -> JoinHandle<()>
 where
     T: SerialDataType + Send + 'static,
@@ -228,9 +270,10 @@ where
                 let tx = input_tx.clone();
                 let clients = clients.clone();
                 let stop = stop.clone();
+                let shard = shard.clone();
                 let _ = std::thread::Builder::new()
                     .name(format!("esds-tcp-read-{}", id.0))
-                    .spawn(move || read_connection::<T>(stream, tx, clients, stop));
+                    .spawn(move || read_connection::<T>(stream, tx, clients, stop, shard));
             }
         })
         .expect("spawn acceptor")
@@ -244,6 +287,7 @@ fn read_connection<T>(
     input_tx: Sender<NodeInput<T>>,
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
+    shard: Option<ShardCtx>,
 ) where
     T: SerialDataType,
     T::Operator: Wire,
@@ -276,6 +320,52 @@ fn read_connection<T>(
                                 break 'conn;
                             }
                         }
+                        WireMessage::ShardedRequest(m) => {
+                            // A non-sharded node cannot version-check; the
+                            // frame is a protocol error, drop the conn.
+                            let Some(ctx) = &shard else { break 'conn };
+                            let stale = {
+                                let table = ctx.table.lock();
+                                (table.version() != m.version).then(|| table.clone())
+                            };
+                            match stale {
+                                None => {
+                                    // Version handshake passed: the client
+                                    // routed under the table this shard
+                                    // serves, so the key belongs here.
+                                    ctx.globals.lock().insert(m.desc.id, m.global);
+                                    if input_tx
+                                        .send(NodeInput::Request(RequestMsg { desc: m.desc }))
+                                        .is_err()
+                                    {
+                                        break 'conn;
+                                    }
+                                }
+                                Some(table) => {
+                                    // NAK before the replica ever sees the
+                                    // descriptor. Written through the
+                                    // registered-clients lock so the frame
+                                    // cannot interleave with a response the
+                                    // core thread is writing to the same
+                                    // stream. An unregistered sender (no
+                                    // Hello yet) just gets nothing — its
+                                    // retry loop will resend.
+                                    let mut out = BytesMut::new();
+                                    let nak: WireMessage<T::Operator, T::Value> =
+                                        WireMessage::ShardedResponse(ShardedResponseMsg::Nak {
+                                            global: m.global,
+                                            table,
+                                        });
+                                    encode_message(&nak, &mut out);
+                                    if let Some(c) = registered {
+                                        let mut guard = clients.lock();
+                                        if let Some(w) = guard.get_mut(&c) {
+                                            let _ = w.write_all(&out);
+                                        }
+                                    }
+                                }
+                            }
+                        }
                         WireMessage::Gossip(g) => {
                             if input_tx
                                 .send(NodeInput::Gossip(GossipEnvelope::Snapshot(g)))
@@ -300,7 +390,7 @@ fn read_connection<T>(
                                 break 'conn;
                             }
                         }
-                        WireMessage::Response(_) => {} // nonsensical inbound; ignore
+                        WireMessage::Response(_) | WireMessage::ShardedResponse(_) => {} // nonsensical inbound; ignore
                     }
                 }
                 Ok(None) => break,
@@ -329,6 +419,7 @@ fn spawn_core<T>(
     input_rx: Receiver<NodeInput<T>>,
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
+    shard: Option<ShardCtx>,
 ) -> JoinHandle<Replica<T>>
 where
     T: SerialDataType + Send + 'static,
@@ -401,7 +492,22 @@ where
                 };
                 for e in effects {
                     out.clear();
-                    let msg: WireMessage<T::Operator, T::Value> = WireMessage::Response(e.msg);
+                    // Operations accepted through the sharded handshake
+                    // answer with their global identity attached. The
+                    // mapping is consumed here so the shared map stays
+                    // bounded by in-flight operations, not total history;
+                    // a client retry of an already-answered request
+                    // re-inserts it before the replica re-answers.
+                    let global = shard
+                        .as_ref()
+                        .and_then(|ctx| ctx.globals.lock().remove(&e.msg.id));
+                    let msg: WireMessage<T::Operator, T::Value> = match global {
+                        Some(global) => WireMessage::ShardedResponse(ShardedResponseMsg::Ok {
+                            global,
+                            resp: e.msg,
+                        }),
+                        None => WireMessage::Response(e.msg),
+                    };
                     encode_message(&msg, &mut out);
                     let mut guard = clients.lock();
                     if let Some(w) = guard.get_mut(&e.client) {

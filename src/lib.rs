@@ -57,10 +57,12 @@
 //! assert_eq!(sys.response(get), Some(&KvValue::Value(Some("ada".into()))));
 //! ```
 //!
-//! The threaded analogue is [`runtime::ShardedService`]; the routing
-//! vocabulary ([`core::KeyedDataType`], [`core::ShardRouter`]) lives in
-//! `esds-core`. See `ARCHITECTURE.md` for the full crate map and data
-//! flow.
+//! The threaded analogue is [`runtime::ShardedService`]; over real
+//! sockets it is [`wire::ShardedWireService`] (one TCP cluster per
+//! shard, with a routing-table-version handshake so reads never route
+//! stale). The routing vocabulary ([`core::KeyedDataType`],
+//! [`core::ShardRouter`]) lives in `esds-core`. See `ARCHITECTURE.md`
+//! for the full crate map and data flow.
 
 pub use esds_alg as alg;
 pub use esds_core as core;

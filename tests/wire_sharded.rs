@@ -1,0 +1,218 @@
+//! The sharded TCP deployment end to end, under chaos: a kv workload
+//! across two shard clusters on real sockets, with every per-shard
+//! listener fronted by a fault-injecting proxy, checked black-box
+//! against the paper's behavioural theorems.
+//!
+//! The per-shard conformance statement mirrors `tests/sharded_conformance.rs`,
+//! but over sockets the white-box `ConformanceObserver` (which replays
+//! internal step reports) cannot watch the system — so each shard gets
+//! the *black-box* [`TraceChecker`] instead (cf. the ISSUE's Vbox /
+//! black-box serializability framing): requests and witnessed responses
+//! are recorded at the client, and Theorems 5.7/5.8 are verified against
+//! the shard's converged final order after shutdown. Green checkers per
+//! shard are exactly "each shard's externally-visible trace is
+//! explainable by its own ESDS instance".
+//!
+//! The chaos fault model is read from the `ESDS_CHAOS_*` environment —
+//! that is the knob the CI `sharded-wire` matrix turns (loss ∈ {0, 0.05},
+//! delay ∈ {0, 5 ms}). When `ESDS_CHAOS_LOSS` is unset the test defaults
+//! to 5% loss, so a plain `cargo test` always exercises the lossy path.
+//! Every wait in this file is bounded: a lost frame can delay completion
+//! (retries re-send it) but can never hang the suite.
+
+use std::time::Duration;
+
+use esds::alg::ReplicaConfig;
+use esds::core::{OpId, ShardedOpId};
+use esds::datatypes::{KvOp, KvStore, KvValue};
+use esds::spec::{check_converged, TraceChecker};
+use esds::wire::{ChaosConfig, ShardedWireConfig, ShardedWireService};
+
+/// The CI matrix's fault model, with a 5% loss floor when unconfigured.
+fn chaos_from_env() -> ChaosConfig {
+    let mut c = ChaosConfig::from_env(2024);
+    if std::env::var("ESDS_CHAOS_LOSS").is_err() {
+        c.drop_probability = 0.05;
+    }
+    c
+}
+
+#[test]
+fn kv_workload_across_two_shard_clusters_under_chaos() {
+    let chaos = chaos_from_env();
+    let mut cfg = ShardedWireConfig::new(3).with_chaos(chaos);
+    // Witnesses make the black-box Theorem 5.7 check possible; the wider
+    // gossip interval keeps the delay proxy (5 ms per frame, in-order)
+    // from queueing gossip faster than it can carry it.
+    cfg.cluster.replica = ReplicaConfig::default().with_witness();
+    cfg.cluster.gossip_interval = Duration::from_millis(20);
+    let n_shards = 2u32;
+    let mut svc = ShardedWireService::launch(KvStore, n_shards, cfg);
+    let table = svc.table();
+    let mut c = svc.client();
+    let mut checkers: Vec<TraceChecker<KvStore>> =
+        (0..n_shards).map(|_| TraceChecker::new(KvStore)).collect();
+
+    // A workload that crosses shards: writes over 12 keys, occasional
+    // chained reads (cross-shard `prev` when the keys hash apart — the
+    // client then awaits the foreign response over the wire before
+    // sending), and a strict op now and then (stability through lossy,
+    // delayed, possibly duplicated gossip).
+    let keys: Vec<String> = (0..12).map(|i| format!("key:{i}")).collect();
+    let mut ids: Vec<ShardedOpId> = Vec::new();
+    let mut last: Option<ShardedOpId> = None;
+    for i in 0..24usize {
+        let key = &keys[i % keys.len()];
+        let op = if i % 3 == 2 {
+            KvOp::get(key)
+        } else {
+            KvOp::put(key, format!("v{i}"))
+        };
+        let prev: Vec<ShardedOpId> = if i % 4 == 1 {
+            last.into_iter().collect()
+        } else {
+            vec![]
+        };
+        let id = c.submit(op, &prev, i % 8 == 5);
+        // Cross-shard prev respected, part 1: the submit-time wait means
+        // every foreign predecessor was answered before the dependent's
+        // request frame went out.
+        for p in &prev {
+            if c.shard_of(*p) != c.shard_of(id) {
+                assert!(
+                    c.value_of(*p).is_some(),
+                    "dependent {id} sent before foreign prev {p} answered"
+                );
+            }
+        }
+        let (shard, desc) = c.local_descriptor(id).expect("just submitted");
+        checkers[shard as usize]
+            .on_request(desc)
+            .expect("well-formed per-shard request");
+        ids.push(id);
+        last = Some(id);
+    }
+    for id in &ids {
+        assert!(
+            c.await_response(*id, Duration::from_secs(60)).is_some(),
+            "operation {id} lost under chaos (retries should recover it)"
+        );
+    }
+
+    // Cross-shard prev respected, part 2: a write → foreign write → read
+    // chain whose read must observe the first write through the hop.
+    let ka = keys
+        .iter()
+        .find(|k| table.shard_of_key(k) == 0)
+        .expect("some key on shard 0");
+    let kb = keys
+        .iter()
+        .find(|k| table.shard_of_key(k) == 1)
+        .expect("some key on shard 1");
+    let wa = c.submit(KvOp::put(ka, "chain-a"), &[*ids.last().unwrap()], false);
+    let wb = c.submit(KvOp::put(kb, "chain-b"), &[wa], false);
+    let ra = c.submit(KvOp::get(ka), &[wb], false);
+    for id in [wa, wb, ra] {
+        let (shard, desc) = c.local_descriptor(id).expect("submitted");
+        checkers[shard as usize]
+            .on_request(desc)
+            .expect("well-formed");
+        ids.push(id);
+    }
+    assert_eq!(
+        c.await_response(ra, Duration::from_secs(60)),
+        Some(KvValue::Value(Some("chain-a".into()))),
+        "read through a cross-shard prev chain must see the write"
+    );
+
+    // A strict fence per shard, constrained after everything: when it
+    // answers, every operation of the shard is stable at every replica,
+    // so the shard's final orders are converged and complete.
+    for shard in 0..n_shards {
+        let key = keys
+            .iter()
+            .find(|k| table.shard_of_key(k) == shard)
+            .expect("every shard owns test keys");
+        let fence = c.submit(KvOp::get(key), &ids.clone(), true);
+        let (s, desc) = c.local_descriptor(fence).expect("submitted");
+        assert_eq!(s, shard);
+        checkers[s as usize].on_request(desc).expect("well-formed");
+        assert!(
+            c.await_response(fence, Duration::from_secs(120)).is_some(),
+            "strict fence on shard {shard} did not stabilize under chaos"
+        );
+        ids.push(fence);
+    }
+
+    // Feed the recorded responses (with witnesses) to each shard's
+    // checker.
+    for id in &ids {
+        let (shard, desc) = c.local_descriptor(*id).expect("submitted");
+        let value = c.value_of(*id).expect("awaited above").clone();
+        let witness = c.witness_of(*id).cloned();
+        checkers[shard as usize].on_response(desc.id, value, witness);
+    }
+
+    // The proxies really were in the path — and, when loss is on, really
+    // lost frames that the protocol then recovered from.
+    let stats = svc.chaos_stats();
+    assert!(stats.forwarded > 0, "chaos proxies must carry the traffic");
+    if chaos.drop_probability > 0.0 {
+        assert!(stats.dropped > 0, "lossy run should actually drop frames");
+    }
+
+    // Shutdown; per-shard black-box conformance must be green.
+    let shards = svc.shutdown();
+    assert_eq!(shards.len(), n_shards as usize);
+    for (s, reps) in shards.iter().enumerate() {
+        let orders: Vec<Vec<OpId>> = reps.iter().map(|r| r.local_order()).collect();
+        let states: Vec<_> = reps.iter().map(|r| r.current_state()).collect();
+        check_converged(&orders, &states)
+            .unwrap_or_else(|e| panic!("shard {s} diverged after the strict fence: {e}"));
+        let eto = orders[0].clone();
+        let violations = checkers[s].check_eventual_order(&eto, false);
+        assert!(
+            violations.is_empty(),
+            "shard {s} eventual-order violations: {violations:?}"
+        );
+        let (violations, skipped) = checkers[s].check_witnessed_responses();
+        assert!(
+            violations.is_empty(),
+            "shard {s} witness violations: {violations:?}"
+        );
+        assert_eq!(skipped, 0, "every response should have carried a witness");
+        assert!(
+            !checkers[s].responses().is_empty(),
+            "shard {s} saw no traffic — workload did not cross shards"
+        );
+    }
+}
+
+#[test]
+fn version_handshake_holds_under_chaos() {
+    // A stale client against a grown (v1) deployment, with the chaos
+    // matrix's fault model on every listener: the NAK → adopt → re-route
+    // path must survive loss and delay (a lost NAK is re-provoked by the
+    // client's retry of the refused request).
+    let chaos = chaos_from_env();
+    let mut grown = esds::core::RoutingTable::uniform(2);
+    grown.apply(&esds::core::MigrationPlan::add_shard(&grown));
+    let mut cfg = ShardedWireConfig::new(2).with_chaos(chaos);
+    cfg.cluster.gossip_interval = Duration::from_millis(20);
+    let mut svc = ShardedWireService::launch_with_table(KvStore, grown.clone(), cfg);
+    let mut c = svc.client_with_table(esds::core::RoutingTable::uniform(2));
+
+    let key = (0..1000)
+        .map(|i| format!("k{i}"))
+        .find(|k| grown.shard_of_key(k) != esds::core::RoutingTable::uniform(2).shard_of_key(k))
+        .expect("some key moved to the new shard");
+    let put = c.submit(KvOp::put(&key, "fresh"), &[], false);
+    assert_eq!(
+        c.await_response(put, Duration::from_secs(60)),
+        Some(KvValue::Ack),
+        "stale-routed write must be NAKed and re-routed, not lost"
+    );
+    assert_eq!(c.table_version(), 1, "client adopted the NAK's table");
+    assert_eq!(c.shard_of(put), Some(grown.shard_of_key(&key)));
+    svc.shutdown();
+}
