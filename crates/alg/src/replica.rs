@@ -669,7 +669,21 @@ impl<T: SerialDataType> Replica<T> {
 
         if let Some(waiting) = &mut self.recovering {
             waiting.remove(&from);
-            if waiting.is_empty() {
+            // Rejoining also requires every operation this replica had
+            // labeled pre-crash to be back in `rcvd`: a persisted
+            // minimum label may order its operation *before* ops the
+            // group has since stabilized, so reporting done/stable
+            // knowledge while such an operation is still missing would
+            // let strict responses be answered against an order the
+            // relearned label later contradicts. Descriptors return via
+            // peer gossip or front-end retransmission; until then the
+            // replica stays passive.
+            if waiting.is_empty()
+                && self
+                    .persisted_labels
+                    .keys()
+                    .all(|id| self.rcvd.contains_key(id))
+            {
                 self.recovering = None;
             }
         }
@@ -1824,6 +1838,36 @@ mod tests {
         assert_eq!(resp[0].msg.value, 1);
         // The op's label is unchanged by the crash.
         assert_eq!(a.labels().get(id(0, 0)), pre_label);
+    }
+
+    #[test]
+    fn recovery_waits_for_operations_it_labeled_before_the_crash() {
+        // An op received and labeled locally but never gossiped out: the
+        // crash keeps its minimum label in stable storage while every
+        // peer is oblivious. The recovered replica must not rejoin on
+        // peer gossip alone — its persisted label orders the op before
+        // anything the group stabilizes meanwhile, so rejoining without
+        // the descriptor would let strict responses be answered against
+        // an order the relearned label later contradicts.
+        let (mut a, mut b) = two_replicas(ReplicaConfig::basic());
+        let _ = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        let stub = a.crash();
+        assert_eq!(stub.local_min_labels.len(), 1);
+        let mut a = Replica::recover(Ctr, stub, 2, ReplicaConfig::basic());
+
+        // Full gossip from the only peer: it has never seen c0:0, so
+        // recovery must stay open.
+        b.reset_watermark(ReplicaId(0));
+        let _ = a.on_gossip(b.make_gossip(ReplicaId(0)));
+        assert!(a.is_recovering(), "peer gossip lacks the labeled op");
+
+        // The front end retries the unanswered request; the next gossip
+        // round closes recovery and the op keeps its pre-crash label.
+        let pre = a.on_request(OpDescriptor::new(id(0, 0), Op::Inc));
+        assert!(pre.is_empty(), "still passive until gossip re-checks");
+        let _ = a.on_gossip(b.make_gossip(ReplicaId(0)));
+        assert!(!a.is_recovering());
+        assert!(a.done_here().contains(&id(0, 0)));
     }
 
     #[test]

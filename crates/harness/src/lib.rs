@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod conformance;
 mod sharded;
 mod system;
 mod workload;
 
+pub use audit::AuditDriver;
 pub use conformance::{ConformanceError, ConformanceObserver};
 pub use sharded::{ShardedSimSystem, ShardedSystemConfig};
 pub use system::{

@@ -1131,6 +1131,34 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
         )
     }
 
+    /// The **position-final prefix** of the eventual total order: the
+    /// minimum-label order truncated just past its *last*
+    /// stable-everywhere operation — tentative operations interleaved
+    /// before that point included.
+    ///
+    /// Unlike [`SimSystem::stable_prefix`] (which keeps only stable
+    /// operations and so can have holes — stability *knowledge* of
+    /// different operations completes in arbitrary order), this sequence
+    /// is gap-free and every position in it is final. The fence
+    /// argument: once `x` is stable everywhere, every replica has
+    /// labeled `x`, so every replica's clock exceeds `x`'s
+    /// system-minimum label; any label assigned from now on lands after
+    /// `x`, and the already-assigned minimum labels below `x`'s are
+    /// visible in the view — so the membership *and order* of everything
+    /// at or before `x`'s position can no longer change. This is the
+    /// correct `Stabilize` feed for the streaming audit
+    /// ([`AuditDriver`](crate::AuditDriver)). `None` if a replica is
+    /// crashed (stability knowledge is unobservable).
+    pub fn final_prefix(&self) -> Option<Vec<OpId>> {
+        let mut order = self.view()?.minlabel_order();
+        let solid = order
+            .iter()
+            .rposition(|id| self.op_is_stable_everywhere(*id))
+            .map_or(0, |i| i + 1);
+        order.truncate(solid);
+        Some(order)
+    }
+
     /// A live borrow view for invariant checks. `None` if any replica is
     /// crashed or the system has no replicas.
     pub fn view(&self) -> Option<SystemView<'_, T>> {

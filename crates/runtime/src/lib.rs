@@ -9,8 +9,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod service;
 mod sharded;
 
-pub use service::{OpFilter, ReplicaSnapshot, RuntimeClient, RuntimeConfig, RuntimeService};
+pub use audit::{AuditSidecar, AuditTap};
+pub use service::{
+    InspectHandle, OpFilter, ReplicaSnapshot, RuntimeClient, RuntimeConfig, RuntimeService,
+};
 pub use sharded::{ShardedClient, ShardedService};

@@ -123,11 +123,43 @@ impl<T: SerialDataType> PartialOrd for Timed<T> {
 /// The shared registry of per-client response channels.
 type ClientRegistry<V> = std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<V>>>>>;
 
+/// A cheap cloneable handle for fetching [`ReplicaSnapshot`]s without
+/// borrowing the [`RuntimeService`] — what a background audit sidecar
+/// polls from its own thread.
+pub struct InspectHandle<T: SerialDataType> {
+    inputs: Vec<Sender<ReplicaInput<T>>>,
+}
+
+impl<T: SerialDataType> Clone for InspectHandle<T> {
+    fn clone(&self) -> Self {
+        InspectHandle {
+            inputs: self.inputs.clone(),
+        }
+    }
+}
+
+impl<T: SerialDataType> InspectHandle<T> {
+    /// Number of replicas behind this handle.
+    pub fn n_replicas(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// A consistent snapshot of one replica, or `None` once the service
+    /// has shut down (the handle outliving the service is not an error
+    /// for a sidecar — it just stops observing).
+    pub fn snapshot(&self, replica: usize) -> Option<ReplicaSnapshot<T>> {
+        let (tx, rx) = bounded(1);
+        self.inputs[replica].send(ReplicaInput::Inspect(tx)).ok()?;
+        rx.recv().ok()
+    }
+}
+
 /// A handle for one client of the running service.
 pub struct RuntimeClient<T: SerialDataType> {
     fe: FrontEnd<T::Operator, T::Value>,
     rx: Receiver<ResponseMsg<T::Value>>,
     net_tx: Sender<NetInput<T>>,
+    audit: Option<crate::AuditTap<T>>,
 }
 
 impl<T: SerialDataType> RuntimeClient<T>
@@ -138,6 +170,9 @@ where
     /// Submits an operation; returns its id immediately.
     pub fn submit(&mut self, op: T::Operator, prev: &[OpId], strict: bool) -> OpId {
         let (id, sends) = self.fe.submit(op, prev.iter().copied(), strict);
+        if let (Some(tap), Some((_, first))) = (&self.audit, sends.first()) {
+            tap.tap_request(first.desc.clone());
+        }
         for (r, msg) in sends {
             let _ = self.net_tx.send(NetInput::Msg(NetMsg {
                 to: Endpoint::Replica(r),
@@ -172,9 +207,7 @@ where
             }
             let wait = deadline.min(next_retry).saturating_duration_since(now);
             match self.rx.recv_timeout(wait.max(Duration::from_micros(100))) {
-                Ok(msg) => {
-                    self.fe.on_response(msg);
-                }
+                Ok(msg) => self.take_response(msg),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return None,
             }
@@ -191,7 +224,20 @@ where
     /// reflect everything the network has handed over so far.
     pub fn poll_responses(&mut self) {
         while let Ok(msg) = self.rx.try_recv() {
-            self.fe.on_response(msg);
+            self.take_response(msg);
+        }
+    }
+
+    /// Folds one wire response into the front end and, on first
+    /// delivery (duplicates are dropped by the front end), into the
+    /// audit tap — witness included, so the sidecar's checker can run
+    /// the Theorem 5.7 check.
+    fn take_response(&mut self, msg: ResponseMsg<T::Value>) {
+        let witness = msg.witness.clone();
+        if let Some(d) = self.fe.on_response(msg) {
+            if let Some(tap) = &self.audit {
+                tap.tap_response(d.id, d.value, witness);
+            }
         }
     }
 
@@ -432,6 +478,18 @@ where
     /// Creates a new client attached (fixed policy) to replica
     /// `client mod n`, like the simulator's default.
     pub fn client(&mut self) -> RuntimeClient<T> {
+        self.make_client(None)
+    }
+
+    /// Creates a client whose externally-visible trace (requests and
+    /// first-delivery responses, witnesses included) is folded into the
+    /// given audit tap — the client-side half of the streaming-audit
+    /// sidecar (see [`crate::AuditSidecar`]).
+    pub fn client_with_audit(&mut self, tap: crate::AuditTap<T>) -> RuntimeClient<T> {
+        self.make_client(Some(tap))
+    }
+
+    fn make_client(&mut self, audit: Option<crate::AuditTap<T>>) -> RuntimeClient<T> {
         let c = ClientId(self.next_client);
         self.next_client += 1;
         let (tx, rx) = bounded(1024);
@@ -444,6 +502,15 @@ where
             ),
             rx,
             net_tx: self.net_tx.clone(),
+            audit,
+        }
+    }
+
+    /// A cloneable snapshot handle that does not borrow the service —
+    /// hand it to an [`crate::AuditSidecar`] (or any monitoring thread).
+    pub fn inspect_handle(&self) -> InspectHandle<T> {
+        InspectHandle {
+            inputs: self.replica_inputs.clone(),
         }
     }
 

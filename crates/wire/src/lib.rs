@@ -28,11 +28,18 @@
 //!   shard` through the shared [`esds_core::RoutingTable`], speak
 //!   `ShardedOpId`-carrying frames with a routing-table-version
 //!   handshake, and resolve cross-shard `prev` constraints by awaiting
-//!   the foreign shard's response over the wire.
+//!   the foreign shard's response over the wire;
+//! * [`audit`] — an online streaming audit of a live sharded deployment:
+//!   one bounded-memory [`esds_spec::StreamingChecker`] per shard, fed
+//!   the externally visible trace plus each shard's *final* stable
+//!   watermark (the label order truncated just past the last operation
+//!   known stable everywhere), certifying Theorems 5.7/5.8 as the
+//!   system runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod chaos;
 pub mod codec;
 pub mod frame;
@@ -42,6 +49,7 @@ pub mod tcp;
 
 mod error;
 
+pub use audit::{ShardViolation, ShardedWireAuditor};
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use codec::Wire;
 pub use error::WireError;
@@ -51,4 +59,6 @@ pub use message::{
     WireMessage,
 };
 pub use sharded::{ChaosStats, ShardedWireClient, ShardedWireConfig, ShardedWireService};
-pub use tcp::{AddrTable, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode};
+pub use tcp::{
+    AddrTable, StabilitySnapshot, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode,
+};

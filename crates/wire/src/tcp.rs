@@ -85,7 +85,22 @@ impl TcpClusterConfig {
 enum NodeInput<T: SerialDataType> {
     Request(RequestMsg<T::Operator>),
     Gossip(GossipEnvelope<T::Operator>),
+    Inspect(Sender<StabilitySnapshot>),
     Shutdown,
+}
+
+/// A replica's stability knowledge at one instant: its local label
+/// order and the set it knows to be stable at every replica. The
+/// allocation-light probe an audit watermark poll needs — operator
+/// payloads and label maps stay on the node.
+#[derive(Clone, Debug)]
+pub struct StabilitySnapshot {
+    /// The node's local label order (ids only).
+    pub order: Vec<OpId>,
+    /// `∩ᵢ stable_r[i]` — operations the node knows are stable
+    /// everywhere; within [`StabilitySnapshot::order`] these form its
+    /// solid prefix.
+    pub stable_everywhere: std::collections::BTreeSet<OpId>,
 }
 
 /// What makes a replica node **shard-aware**: the deployment's shared
@@ -218,6 +233,15 @@ where
     /// The node's replica identity.
     pub fn id(&self) -> ReplicaId {
         self.id
+    }
+
+    /// Fetches the node's [`StabilitySnapshot`] through its input
+    /// channel (consistent: taken between state-machine steps).
+    /// `None` if the node is shutting down or wedged past `timeout`.
+    pub fn stability(&self, timeout: Duration) -> Option<StabilitySnapshot> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.input_tx.send(NodeInput::Inspect(tx)).ok()?;
+        rx.recv_timeout(timeout).ok()
     }
 
     /// The address clients and peers connect to.
@@ -488,6 +512,13 @@ where
                 let effects = match input {
                     NodeInput::Request(m) => rep.on_request(m.desc),
                     NodeInput::Gossip(g) => rep.on_gossip_envelope(g),
+                    NodeInput::Inspect(tx) => {
+                        let _ = tx.send(StabilitySnapshot {
+                            order: rep.local_order(),
+                            stable_everywhere: rep.stable_everywhere().clone(),
+                        });
+                        Vec::new()
+                    }
                     NodeInput::Shutdown => break,
                 };
                 for e in effects {

@@ -1,0 +1,645 @@
+//! Wire-trace capture and replay for the **CI audit lane**: a JSONL
+//! trace format for sharded kv deployments, plus the replay driver the
+//! `audit_replay` binary and the chaos-matrix tests share.
+//!
+//! A trace is one JSON object per line, in stream order:
+//!
+//! ```text
+//! {"e":"req","shard":0,"id":"c0:0","strict":false,"prev":[],"op":{"k":"Put","key":"a","val":"1"}}
+//! {"e":"resp","shard":0,"id":"c0:0","value":{"k":"Ack"},"witness":["c0:0"]}
+//! {"e":"stab","shard":0,"id":"c0:0"}
+//! ```
+//!
+//! `req`/`resp` lines are recorded at the client (shard-local ids, as
+//! the per-shard ESDS instances see them); `stab` lines are each
+//! shard's eventual total order — emitted live from watermark polls or
+//! appended after shutdown from the converged final orders, whichever
+//! the producer can see. [`replay`] feeds the lines through one
+//! [`StreamingChecker`] per shard and
+//! fails on the first violation with its counterexample window.
+//!
+//! The encoding is hand-rolled (this workspace builds offline, with no
+//! serde): a tiny escaped-string JSON emitter and a recursive-descent
+//! parser for exactly the subset the trace uses.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::core::{ClientId, OpDescriptor, OpId};
+use crate::datatypes::{KvOp, KvStore, KvValue};
+use crate::spec::{AuditCertificate, AuditEvent, AuditStatus, StreamingChecker};
+
+/// One trace line: a shard tag plus the audit event it carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// The shard whose ESDS instance the event belongs to.
+    pub shard: u32,
+    /// The event, in shard-local ids.
+    pub event: AuditEvent<KvOp, KvValue>,
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn enc_id(out: &mut String, id: OpId) {
+    let _ = write!(out, "\"c{}:{}\"", id.client().0, id.seq());
+}
+
+fn enc_ids(out: &mut String, ids: &[OpId]) {
+    out.push('[');
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        enc_id(out, *id);
+    }
+    out.push(']');
+}
+
+fn enc_op(out: &mut String, op: &KvOp) {
+    match op {
+        KvOp::Put(k, v) => {
+            out.push_str("{\"k\":\"Put\",\"key\":");
+            esc(out, k);
+            out.push_str(",\"val\":");
+            esc(out, v);
+            out.push('}');
+        }
+        KvOp::Get(k) => {
+            out.push_str("{\"k\":\"Get\",\"key\":");
+            esc(out, k);
+            out.push('}');
+        }
+        KvOp::Remove(k) => {
+            out.push_str("{\"k\":\"Remove\",\"key\":");
+            esc(out, k);
+            out.push('}');
+        }
+        KvOp::Keys => out.push_str("{\"k\":\"Keys\"}"),
+    }
+}
+
+fn enc_value(out: &mut String, v: &KvValue) {
+    match v {
+        KvValue::Ack => out.push_str("{\"k\":\"Ack\"}"),
+        KvValue::Value(opt) => {
+            out.push_str("{\"k\":\"Value\"");
+            if let Some(s) = opt {
+                out.push_str(",\"val\":");
+                esc(out, s);
+            }
+            out.push('}');
+        }
+        KvValue::Removed(b) => {
+            let _ = write!(out, "{{\"k\":\"Removed\",\"b\":{b}}}");
+        }
+        KvValue::Keys(ks) => {
+            out.push_str("{\"k\":\"Keys\",\"keys\":[");
+            for (i, k) in ks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                esc(out, k);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Encodes one trace event as its JSONL line (no trailing newline).
+pub fn encode_line(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    match &ev.event {
+        AuditEvent::Request(desc) => {
+            let _ = write!(out, "{{\"e\":\"req\",\"shard\":{},\"id\":", ev.shard);
+            enc_id(&mut out, desc.id);
+            let _ = write!(out, ",\"strict\":{},\"prev\":", desc.strict);
+            let prev: Vec<OpId> = desc.prev.iter().copied().collect();
+            enc_ids(&mut out, &prev);
+            out.push_str(",\"op\":");
+            enc_op(&mut out, &desc.op);
+            out.push('}');
+        }
+        AuditEvent::Response { id, value, witness } => {
+            let _ = write!(out, "{{\"e\":\"resp\",\"shard\":{},\"id\":", ev.shard);
+            enc_id(&mut out, *id);
+            out.push_str(",\"value\":");
+            enc_value(&mut out, value);
+            if let Some(w) = witness {
+                out.push_str(",\"witness\":");
+                enc_ids(&mut out, w);
+            }
+            out.push('}');
+        }
+        AuditEvent::Stabilize(id) => {
+            let _ = write!(out, "{{\"e\":\"stab\",\"shard\":{},\"id\":", ev.shard);
+            enc_id(&mut out, *id);
+            out.push('}');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing: a minimal JSON subset (objects, arrays, strings, unsigned
+// numbers, booleans) — exactly what the trace emits.
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.i) else {
+                return Err("unterminated string".into());
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err("dangling escape".into());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("short \\u escape")?;
+                            let cp =
+                                u32::from_str_radix(hex, 16).map_err(|e| format!("\\u: {e}"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                b => {
+                    // Recover the full UTF-8 sequence starting at b.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        _ => 3,
+                    };
+                    let start = self.i - 1;
+                    self.i += len;
+                    let chunk = self.s.get(start..self.i).ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => {
+                self.expect(b'{')?;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.expect(b'}')?;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let k = self.string()?;
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    fields.push((k, v));
+                    match self.peek() {
+                        Some(b',') => self.expect(b',')?,
+                        Some(b'}') => {
+                            self.expect(b'}')?;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.expect(b']')?;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.expect(b',')?,
+                        Some(b']') => {
+                            self.expect(b']')?;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b't') if self.s[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if self.s[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.i;
+                while self.s.get(self.i).is_some_and(|b| b.is_ascii_digit()) {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.s[start..self.i])
+                    .ok()
+                    .and_then(|t| t.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| "bad number".into())
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+}
+
+fn parse_id(s: &str) -> Result<OpId, String> {
+    let rest = s.strip_prefix('c').ok_or_else(|| format!("bad id {s}"))?;
+    let (c, q) = rest.split_once(':').ok_or_else(|| format!("bad id {s}"))?;
+    Ok(OpId::new(
+        ClientId(c.parse().map_err(|e| format!("bad id {s}: {e}"))?),
+        q.parse().map_err(|e| format!("bad id {s}: {e}"))?,
+    ))
+}
+
+fn parse_ids(j: &Json) -> Result<Vec<OpId>, String> {
+    match j {
+        Json::Arr(items) => items
+            .iter()
+            .map(|it| parse_id(it.str().ok_or("id must be a string")?))
+            .collect(),
+        _ => Err("expected id array".into()),
+    }
+}
+
+fn field<'j>(j: &'j Json, key: &str) -> Result<&'j Json, String> {
+    j.get(key).ok_or_else(|| format!("missing \"{key}\""))
+}
+
+fn parse_op(j: &Json) -> Result<KvOp, String> {
+    let key = |j: &Json| {
+        field(j, "key")?
+            .str()
+            .map(String::from)
+            .ok_or_else(|| "key".to_string())
+    };
+    match field(j, "k")?.str() {
+        Some("Put") => Ok(KvOp::Put(
+            key(j)?,
+            field(j, "val")?.str().ok_or("val")?.to_string(),
+        )),
+        Some("Get") => Ok(KvOp::Get(key(j)?)),
+        Some("Remove") => Ok(KvOp::Remove(key(j)?)),
+        Some("Keys") => Ok(KvOp::Keys),
+        other => Err(format!("unknown op kind {other:?}")),
+    }
+}
+
+fn parse_value(j: &Json) -> Result<KvValue, String> {
+    match field(j, "k")?.str() {
+        Some("Ack") => Ok(KvValue::Ack),
+        Some("Value") => Ok(KvValue::Value(
+            j.get("val")
+                .map(|v| v.str().ok_or("val"))
+                .transpose()?
+                .map(String::from),
+        )),
+        Some("Removed") => match field(j, "b")? {
+            Json::Bool(b) => Ok(KvValue::Removed(*b)),
+            _ => Err("\"b\" must be a bool".into()),
+        },
+        Some("Keys") => match field(j, "keys")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(|it| it.str().map(String::from).ok_or_else(|| "keys".to_string()))
+                .collect::<Result<Vec<_>, _>>()
+                .map(KvValue::Keys),
+            _ => Err("\"keys\" must be an array".into()),
+        },
+        other => Err(format!("unknown value kind {other:?}")),
+    }
+}
+
+/// Parses one JSONL trace line.
+///
+/// # Errors
+///
+/// A description of the first malformed token.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser {
+        s: line.as_bytes(),
+        i: 0,
+    };
+    let j = p.value()?;
+    let shard = match field(&j, "shard")? {
+        Json::Num(n) => *n as u32,
+        _ => return Err("\"shard\" must be a number".into()),
+    };
+    let id = parse_id(field(&j, "id")?.str().ok_or("\"id\" must be a string")?)?;
+    let event = match field(&j, "e")?.str() {
+        Some("req") => {
+            let strict = match field(&j, "strict")? {
+                Json::Bool(b) => *b,
+                _ => return Err("\"strict\" must be a bool".into()),
+            };
+            let prev: BTreeSet<OpId> = parse_ids(field(&j, "prev")?)?.into_iter().collect();
+            let op = parse_op(field(&j, "op")?)?;
+            let mut desc = OpDescriptor::new(id, op).with_strict(strict);
+            desc.prev = prev;
+            AuditEvent::Request(desc)
+        }
+        Some("resp") => AuditEvent::Response {
+            id,
+            value: parse_value(field(&j, "value")?)?,
+            witness: j.get("witness").map(parse_ids).transpose()?,
+        },
+        Some("stab") => AuditEvent::Stabilize(id),
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceEvent { shard, event })
+}
+
+// ---------------------------------------------------------------------
+// Replay.
+
+/// The outcome of replaying a trace through per-shard streaming
+/// checkers.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// One certificate per shard (shard index = position).
+    pub certificates: Vec<AuditCertificate>,
+    /// One status per shard.
+    pub statuses: Vec<AuditStatus>,
+}
+
+/// A replay failure: where it happened and the audit context.
+#[derive(Clone, Debug)]
+pub struct ReplayError {
+    /// 1-based trace line of the event that failed (0 for end-of-trace
+    /// coverage failures).
+    pub line: usize,
+    /// The failing shard.
+    pub shard: u32,
+    /// The violation, with its counterexample window — or a parse
+    /// description when the trace itself is malformed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace line {} (shard {}): {}",
+            self.line, self.shard, self.detail
+        )
+    }
+}
+
+/// Replays a JSONL trace through one
+/// [`StreamingChecker`] per shard,
+/// failing on the first malformed line or audit violation.
+///
+/// # Errors
+///
+/// The first parse failure or [`AuditViolation`]
+/// (counterexample window included in the rendered detail).
+///
+/// [`AuditViolation`]: crate::spec::AuditViolation
+pub fn replay(lines: impl IntoIterator<Item = String>) -> Result<ReplayReport, ReplayError> {
+    let mut checkers: Vec<StreamingChecker<KvStore>> = Vec::new();
+    for (n, line) in lines.into_iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = parse_line(line).map_err(|detail| ReplayError {
+            line: n + 1,
+            shard: u32::MAX,
+            detail,
+        })?;
+        while checkers.len() <= ev.shard as usize {
+            checkers.push(StreamingChecker::new(KvStore));
+        }
+        checkers[ev.shard as usize]
+            .on_event(ev.event)
+            .map_err(|v| ReplayError {
+                line: n + 1,
+                shard: ev.shard,
+                detail: v.to_string(),
+            })?;
+    }
+    let mut certificates = Vec::new();
+    for (s, c) in checkers.iter().enumerate() {
+        certificates.push(c.finish().map_err(|v| ReplayError {
+            line: 0,
+            shard: s as u32,
+            detail: v.to_string(),
+        })?);
+    }
+    Ok(ReplayReport {
+        statuses: checkers.iter().map(|c| c.status()).collect(),
+        certificates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(ev: TraceEvent) {
+        let line = encode_line(&ev);
+        assert_eq!(parse_line(&line).unwrap(), ev, "roundtrip of {line}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        let id = OpId::new(ClientId(3), 7);
+        let p = OpId::new(ClientId(0), 1);
+        rt(TraceEvent {
+            shard: 0,
+            event: AuditEvent::Request(
+                OpDescriptor::new(id, KvOp::put("k\"ey\\", "v\nal"))
+                    .with_prev([p])
+                    .with_strict(true),
+            ),
+        });
+        rt(TraceEvent {
+            shard: 2,
+            event: AuditEvent::Request(OpDescriptor::new(id, KvOp::Keys)),
+        });
+        rt(TraceEvent {
+            shard: 1,
+            event: AuditEvent::Response {
+                id,
+                value: KvValue::Value(Some("v".into())),
+                witness: Some(vec![p, id]),
+            },
+        });
+        rt(TraceEvent {
+            shard: 1,
+            event: AuditEvent::Response {
+                id,
+                value: KvValue::Value(None),
+                witness: None,
+            },
+        });
+        rt(TraceEvent {
+            shard: 0,
+            event: AuditEvent::Response {
+                id,
+                value: KvValue::Keys(vec!["a".into(), "ü".into()]),
+                witness: None,
+            },
+        });
+        rt(TraceEvent {
+            shard: 0,
+            event: AuditEvent::Stabilize(id),
+        });
+    }
+
+    #[test]
+    fn replay_verifies_and_rejects() {
+        let id0 = OpId::new(ClientId(0), 0);
+        let id1 = OpId::new(ClientId(0), 1);
+        let good = vec![
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Request(OpDescriptor::new(id0, KvOp::put("a", "1"))),
+            },
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Request(
+                    OpDescriptor::new(id1, KvOp::get("a")).with_strict(true),
+                ),
+            },
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Response {
+                    id: id0,
+                    value: KvValue::Ack,
+                    witness: Some(vec![id0]),
+                },
+            },
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Stabilize(id0),
+            },
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Stabilize(id1),
+            },
+            TraceEvent {
+                shard: 0,
+                event: AuditEvent::Response {
+                    id: id1,
+                    value: KvValue::Value(Some("1".into())),
+                    witness: Some(vec![id0, id1]),
+                },
+            },
+        ];
+        let lines: Vec<String> = good.iter().map(encode_line).collect();
+        let report = replay(lines.clone()).expect("honest trace is green");
+        assert_eq!(report.certificates.len(), 1);
+        assert_eq!(report.certificates[0].ops, 2);
+
+        // Corrupt the strict read's value: replay must reject, naming
+        // the line.
+        let mut bad = good;
+        if let AuditEvent::Response { value, .. } = &mut bad[5].event {
+            *value = KvValue::Value(Some("corrupted".into()));
+        }
+        let err = replay(bad.iter().map(encode_line)).expect_err("lying trace");
+        assert_eq!(err.line, 6);
+        assert!(err.detail.contains("Theorem"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let err = replay(vec!["{\"e\":\"req\"".to_string()]).expect_err("truncated");
+        assert_eq!(err.line, 1);
+        let err = replay(vec!["{\"e\":\"nope\",\"shard\":0,\"id\":\"c0:0\"}".into()])
+            .expect_err("unknown kind");
+        assert!(err.detail.contains("unknown event"), "{err}");
+    }
+}

@@ -64,6 +64,8 @@
 //! [`core::ShardRouter`]) lives in `esds-core`. See `ARCHITECTURE.md`
 //! for the full crate map and data flow.
 
+pub mod audit;
+
 pub use esds_alg as alg;
 pub use esds_core as core;
 pub use esds_datatypes as datatypes;
@@ -73,3 +75,11 @@ pub use esds_runtime as runtime;
 pub use esds_sim as sim;
 pub use esds_spec as spec;
 pub use esds_wire as wire;
+
+/// `VERIFICATION.md`'s Rust blocks compile and run as doctests of this
+/// facade (`cargo test --doc -p esds`), so the document's examples
+/// cannot drift from the API. Only exists while doctests are
+/// collected; `cargo doc` never publishes it.
+#[cfg(doctest)]
+#[doc = include_str!("../VERIFICATION.md")]
+pub struct VerificationDoctests;

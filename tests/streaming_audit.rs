@@ -1,0 +1,378 @@
+//! The streaming audit against the batch oracle: on arbitrary
+//! simulated executions — including partitions and crash/recovery —
+//! the incremental [`StreamingChecker`] and the batch [`TraceChecker`]
+//! agree (both accept honest traces, both reject corrupted ones), the
+//! streaming certificate matches the eventual order's digest, and the
+//! checker's resident window tracks the unstable frontier instead of
+//! the trace length.
+//!
+//! The proptest blocks use `ProptestConfig::default()`, so the CI
+//! `proptests` job's `PROPTEST_CASES=512` applies (local runs default
+//! to 32 cases).
+
+use esds::core::{ClientId, OpDescriptor, OpId, ReplicaId};
+use esds::datatypes::{Counter, CounterOp, CounterValue};
+use esds::harness::{AuditDriver, FaultEvent, SimSystem, SystemConfig};
+use esds::spec::{order_digest, AuditEvent, StreamingChecker, TraceChecker};
+use esds_alg::ReplicaConfig;
+use esds_sim::{ChannelConfig, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One scripted submission, as in `property_system.rs`.
+#[derive(Clone, Debug)]
+struct Step {
+    client: usize,
+    is_inc: bool,
+    strict: bool,
+    dep: bool,
+    pause_ms: u64,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        0usize..3,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u64..25,
+    )
+        .prop_map(|(client, is_inc, strict, dep, pause_ms)| Step {
+            client,
+            is_inc,
+            strict,
+            dep,
+            pause_ms,
+        })
+}
+
+/// Which fault (if any) to inject mid-run.
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    None,
+    CrashRecover,
+    PartitionHeal,
+}
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        Just(Fault::None),
+        Just(Fault::CrashRecover),
+        Just(Fault::PartitionHeal),
+    ]
+}
+
+/// Runs a scripted workload with the streaming audit riding along
+/// (responses via step reports, stabilizations via watermark polls).
+/// Panics if the audit rejects the honest execution.
+fn run_audited(
+    steps: &[Step],
+    seed: u64,
+    fault: Fault,
+) -> (SimSystem<Counter>, AuditDriver<Counter>) {
+    let ch = ChannelConfig::uniform(SimDuration::from_millis(1), SimDuration::from_millis(6));
+    // Crash recovery restores from locally-generated labels, which the
+    // basic (non-memoized) replica keeps; partitions work under either.
+    let rc = match fault {
+        Fault::CrashRecover => ReplicaConfig::basic().with_witness(),
+        _ => ReplicaConfig::default().with_witness(),
+    };
+    let cfg = SystemConfig::new(3)
+        .with_seed(seed)
+        .with_replica(rc)
+        .with_channels(ch, ch)
+        // Front-end retries: requests lost to a crash or partition are
+        // resubmitted, so every scripted op is eventually answered.
+        .with_retry(SimDuration::from_millis(30));
+    let mut sys = SimSystem::new(Counter, cfg);
+    match fault {
+        Fault::None => {}
+        Fault::CrashRecover => {
+            sys.schedule_fault(SimTime::from_millis(40), FaultEvent::Crash(ReplicaId(0)));
+            sys.schedule_fault(SimTime::from_millis(160), FaultEvent::Recover(ReplicaId(0)));
+        }
+        Fault::PartitionHeal => {
+            sys.schedule_fault(SimTime::from_millis(40), FaultEvent::Isolate(ReplicaId(1)));
+            sys.schedule_fault(
+                SimTime::from_millis(160),
+                FaultEvent::Reconnect(ReplicaId(1)),
+            );
+        }
+    }
+    let clients: Vec<_> = (0..3).map(|i| sys.add_client(i)).collect();
+    let mut audit = AuditDriver::new(Counter);
+    let mut last: Vec<Option<OpId>> = vec![None; 3];
+    for s in steps {
+        let op = if s.is_inc {
+            CounterOp::Increment(1)
+        } else {
+            CounterOp::Read
+        };
+        let prev: Vec<OpId> = if s.dep {
+            last[s.client].into_iter().collect()
+        } else {
+            vec![]
+        };
+        let id = sys.submit(clients[s.client], op, &prev, s.strict);
+        last[s.client] = Some(id);
+        let horizon = sys.now() + SimDuration::from_millis(s.pause_ms.max(1));
+        while sys.now() < horizon {
+            let Some((_, report)) = sys.step_one() else {
+                break;
+            };
+            audit
+                .observe(&report)
+                .unwrap_or_else(|v| panic!("streaming audit rejected honest step: {v}"));
+        }
+        audit
+            .sync_watermark(&sys)
+            .unwrap_or_else(|v| panic!("honest watermark rejected: {v}"));
+    }
+    // Keep stepping until the system is quiet AND the watermark covers
+    // every submission: convergence of orders precedes full stability
+    // *knowledge* (the gossip rounds that tell every replica that
+    // everyone knows), and finish() requires the latter — while the
+    // audit must also see every late response to drain its window.
+    let deadline = SimTime::from_millis(600_000);
+    while (audit.status().stabilized < steps.len() as u64 || !sys.is_converged())
+        && sys.now() < deadline
+    {
+        let Some((_, report)) = sys.step_one() else {
+            break;
+        };
+        audit
+            .observe(&report)
+            .unwrap_or_else(|v| panic!("streaming audit rejected honest step: {v}"));
+        audit
+            .sync_watermark(&sys)
+            .unwrap_or_else(|v| panic!("final watermark rejected: {v}"));
+    }
+    (sys, audit)
+}
+
+/// The batch oracle's verdict on a finished system: (Theorem 5.8
+/// violations, Theorem 5.7 violations).
+fn batch_verdict(sys: &SimSystem<Counter>) -> (usize, usize) {
+    let mut checker = TraceChecker::new(Counter);
+    for d in sys.requested_in_order() {
+        checker.on_request(d.clone()).expect("well-formed");
+    }
+    for (id, v, w) in sys.responses_log() {
+        checker.on_response(*id, v.clone(), w.clone());
+    }
+    let v58 = checker.check_eventual_order(&sys.minlabel_order(), false);
+    let (v57, _) = checker.check_witnessed_responses();
+    (v58.len(), v57.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Differential acceptance: on arbitrary honest executions — with
+    /// and without partitions / crash-recovery — the streaming checker
+    /// accepts exactly where the batch checker does, and its
+    /// certificate digests the same eventual order the batch check ran
+    /// against.
+    #[test]
+    fn streaming_agrees_with_batch_on_honest_traces(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        seed in 0u64..500,
+        fault in fault_strategy(),
+    ) {
+        let (mut sys, audit) = run_audited(&steps, seed, fault);
+        let end = sys.run_until_converged(SimTime::from_millis(600_000));
+        let (v58, v57) = batch_verdict(&sys);
+
+        if end.is_ok() {
+            prop_assert_eq!(v58, 0, "batch Theorem 5.8 violations on honest trace");
+            prop_assert_eq!(v57, 0, "batch Theorem 5.7 violations on honest trace");
+
+            let cert = audit
+                .finish()
+                .unwrap_or_else(|v| panic!("streaming rejected a batch-green trace: {v}"));
+            let eto = sys.minlabel_order();
+            prop_assert_eq!(cert.ops, eto.len() as u64);
+            prop_assert_eq!(cert.digest, order_digest(&eto), "certificate digests the eventual order");
+
+            let status = audit.status();
+            prop_assert_eq!(status.resident, 0, "converged system leaves an empty window");
+            prop_assert!(!status.failed);
+        } else {
+            // A crash can permanently lose an answered-but-ungossiped
+            // operation: the front end holds a response but no surviving
+            // replica holds the op, so the system itself never converges
+            // and *no* checker can certify completeness. The checkers
+            // must still agree: batch flags the incomplete eventual
+            // order, streaming refuses the certificate for the same
+            // reason — and neither invents a soundness violation.
+            prop_assert!(
+                matches!(fault, Fault::CrashRecover),
+                "only a crash may lose operations: {end:?}"
+            );
+            prop_assert!(v58 > 0, "batch flags the incomplete eventual order");
+            let err = audit
+                .finish()
+                .expect_err("streaming must refuse to certify an incomplete order");
+            prop_assert!(
+                err.violation.detail.contains("never stabilized"),
+                "streaming names the missing coverage: {err}"
+            );
+            prop_assert!(
+                !audit.status().failed,
+                "incompleteness is a liveness gap, not a latched soundness violation"
+            );
+        }
+    }
+
+    /// Differential rejection: corrupt one answered response in an
+    /// otherwise-honest trace and both checkers must reject it.
+    #[test]
+    fn streaming_and_batch_both_reject_corrupted_traces(
+        steps in proptest::collection::vec(step_strategy(), 1..15),
+        seed in 0u64..500,
+    ) {
+        let ch = ChannelConfig::uniform(SimDuration::from_millis(1), SimDuration::from_millis(6));
+        let cfg = SystemConfig::new(3)
+            .with_seed(seed)
+            .with_replica(ReplicaConfig::default().with_witness())
+            .with_channels(ch, ch);
+        let mut sys = SimSystem::new(Counter, cfg);
+        let clients: Vec<_> = (0..3).map(|i| sys.add_client(i)).collect();
+        let mut last: Vec<Option<OpId>> = vec![None; 3];
+        let mut all: Vec<OpId> = Vec::new();
+        for s in &steps {
+            let op = if s.is_inc { CounterOp::Increment(1) } else { CounterOp::Read };
+            let prev: Vec<OpId> = if s.dep { last[s.client].into_iter().collect() } else { vec![] };
+            let id = sys.submit(clients[s.client], op, &prev, s.strict);
+            last[s.client] = Some(id);
+            all.push(id);
+            sys.run_for(SimDuration::from_millis(s.pause_ms));
+        }
+        // A strict read fence constrained after everything: its response
+        // is pinned to the eventual order, so corrupting it must be
+        // caught by both checkers.
+        let fence = sys.submit(clients[0], CounterOp::Read, &all, true);
+        let end = sys.run_until_converged(SimTime::from_millis(600_000));
+        prop_assert!(end.is_ok(), "no convergence: {end:?}");
+        let eto = sys.minlabel_order();
+
+        // Corrupt the fence's recorded value.
+        let corrupt = |id: OpId, v: &CounterValue| -> CounterValue {
+            if id == fence {
+                match v {
+                    CounterValue::Count(n) => CounterValue::Count(n.wrapping_add(1)),
+                    CounterValue::Ack => CounterValue::Count(i64::MIN),
+                }
+            } else {
+                v.clone()
+            }
+        };
+
+        // Batch: rejected.
+        let mut batch = TraceChecker::new(Counter);
+        for d in sys.requested_in_order() {
+            batch.on_request(d.clone()).expect("well-formed");
+        }
+        for (id, v, w) in sys.responses_log() {
+            batch.on_response(*id, corrupt(*id, v), w.clone());
+        }
+        let v58 = batch.check_eventual_order(&eto, false);
+        prop_assert!(!v58.is_empty(), "batch checker accepted a corrupted strict read");
+
+        // Streaming: rejected, with the violation naming its theorem.
+        let mut streaming = StreamingChecker::new(Counter);
+        let mut verdict = Ok(());
+        for d in sys.requested_in_order() {
+            verdict = verdict.and(streaming.on_event(AuditEvent::Request(d.clone())));
+        }
+        for (id, v, w) in sys.responses_log() {
+            verdict = verdict.and(streaming.on_response(*id, corrupt(*id, v), w.clone()));
+        }
+        for &id in &eto {
+            verdict = verdict.and(streaming.on_stabilize(id));
+        }
+        let verdict = verdict.and(streaming.finish().map(|_| ()));
+        let violation = verdict.expect_err("streaming checker accepted a corrupted strict read");
+        prop_assert!(
+            violation.violation.to_string().contains("Theorem"),
+            "violation names its theorem: {}", violation
+        );
+    }
+}
+
+/// A streaming checker fed an N-op trace whose unstable frontier never
+/// exceeds `lag` operations retires everything else: `peak_resident`
+/// is a function of the frontier, not of N.
+fn resident_profile(n: u64, lag: u64) -> (u64, u64, usize) {
+    let mut ck = StreamingChecker::new(Counter);
+    let c = ClientId(0);
+    for i in 0..n {
+        let id = OpId::new(c, i);
+        ck.on_request(OpDescriptor::new(id, CounterOp::Increment(1)))
+            .expect("honest request");
+        ck.on_response(id, CounterValue::Ack, None)
+            .expect("honest response");
+        if i >= lag {
+            ck.on_stabilize(OpId::new(c, i - lag))
+                .expect("honest stabilize");
+        }
+    }
+    for i in n.saturating_sub(lag)..n {
+        ck.on_stabilize(OpId::new(c, i)).expect("tail stabilize");
+    }
+    let cert = ck.finish().expect("honest trace verifies");
+    (cert.ops, cert.digest, ck.status().peak_resident)
+}
+
+/// The bounded-memory regression the tentpole promises: at 50 000
+/// operations the checker's peak resident window equals the one a
+/// 5 000-op trace needs — memory is O(unstable window), not O(trace).
+#[test]
+fn fifty_thousand_ops_audit_in_bounded_memory() {
+    const LAG: u64 = 16;
+    let (ops_small, _, peak_small) = resident_profile(5_000, LAG);
+    let (ops_large, digest_large, peak_large) = resident_profile(50_000, LAG);
+    assert_eq!(ops_small, 5_000);
+    assert_eq!(ops_large, 50_000);
+    assert_eq!(
+        peak_large, peak_small,
+        "peak resident window must not grow with trace length"
+    );
+    assert!(
+        peak_large <= (LAG + 1) as usize,
+        "peak resident {peak_large} exceeds the unstable frontier {LAG}"
+    );
+    // The certificate digests the full 50k order: recompute it directly.
+    let order: Vec<OpId> = (0..50_000).map(|i| OpId::new(ClientId(0), i)).collect();
+    assert_eq!(digest_large, order_digest(&order));
+}
+
+/// The same bound, live: a simulated system audited step-by-step with
+/// prompt watermark polls retires operations mid-run, so the peak
+/// window stays far below the op count and drains to zero at the end.
+#[test]
+fn resident_window_tracks_unstable_frontier_in_simulation() {
+    let steps: Vec<Step> = (0..30)
+        .map(|i| Step {
+            client: i % 3,
+            is_inc: i % 4 != 3,
+            strict: i % 10 == 9,
+            dep: i % 5 == 2,
+            // Long pauses: stability lands between submissions, so the
+            // audited window stays at the in-flight handful.
+            pause_ms: 200,
+        })
+        .collect();
+    let (mut sys, audit) = run_audited(&steps, 7, Fault::None);
+    sys.run_until_converged(SimTime::from_millis(600_000))
+        .expect("converged");
+    let cert = audit.finish().expect("honest trace verifies");
+    assert_eq!(cert.ops, sys.minlabel_order().len() as u64);
+    let status = audit.status();
+    assert_eq!(status.resident, 0, "window drains at convergence");
+    assert!(
+        status.peak_resident <= 8,
+        "peak window {} should track the in-flight frontier, not the {}-op trace",
+        status.peak_resident,
+        steps.len()
+    );
+}

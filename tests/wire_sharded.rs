@@ -23,9 +23,10 @@
 use std::time::Duration;
 
 use esds::alg::ReplicaConfig;
+use esds::audit::{encode_line, TraceEvent};
 use esds::core::{OpId, ShardedOpId};
 use esds::datatypes::{KvOp, KvStore, KvValue};
-use esds::spec::{check_converged, TraceChecker};
+use esds::spec::{check_converged, AuditEvent, TraceChecker};
 use esds::wire::{ChaosConfig, ShardedWireConfig, ShardedWireService};
 
 /// The CI matrix's fault model, with a 5% loss floor when unconfigured.
@@ -52,6 +53,10 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
     let mut c = svc.client();
     let mut checkers: Vec<TraceChecker<KvStore>> =
         (0..n_shards).map(|_| TraceChecker::new(KvStore)).collect();
+    // The CI `audit` lane replays this run's externally-visible stream
+    // through the *streaming* checker (`audit_replay`): record every
+    // event the batch checkers see as a JSONL trace line.
+    let mut trace: Vec<String> = Vec::new();
 
     // A workload that crosses shards: writes over 12 keys, occasional
     // chained reads (cross-shard `prev` when the keys hash apart — the
@@ -86,6 +91,10 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
             }
         }
         let (shard, desc) = c.local_descriptor(id).expect("just submitted");
+        trace.push(encode_line(&TraceEvent {
+            shard,
+            event: AuditEvent::Request(desc.clone()),
+        }));
         checkers[shard as usize]
             .on_request(desc)
             .expect("well-formed per-shard request");
@@ -114,6 +123,10 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
     let ra = c.submit(KvOp::get(ka), &[wb], false);
     for id in [wa, wb, ra] {
         let (shard, desc) = c.local_descriptor(id).expect("submitted");
+        trace.push(encode_line(&TraceEvent {
+            shard,
+            event: AuditEvent::Request(desc.clone()),
+        }));
         checkers[shard as usize]
             .on_request(desc)
             .expect("well-formed");
@@ -136,6 +149,10 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
         let fence = c.submit(KvOp::get(key), &ids.clone(), true);
         let (s, desc) = c.local_descriptor(fence).expect("submitted");
         assert_eq!(s, shard);
+        trace.push(encode_line(&TraceEvent {
+            shard: s,
+            event: AuditEvent::Request(desc.clone()),
+        }));
         checkers[s as usize].on_request(desc).expect("well-formed");
         assert!(
             c.await_response(fence, Duration::from_secs(120)).is_some(),
@@ -150,6 +167,14 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
         let (shard, desc) = c.local_descriptor(*id).expect("submitted");
         let value = c.value_of(*id).expect("awaited above").clone();
         let witness = c.witness_of(*id).cloned();
+        trace.push(encode_line(&TraceEvent {
+            shard,
+            event: AuditEvent::Response {
+                id: desc.id,
+                value: value.clone(),
+                witness: witness.clone(),
+            },
+        }));
         checkers[shard as usize].on_response(desc.id, value, witness);
     }
 
@@ -170,6 +195,14 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
         check_converged(&orders, &states)
             .unwrap_or_else(|e| panic!("shard {s} diverged after the strict fence: {e}"));
         let eto = orders[0].clone();
+        // The shard's converged order *is* its eventual total order:
+        // append it as the trace's `stab` stream.
+        for &id in &eto {
+            trace.push(encode_line(&TraceEvent {
+                shard: s as u32,
+                event: AuditEvent::Stabilize(id),
+            }));
+        }
         let violations = checkers[s].check_eventual_order(&eto, false);
         assert!(
             violations.is_empty(),
@@ -185,6 +218,14 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
             !checkers[s].responses().is_empty(),
             "shard {s} saw no traffic — workload did not cross shards"
         );
+    }
+
+    // CI audit lane: persist the trace for `audit_replay` when asked.
+    if let Ok(path) = std::env::var("ESDS_TRACE_OUT") {
+        let mut out = trace.join("\n");
+        out.push('\n');
+        std::fs::write(&path, out).expect("writing ESDS_TRACE_OUT");
+        eprintln!("wrote {} trace lines to {path}", trace.len());
     }
 }
 
