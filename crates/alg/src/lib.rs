@@ -28,6 +28,7 @@ pub mod front_end;
 pub mod global;
 pub mod invariants;
 pub mod messages;
+pub mod persist;
 pub mod replica;
 
 pub use commute::SafeSubmitter;
@@ -35,7 +36,8 @@ pub use front_end::{ClientDelivery, FrontEnd, RelayPolicy};
 pub use global::SystemView;
 pub use invariants::{check_all, InvariantViolation, MonotonicityChecker};
 pub use messages::{BatchedGossipMsg, GossipEnvelope, GossipMsg, RequestMsg, ResponseMsg};
+pub use persist::Persistence;
 pub use replica::{
-    GossipStrategy, RecoveryStub, Replica, ReplicaConfig, ReplicaStats, RespondEffect,
-    ValueStrategy,
+    GossipStrategy, PrefixEntry, RecoveryStub, Replica, ReplicaConfig, ReplicaStats, RespondEffect,
+    RestoreImage, ValueStrategy, WalDelta,
 };

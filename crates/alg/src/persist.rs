@@ -1,0 +1,36 @@
+//! The pluggable persistence hook a durable deployment drives.
+//!
+//! The replica automaton is sans-IO; durability is a *driver* concern.
+//! A driver (threaded runtime, TCP node, simulator) that wants durable
+//! replicas holds a [`Persistence`] backend per replica and calls
+//! [`Persistence::persist`] after every mutating input — request or
+//! gossip — **before** releasing the handler's effects (responses to
+//! clients, and by extension anything later gossip says about them).
+//! This sync-before-release discipline is the whole soundness argument:
+//! any fact another process can have observed about this replica is
+//! backed by its durable log, so a crash can only lose knowledge nobody
+//! was told about.
+//!
+//! The backend decides internally when to cut a snapshot and truncate
+//! its log; the trait deliberately has a single method so drivers stay
+//! policy-free. Errors are strings (not a concrete store error type) to
+//! keep `esds-alg` free of storage dependencies; drivers treat any
+//! error as the replica's death — effects are dropped and the thread or
+//! simulated node stops, exactly as if the machine had lost power.
+
+use esds_core::SerialDataType;
+
+use crate::replica::Replica;
+
+/// A durable backend for one replica (implemented by `esds-store`).
+pub trait Persistence<T: SerialDataType>: Send {
+    /// Durably records everything the replica changed since the last
+    /// call (drains [`Replica::take_wal_delta`]), syncing before
+    /// returning. May also cut a snapshot / compact the log.
+    ///
+    /// # Errors
+    ///
+    /// Any storage failure. The driver must not release the handler's
+    /// effects after an error — it treats the replica as crashed.
+    fn persist(&mut self, replica: &mut Replica<T>) -> Result<(), String>;
+}

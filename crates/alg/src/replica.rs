@@ -134,6 +134,13 @@ pub struct ReplicaConfig {
     /// trades response-time for 1/k the messages). Values below 1 are
     /// treated as 1.
     pub batch_interval: u32,
+    /// Track a per-handler [`WalDelta`] (ids admitted to `rcvd`, label
+    /// minima that changed) for a write-ahead log. Drivers drain it with
+    /// [`Replica::take_wal_delta`] after every mutating input and hand it
+    /// to a [`crate::Persistence`] backend *before* releasing the
+    /// handler's effects — the sync-before-release discipline that makes
+    /// §9.3 recovery from the log sound.
+    pub durable: bool,
 }
 
 impl Default for ReplicaConfig {
@@ -145,6 +152,7 @@ impl Default for ReplicaConfig {
             gc_gossip: false,
             record_witness: false,
             batch_interval: 1,
+            durable: false,
         }
     }
 }
@@ -197,6 +205,84 @@ impl ReplicaConfig {
         self.gc_gossip = true;
         self
     }
+
+    /// Enables write-ahead-log delta tracking (see
+    /// [`durable`](ReplicaConfig::durable)).
+    #[must_use]
+    pub fn with_durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+}
+
+/// What one event handler added to the replica's durable knowledge:
+/// the identifiers newly admitted to `rcvd` and the label minima that
+/// changed (by local `do_it` or by gossip merge). Drained by
+/// [`Replica::take_wal_delta`]; a write-ahead log appends exactly these
+/// as records, so replaying the log re-derives every externally-released
+/// fact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalDelta {
+    /// Ids admitted to `rcvd` since the last drain, in admission order.
+    /// The descriptors themselves are still in [`Replica::rcvd`] at drain
+    /// time (§10.2 compaction only runs under the driver's control,
+    /// never inside a handler).
+    pub admitted: Vec<OpId>,
+    /// Per-op label minima that decreased since the last drain (only the
+    /// final, lowest value per op is kept — the log needs the minimum,
+    /// not the intermediate merge steps).
+    pub labels: BTreeMap<OpId, Label>,
+}
+
+impl WalDelta {
+    /// True when the handler changed nothing durable.
+    pub fn is_empty(&self) -> bool {
+        self.admitted.is_empty() && self.labels.is_empty()
+    }
+}
+
+/// One operation of the snapshot prefix in a [`RestoreImage`]: its final
+/// position (label), fixed value (Lemma 10.2), and the stability
+/// knowledge that held when the snapshot was cut.
+#[derive(Clone, Debug)]
+pub struct PrefixEntry<T: SerialDataType> {
+    /// The operation.
+    pub id: OpId,
+    /// Its frozen system-minimum label.
+    pub label: Label,
+    /// Its memoized value (`mv_r`).
+    pub value: T::Value,
+    /// Stable at the snapshotting replica (⇒ done at every replica,
+    /// Invariant 7.2 — both facts are monotone, so restoring them is
+    /// sound even though the knowledge is stale).
+    pub stable_here: bool,
+    /// Known stable at *every* replica (the strict-response gate).
+    pub stable_everywhere: bool,
+}
+
+/// Everything [`Replica::restore`] needs to rebuild a replica from disk:
+/// the snapshot's prefix image plus the write-ahead log's unstable
+/// suffix. Produced by a persistence layer (e.g. `esds-store`) from a
+/// snapshot + log replay.
+#[derive(Clone, Debug)]
+pub struct RestoreImage<T: SerialDataType> {
+    /// The replica's identity.
+    pub id: ReplicaId,
+    /// Label-counter floor: at least one past every label this replica
+    /// ever released, so fresh labels never collide with pre-crash ones.
+    pub next_counter: u64,
+    /// The memoized prefix at the snapshot fence, in strict label order.
+    pub prefix: Vec<PrefixEntry<T>>,
+    /// `ms_r`: the state after applying the prefix.
+    pub state: T::State,
+    /// Descriptors of logged operations past the fence (the unstable
+    /// suffix); they are re-admitted and re-done with their pre-crash
+    /// labels once recovery closes.
+    pub suffix_rcvd: Vec<OpDescriptor<T::Operator>>,
+    /// Logged label minima of suffix operations; they seed
+    /// `persisted_labels` so the recovered replica neither re-mints nor
+    /// contradicts a label it already released (§9.3).
+    pub suffix_labels: Vec<(OpId, Label)>,
 }
 
 /// An output of the replica: send a response message to a client's front
@@ -368,6 +454,9 @@ pub struct Replica<T: SerialDataType> {
     /// `stable[r]` as a summary.
     stable_here_summary: IdSummary,
 
+    /// Pending write-ahead-log delta (`Some` iff
+    /// [`ReplicaConfig::durable`]); see [`WalDelta`].
+    wal_delta: Option<WalDelta>,
     /// Labels restored from stable storage after a crash (see
     /// [`RecoveryStub`]); consulted by `do_it`.
     persisted_labels: BTreeMap<OpId, Label>,
@@ -428,6 +517,7 @@ impl<T: SerialDataType> Replica<T> {
             rcvd_summary: IdSummary::new(),
             done_here_summary: IdSummary::new(),
             stable_here_summary: IdSummary::new(),
+            wal_delta: config.durable.then(WalDelta::default),
             persisted_labels: BTreeMap::new(),
             recovering: None,
             dt,
@@ -451,6 +541,98 @@ impl<T: SerialDataType> Replica<T> {
             .filter(|p| *p != stub.id)
             .collect();
         r.recovering = if peers.is_empty() { None } else { Some(peers) };
+        r
+    }
+
+    /// Rebuilds a replica from a durable snapshot + log image after a
+    /// crash — the full-persistence variant of [`Replica::recover`].
+    ///
+    /// The prefix is installed as the §10.1 memo (order, values, state)
+    /// with its recorded stability knowledge; prefix descriptors are
+    /// *not* restored (the snapshot materialized their effects — this is
+    /// exactly the post-[`Replica::compact`] shape, which every code path
+    /// already tolerates). Suffix descriptors are re-admitted, and suffix
+    /// labels seed `persisted_labels` so `do_it` re-assigns the pre-crash
+    /// minima instead of minting fresh labels. Like
+    /// [`Replica::recover`], the result stays passive until it has heard
+    /// gossip from every peer and every operation it labeled pre-crash is
+    /// re-received (here: immediately, since the log holds the suffix
+    /// descriptors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` disables memoization, selects
+    /// [`ValueStrategy::EagerCommute`], or enables `gc_gossip`; if the
+    /// prefix is not in strictly increasing label order; or on the
+    /// [`Replica::new`] conditions.
+    pub fn restore(dt: T, img: RestoreImage<T>, n: usize, config: ReplicaConfig) -> Self {
+        assert!(
+            config.memoize && config.value_strategy == ValueStrategy::Recompute,
+            "restore rebuilds the §10.1 memo prefix: it requires memoize + Recompute"
+        );
+        assert!(
+            !config.gc_gossip,
+            "crash recovery requires ungarbage-collected gossip (see DESIGN.md)"
+        );
+        let mut r = Replica::new(dt, img.id, n, config);
+        r.gen = LabelGenerator::from_counter(img.id, img.next_counter);
+        let here = r.idx(img.id);
+        // Labels first (the done marks debug-assert Invariant 7.5).
+        let mut prev: Option<Label> = None;
+        for e in &img.prefix {
+            assert!(
+                prev.is_none_or(|p| p < e.label),
+                "snapshot prefix must be in strictly increasing label order"
+            );
+            prev = Some(e.label);
+            r.labels.merge_min(e.id, e.label);
+        }
+        for e in &img.prefix {
+            if e.stable_here {
+                // Stable-at-r ⇒ done at every replica (Invariant 7.2).
+                for i in 0..n {
+                    r.mark_done_at(e.id, i);
+                }
+            } else {
+                r.mark_done_at(e.id, here);
+            }
+            // Knowledge outlives storage (§10.2): the handshake must keep
+            // covering prefix ids even though their descriptors are gone.
+            r.rcvd_summary.insert(e.id);
+        }
+        for e in &img.prefix {
+            if e.stable_everywhere {
+                for i in 0..n {
+                    r.mark_stable_at(e.id, i);
+                }
+            }
+        }
+        let memo = r.memo.as_mut().expect("memoize asserted above");
+        memo.order = img.prefix.iter().map(|e| e.id).collect();
+        memo.last_label = img.prefix.last().map(|e| e.label);
+        memo.values = img.prefix.iter().map(|e| (e.id, e.value.clone())).collect();
+        memo.state = img.state;
+        let prefix_ids: BTreeSet<OpId> = img.prefix.iter().map(|e| e.id).collect();
+        for d in img.suffix_rcvd {
+            r.admit(d);
+        }
+        // Prefix labels are frozen (Lemma 10.2) — a logged label for a
+        // prefix op is a stale duplicate, not a clamp to keep.
+        r.persisted_labels = img
+            .suffix_labels
+            .into_iter()
+            .filter(|(id, _)| !prefix_ids.contains(id))
+            .collect();
+        // The restore itself is already durable — drop its tracking.
+        r.newly_done.clear();
+        if let Some(w) = &mut r.wal_delta {
+            *w = WalDelta::default();
+        }
+        let peers: BTreeSet<ReplicaId> = (0..n as u32)
+            .map(ReplicaId)
+            .filter(|p| *p != img.id)
+            .collect();
+        r.recovering = (!peers.is_empty()).then_some(peers);
         r
     }
 
@@ -560,6 +742,24 @@ impl<T: SerialDataType> Replica<T> {
         std::mem::take(&mut self.newly_done)
     }
 
+    /// Drains the pending write-ahead-log delta (empty unless
+    /// [`ReplicaConfig::durable`] is set). Drivers call this after every
+    /// mutating input and persist the result before releasing the
+    /// handler's effects.
+    pub fn take_wal_delta(&mut self) -> WalDelta {
+        self.wal_delta
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// The label counter the next locally-minted label will draw from —
+    /// what a snapshot records so a recovered replica never re-mints a
+    /// released label (§9.3).
+    pub fn next_label_counter(&self) -> u64 {
+        self.gen.next_counter()
+    }
+
     /// The ids of the memoized prefix, in order (empty when memoization is
     /// off). Exposed for the §10.1 invariant checks.
     pub fn memo_order(&self) -> &[OpId] {
@@ -648,7 +848,9 @@ impl<T: SerialDataType> Replica<T> {
                 Some(p) if *p < l => *p,
                 _ => l,
             };
-            self.labels.merge_min(id, l);
+            if self.labels.merge_min(id, l) {
+                self.record_label(id, l);
+            }
         }
         // done_r[r'] ∪= D ∪ S ; done_r[r] ∪= D ∪ S ; done_r[i] ∪= S ∀i.
         for x in done.iter().chain(stable.iter()) {
@@ -997,6 +1199,9 @@ impl<T: SerialDataType> Replica<T> {
             .collect();
         self.rcvd.insert(id, desc);
         self.rcvd_summary.insert(id);
+        if let Some(w) = &mut self.wal_delta {
+            w.admitted.push(id);
+        }
         if self.done[here].contains(&id) {
             // Already done via gossip D/S before the descriptor arrived in
             // R of the same message — nothing to schedule.
@@ -1009,6 +1214,13 @@ impl<T: SerialDataType> Replica<T> {
             for m in missing {
                 self.blockers.entry(m).or_default().push(id);
             }
+        }
+    }
+
+    /// Records a decreased label minimum in the pending WAL delta.
+    fn record_label(&mut self, id: OpId, l: Label) {
+        if let Some(w) = &mut self.wal_delta {
+            w.labels.insert(id, l);
         }
     }
 
@@ -1087,7 +1299,9 @@ impl<T: SerialDataType> Replica<T> {
                 Some(p) => *p,
                 None => self.gen.fresh_above(self.labels.max_label()),
             };
-            self.labels.merge_min(x, l);
+            if self.labels.merge_min(x, l) {
+                self.record_label(x, l);
+            }
             self.stats.do_its += 1;
             self.mark_done_at(x, here);
         }

@@ -1,0 +1,10 @@
+//! F6 — what durability costs on the hot path: closed-loop throughput
+//! of the 3-replica threaded service with persistence off, WAL-only,
+//! and WAL + stable-prefix snapshots. Sync-before-release is the price
+//! of the recovery guarantee (answered operations survive `kill -9` —
+//! see `tests/durability.rs`); this figure quantifies what that
+//! guarantee charges per operation on the host's fsync latency (see
+//! [`esds_bench::experiments::fig_wal_cost`]).
+fn main() {
+    esds_bench::experiments::fig_wal_cost(4, 80);
+}

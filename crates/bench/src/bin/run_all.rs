@@ -141,6 +141,14 @@ fn main() {
             .map(|(s_, tp)| vec![n(s_ as u32), n(tp)])
             .collect(),
     ));
+    let f6 = ex::fig_wal_cost(pick(4, 2), pick(80, 12));
+    series.push((
+        "fig_wal_cost",
+        vec!["persistence", "ops_per_sec"],
+        f6.into_iter()
+            .map(|(mode, tp)| vec![s(mode), n(tp)])
+            .collect(),
+    ));
     let t1 = ex::tab_response_bounds(1);
     series.push((
         "tab_response_bounds",

@@ -319,6 +319,11 @@ struct EsdsWorld<T: SerialDataType + Clone> {
     dt: T,
     config: SystemConfig,
     replicas: Vec<Slot<T>>,
+    /// Per-replica durable backends (see [`SimSystem::install_persistence`]).
+    /// A replica with a backend persists after every mutating handler,
+    /// before its effects enter the network; a persist failure crashes
+    /// the slot exactly like [`FaultEvent::Crash`].
+    persistence: Vec<Option<Box<dyn esds_alg::Persistence<T>>>>,
     busy: Vec<SimTime>,
     isolated: Vec<bool>,
     /// Per-replica incarnation counter, bumped at every crash; gossip
@@ -485,6 +490,38 @@ impl<T: SerialDataType + Clone> EsdsWorld<T> {
             )
     }
 
+    /// Persists replica `r`'s pending delta through its installed
+    /// backend (no-op without one). Returns `false` if the persist
+    /// failed — the replica is then crashed in place (volatile state
+    /// lost, [`FaultEvent::Crash`] semantics) and the caller must drop
+    /// the handler's effects: a response whose log write failed was
+    /// never released.
+    fn persist_replica(&mut self, r: ReplicaId) -> bool {
+        let i = r.0 as usize;
+        let Some(store) = self.persistence[i].as_mut() else {
+            return true;
+        };
+        let Slot::Alive(rep) = &mut self.replicas[i] else {
+            return true;
+        };
+        if store.persist(rep).is_ok() {
+            return true;
+        }
+        self.persistence[i] = None;
+        if let Slot::Alive(rep) = std::mem::replace(
+            &mut self.replicas[i],
+            Slot::Crashed(esds_alg::RecoveryStub {
+                id: r,
+                next_counter: 0,
+                local_min_labels: Vec::new(),
+            }),
+        ) {
+            self.replicas[i] = Slot::Crashed(rep.crash());
+            self.crash_epoch[i] += 1;
+        }
+        false
+    }
+
     /// Handles replica output effects: transmit responses, update logs.
     fn apply_effects(
         &mut self,
@@ -605,8 +642,10 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                             .replica(to)
                             .expect("alive checked")
                             .on_request(msg.desc);
-                        self.apply_effects(to, queue, fx);
-                        self.note_newly_done(to, queue.now());
+                        if self.persist_replica(to) {
+                            self.apply_effects(to, queue, fx);
+                            self.note_newly_done(to, queue.now());
+                        }
                     }
                     Some(at) => queue.schedule_at(at, Event::ProcessRequest { at: to, msg }),
                 }
@@ -616,8 +655,10 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                     return;
                 }
                 let fx = self.replica(at).expect("alive").on_request(msg.desc);
-                self.apply_effects(at, queue, fx);
-                self.note_newly_done(at, queue.now());
+                if self.persist_replica(at) {
+                    self.apply_effects(at, queue, fx);
+                    self.note_newly_done(at, queue.now());
+                }
             }
             Event::DeliverGossip {
                 to,
@@ -632,8 +673,10 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                 match self.finish_time(to, queue.now(), self.config.processing.gossip_cost) {
                     None => {
                         let fx = self.replica(to).expect("alive").on_gossip_envelope(msg);
-                        self.apply_effects(to, queue, fx);
-                        self.note_newly_done(to, queue.now());
+                        if self.persist_replica(to) {
+                            self.apply_effects(to, queue, fx);
+                            self.note_newly_done(to, queue.now());
+                        }
                     }
                     Some(at) => queue.schedule_at(
                         at,
@@ -650,8 +693,10 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                     return;
                 }
                 let fx = self.replica(at).expect("alive").on_gossip_envelope(msg);
-                self.apply_effects(at, queue, fx);
-                self.note_newly_done(at, queue.now());
+                if self.persist_replica(at) {
+                    self.apply_effects(at, queue, fx);
+                    self.note_newly_done(at, queue.now());
+                }
             }
             Event::DeliverResponse { to, msg } => {
                 let id = msg.id;
@@ -690,6 +735,11 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                         return;
                     };
                     let msg = GossipEnvelope::Snapshot(rep.make_gossip(peers[0]));
+                    // Sync-before-release: a failing disk silences the
+                    // replica before the envelope enters the network.
+                    if !self.persist_replica(from) {
+                        return;
+                    }
                     self.gossip_messages_sent += 1;
                     self.gossip_bytes_sent += msg.approx_bytes() as u64;
                     for p in peers {
@@ -705,6 +755,9 @@ impl<T: SerialDataType + Clone> World for EsdsWorld<T> {
                         let Some(msg) = rep.poll_gossip(p) else {
                             continue;
                         };
+                        if !self.persist_replica(from) {
+                            return;
+                        }
                         self.gossip_messages_sent += 1;
                         self.gossip_bytes_sent += msg.approx_bytes() as u64;
                         self.transmit_r2r(from, p, queue, msg);
@@ -809,6 +862,7 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
         }
         let world = EsdsWorld {
             dt,
+            persistence: (0..config.n_replicas).map(|_| None).collect(),
             busy: vec![SimTime::ZERO; config.n_replicas],
             isolated: vec![false; config.n_replicas],
             crash_epoch: vec![0; config.n_replicas],
@@ -928,6 +982,75 @@ impl<T: SerialDataType + Clone> SimSystem<T> {
     /// Schedules a fault at an absolute time.
     pub fn schedule_fault(&mut self, at: SimTime, fault: FaultEvent) {
         self.queue.schedule_at(at, Event::Fault(fault));
+    }
+
+    /// Installs a durable backend for replica `r`. From now on the
+    /// replica persists after every mutating handler, *before* its
+    /// effects (responses, gossip) enter the simulated network — the
+    /// sync-before-release discipline of [`esds_alg::Persistence`]. A
+    /// persist failure (e.g. an armed `esds_store::CrashPlan`) crashes
+    /// the slot exactly like [`FaultEvent::Crash`]: the handler's
+    /// effects are dropped, volatile state is lost.
+    ///
+    /// The backend must have been opened for the *same* identity and an
+    /// *empty* disk, so its internal generation matches the fresh
+    /// replica it now shadows; a restart-from-disk goes through
+    /// [`SimSystem::replace_replica`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was not configured with
+    /// `config.replica.durable` (the replica would not track its WAL
+    /// delta, making the log silently empty), if `r` is out of range,
+    /// or if replica `r` has already processed an operation.
+    pub fn install_persistence(&mut self, r: usize, store: Box<dyn esds_alg::Persistence<T>>) {
+        assert!(
+            self.world.config.replica.durable,
+            "install_persistence needs config.replica.durable (with_durable()): without it the \
+             replica does not track a WAL delta and nothing would ever be logged"
+        );
+        match &self.world.replicas[r] {
+            Slot::Alive(rep) => assert!(
+                rep.rcvd().is_empty() && rep.memo_order().is_empty(),
+                "install_persistence must run before replica {r} processes anything (earlier \
+                 inputs would be missing from the log)"
+            ),
+            Slot::Crashed(_) => panic!("replica {r} is crashed; use replace_replica"),
+        }
+        self.world.persistence[r] = Some(store);
+    }
+
+    /// Replaces a **crashed** slot with a replica recovered from disk
+    /// (e.g. by `esds_store::DurableStore::open` over the surviving
+    /// image), installing its backend alongside. The replica re-enters
+    /// through the §9.3 gate — passive until it has gossiped with every
+    /// peer — and peers restart their incremental watermarks toward it,
+    /// like [`FaultEvent::Recover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `r` is still alive.
+    pub fn replace_replica(
+        &mut self,
+        r: usize,
+        rep: Replica<T>,
+        store: Option<Box<dyn esds_alg::Persistence<T>>>,
+    ) {
+        assert!(
+            matches!(self.world.replicas[r], Slot::Crashed(_)),
+            "replace_replica targets a crashed slot; crash replica {r} first"
+        );
+        self.world.replicas[r] = Slot::Alive(Box::new(rep));
+        self.world.persistence[r] = store;
+        self.world.busy[r] = self.queue.now();
+        let id = ReplicaId(r as u32);
+        for j in 0..self.world.config.n_replicas {
+            if j != r {
+                if let Slot::Alive(peer) = &mut self.world.replicas[j] {
+                    peer.reset_watermark(id);
+                }
+            }
+        }
     }
 
     /// Runs until the given virtual time.

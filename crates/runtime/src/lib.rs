@@ -15,6 +15,7 @@ mod sharded;
 
 pub use audit::{AuditSidecar, AuditTap};
 pub use service::{
-    InspectHandle, OpFilter, ReplicaSnapshot, RuntimeClient, RuntimeConfig, RuntimeService,
+    DurableReplica, InspectHandle, OpFilter, ReplicaSnapshot, RuntimeClient, RuntimeConfig,
+    RuntimeService,
 };
 pub use sharded::{ShardedClient, ShardedService};

@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use esds_alg::{
-    FrontEnd, GossipEnvelope, RelayPolicy, Replica, ReplicaConfig, RequestMsg, ResponseMsg,
+    FrontEnd, GossipEnvelope, Persistence, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
+    ResponseMsg,
 };
 use esds_core::{ClientId, OpId, ReplicaId, SerialDataType};
 use parking_lot::Mutex;
@@ -122,6 +123,15 @@ impl<T: SerialDataType> PartialOrd for Timed<T> {
 
 /// The shared registry of per-client response channels.
 type ClientRegistry<V> = std::sync::Arc<Mutex<Vec<Sender<ResponseMsg<V>>>>>;
+
+/// A recovered replica paired with its durable backend, as handed to
+/// [`RuntimeService::start_durable`] (and, per shard, to
+/// `ShardedService::start_durable`).
+pub type DurableReplica<T> = (Replica<T>, Box<dyn Persistence<T>>);
+
+/// A replica slot as the service threads run it: durable slots carry
+/// their backend, volatile slots `None`.
+type ReplicaSlot<T> = (Replica<T>, Option<Box<dyn Persistence<T>>>);
 
 /// A cheap cloneable handle for fetching [`ReplicaSnapshot`]s without
 /// borrowing the [`RuntimeService`] — what a background audit sidecar
@@ -288,23 +298,80 @@ where
     pub fn start(dt: T, config: RuntimeConfig) -> Self {
         assert!(config.n_replicas > 0, "need at least one replica");
         let n = config.n_replicas;
+        let replicas = (0..n)
+            .map(|i| {
+                let rep = Replica::new(dt.clone(), ReplicaId(i as u32), n, config.replica);
+                (rep, None)
+            })
+            .collect();
+        Self::start_replicas(config, replicas)
+    }
+
+    /// Starts the service over **pre-built** replicas, each paired with
+    /// its durable backend — what a restart-from-disk looks like: the
+    /// caller opens each replica's store (recovering whatever survives)
+    /// and hands the recovered replicas here. Every mutating input is
+    /// persisted (synced) *before* its effects are released, so a crash
+    /// can only lose operations nobody was answered for; a persist
+    /// failure stops that replica's thread, dropping the effects, as if
+    /// its machine had lost power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas.len() != config.n_replicas`.
+    pub fn start_durable(config: RuntimeConfig, replicas: Vec<DurableReplica<T>>) -> Self {
+        assert_eq!(
+            replicas.len(),
+            config.n_replicas,
+            "one recovered replica per configured slot"
+        );
+        // A recycled client identity would alias pre-crash operations id
+        // for id — front ends number their submissions `(client, seq)`
+        // from zero, and the recovered replicas already hold the old
+        // client's operations — so new front ends are numbered above
+        // every client identity brought back from disk.
+        let floor = replicas
+            .iter()
+            .flat_map(|(r, _)| r.rcvd().keys().map(|id| id.client().0 + 1))
+            .max()
+            .unwrap_or(0);
+        let mut svc = Self::start_replicas(
+            config,
+            replicas.into_iter().map(|(r, s)| (r, Some(s))).collect(),
+        );
+        svc.next_client = floor;
+        {
+            // The response registry is indexed by raw client id; hold the
+            // skipped identities with dead senders so deliveries to live
+            // clients land at the right slot.
+            let mut reg = svc.client_reg.lock();
+            for _ in 0..floor {
+                let (tx, _rx) = bounded(1);
+                reg.push(tx);
+            }
+        }
+        svc
+    }
+
+    fn start_replicas(config: RuntimeConfig, replicas: Vec<ReplicaSlot<T>>) -> Self {
+        assert!(config.n_replicas > 0, "need at least one replica");
+        let n = config.n_replicas;
         let (net_tx, net_rx) = unbounded::<NetInput<T>>();
         let client_reg: ClientRegistry<T::Value> = std::sync::Arc::new(Mutex::new(Vec::new()));
 
         // Replica threads.
         let mut replica_inputs = Vec::with_capacity(n);
         let mut replica_threads = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, (mut rep, mut store)) in replicas.into_iter().enumerate() {
             let (tx, rx) = unbounded::<ReplicaInput<T>>();
             replica_inputs.push(tx);
-            let mut rep = Replica::new(dt.clone(), ReplicaId(i as u32), n, config.replica);
             let net = net_tx.clone();
             let interval = config.gossip_interval;
             let handle = std::thread::Builder::new()
                 .name(format!("esds-replica-{i}"))
                 .spawn(move || {
                     let mut next_gossip = Instant::now() + interval;
-                    loop {
+                    'run: loop {
                         let now = Instant::now();
                         if now >= next_gossip {
                             for p in 0..rep.n() as u32 {
@@ -317,6 +384,16 @@ where
                                 let Some(g) = rep.poll_gossip(p) else {
                                     continue;
                                 };
+                                // Sync-before-release: everything this
+                                // envelope says was logged by the handler
+                                // that learned it, but a failing disk must
+                                // silence the replica, not let it keep
+                                // gossiping facts it can no longer keep.
+                                if let Some(st) = store.as_mut() {
+                                    if st.persist(&mut rep).is_err() {
+                                        break 'run;
+                                    }
+                                }
                                 let _ = net.send(NetInput::Msg(NetMsg {
                                     to: Endpoint::Replica(p),
                                     payload: Payload::Gossip(Box::new(g)),
@@ -358,6 +435,17 @@ where
                             }
                             ReplicaInput::Shutdown => break,
                         };
+                        // Persist (append + sync) everything the handler
+                        // changed *before* releasing its responses: a
+                        // crash after this line re-delivers the answered
+                        // value from disk; a crash before it only loses
+                        // operations nobody was told about. On a storage
+                        // error the replica is dead — effects dropped.
+                        if let Some(st) = store.as_mut() {
+                            if st.persist(&mut rep).is_err() {
+                                break 'run;
+                            }
+                        }
                         for e in effects {
                             let _ = net.send(NetInput::Msg(NetMsg {
                                 to: Endpoint::Client(e.client),
@@ -535,6 +623,29 @@ where
             let _ = h.join();
         }
         reps
+    }
+
+    /// Stops the service abruptly, discarding the replica states — the
+    /// threaded stand-in for `kill -9` of the whole group. No final
+    /// checkpoint or flush runs: a durable replica's on-disk image is
+    /// left exactly as its last per-input sync wrote it, so a subsequent
+    /// [`RuntimeService::start_durable`] over the same directories
+    /// exercises the real recovery path. (Inputs already queued when the
+    /// kill lands may still be processed — and persisted — before the
+    /// thread notices; the durability contract is indifferent to where
+    /// exactly the cut falls.)
+    pub fn kill(mut self) {
+        // Stop routing first: the network thread holds clones of every
+        // replica input sender, so replica threads only observe
+        // disconnection once it is gone.
+        let _ = self.net_tx.send(NetInput::Shutdown);
+        if let Some(h) = self.net_thread.take() {
+            let _ = h.join();
+        }
+        self.replica_inputs.clear();
+        for h in self.replica_threads.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 

@@ -132,6 +132,36 @@ where
         let shards = (0..n_shards)
             .map(|_| RuntimeService::start(dt.clone(), config.clone()))
             .collect();
+        Self::with_shards(dt, config, shards)
+    }
+
+    /// Starts a sharded service over **pre-built** replica groups, each
+    /// replica paired with its durable backend (see
+    /// [`RuntimeService::start_durable`]) — the restart-from-disk entry
+    /// point: the caller recovers every `(shard, replica)` store and
+    /// hands the recovered replicas here, outer index = shard. Shards
+    /// added later by [`ShardedService::add_shard`] are volatile (no
+    /// backend); persist them by restarting the service durably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_replicas` is empty or any group's size differs
+    /// from `config.n_replicas`.
+    pub fn start_durable(
+        dt: T,
+        config: RuntimeConfig,
+        shard_replicas: Vec<Vec<crate::DurableReplica<T>>>,
+    ) -> Self {
+        assert!(!shard_replicas.is_empty(), "need at least one shard");
+        let shards = shard_replicas
+            .into_iter()
+            .map(|reps| RuntimeService::start_durable(config.clone(), reps))
+            .collect();
+        Self::with_shards(dt, config, shards)
+    }
+
+    fn with_shards(dt: T, config: RuntimeConfig, shards: Vec<RuntimeService<T>>) -> Self {
+        let n_shards = shards.len();
         ShardedService {
             routing: Arc::new(RoutingShared {
                 state: Mutex::new(RouteState {
@@ -358,6 +388,15 @@ where
     pub fn shutdown(self) -> Vec<Vec<Replica<T>>> {
         self.shards.into_iter().map(|s| s.shutdown()).collect()
     }
+
+    /// Kills every shard abruptly (see [`RuntimeService::kill`]): no
+    /// final checkpoint, replica states discarded, on-disk images left
+    /// exactly as the last per-input syncs wrote them.
+    pub fn kill(self) {
+        for s in self.shards {
+            s.kill();
+        }
+    }
 }
 
 /// A client handle of a [`ShardedService`]: one [`RuntimeClient`] per
@@ -580,6 +619,13 @@ where
     /// The shard `id` was routed to, if issued by this handle.
     pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
         self.resolve(id).map(|(s, _)| s)
+    }
+
+    /// The shard-local [`OpId`] `id` was submitted under — the identity
+    /// the owning group's replicas (and any per-shard audit trail) know
+    /// the operation by. `None` if this handle never issued `id`.
+    pub fn local_id(&self, id: ShardedOpId) -> Option<OpId> {
+        self.resolve(id).map(|(_, l)| l)
     }
 
     /// The routing-table version `id` was routed under, if issued by

@@ -1,0 +1,173 @@
+//! State snapshots at the stable fence.
+//!
+//! A snapshot is the §10.1 memo image — exactly what
+//! [`esds_alg::RestoreImage`] carries as its prefix: per op its frozen
+//! label, fixed value (Lemma 10.2), and stability flags, plus the
+//! memoized state and the label-counter floor. Because the memo prefix's
+//! serialization is final, cutting a snapshot needs no coordination with
+//! the gossip path — it is a pure read of the replica.
+//!
+//! On disk: an 8-byte magic followed by one checksummed frame (same
+//! framing as the log). A snapshot file cut short by a crash decodes to
+//! `Ok(None)` — recovery falls back to the previous generation — while a
+//! complete frame that fails verification is [`StoreError::Corrupt`].
+
+use esds_core::{ReplicaId, SerialDataType};
+use esds_wire::codec::{get_varint, put_varint};
+use esds_wire::{Wire, WireError};
+
+use esds_alg::{PrefixEntry, Replica};
+use esds_core::{Label, OpId};
+
+use crate::storage::{corrupt, StoreError};
+use crate::wal::{frame_into, scan_frames};
+
+pub(crate) const SNAP_MAGIC: &[u8; 8] = b"ESDSSNP1";
+
+/// A durable image of one replica's memo prefix.
+pub struct Snapshot<T: SerialDataType> {
+    /// Identity of the snapshotting replica.
+    pub replica: ReplicaId,
+    /// Cluster size the replica was configured with.
+    pub n: u64,
+    /// Label-counter floor (one past every label the replica minted).
+    pub next_counter: u64,
+    /// The memo prefix, in strictly increasing label order.
+    pub prefix: Vec<PrefixEntry<T>>,
+    /// The memoized state after applying the prefix.
+    pub state: T::State,
+}
+
+fn wire_corrupt(file: &str, what: &str, e: WireError) -> StoreError {
+    corrupt(file, 0, format!("bad snapshot {what}: {e}"))
+}
+
+impl<T> Snapshot<T>
+where
+    T: SerialDataType,
+    T::Value: Wire,
+    T::State: Wire,
+{
+    /// Captures the current memo image of `rep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memoization is disabled (durable replicas require it).
+    pub fn of(rep: &Replica<T>) -> Self {
+        let prefix = rep
+            .memo_order()
+            .iter()
+            .map(|&id| PrefixEntry {
+                id,
+                label: rep
+                    .labels()
+                    .get(id)
+                    .finite()
+                    .expect("memoized ops are labeled"),
+                value: rep.memo_value(id).expect("memoized value present").clone(),
+                stable_here: rep.stable_here().contains(&id),
+                stable_everywhere: rep.stable_everywhere().contains(&id),
+            })
+            .collect();
+        Snapshot {
+            replica: rep.id(),
+            n: rep.n() as u64,
+            next_counter: rep.next_label_counter(),
+            prefix,
+            state: rep
+                .memo_state()
+                .expect("durable replicas memoize (§10.1)")
+                .clone(),
+        }
+    }
+
+    /// The full on-disk bytes of this snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.replica.encode(&mut payload);
+        put_varint(&mut payload, self.n);
+        put_varint(&mut payload, self.next_counter);
+        put_varint(&mut payload, self.prefix.len() as u64);
+        for e in &self.prefix {
+            e.id.encode(&mut payload);
+            e.label.encode(&mut payload);
+            e.value.encode(&mut payload);
+            e.stable_here.encode(&mut payload);
+            e.stable_everywhere.encode(&mut payload);
+        }
+        self.state.encode(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + SNAP_MAGIC.len() + 12);
+        out.extend_from_slice(SNAP_MAGIC);
+        frame_into(&mut out, &payload);
+        out
+    }
+
+    /// Decodes an on-disk snapshot. `Ok(None)` means the file is torn
+    /// (cut short mid-write) and an older generation should be used;
+    /// [`StoreError::Corrupt`] means the bytes are complete but wrong.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on checksum or decode failure.
+    pub fn decode(file: &str, bytes: &[u8]) -> Result<Option<Self>, StoreError> {
+        if bytes.len() < SNAP_MAGIC.len() {
+            return Ok(None); // torn before the magic completed
+        }
+        if &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+            return Err(corrupt(file, 0, "bad snapshot magic"));
+        }
+        let scan = scan_frames(file, &bytes[SNAP_MAGIC.len()..])?;
+        let payload = match scan.records.as_slice() {
+            [] => return Ok(None), // torn mid-frame
+            [p] if scan.torn_bytes == 0 => *p,
+            _ => {
+                return Err(corrupt(
+                    file,
+                    SNAP_MAGIC.len(),
+                    "snapshot must contain exactly one record",
+                ))
+            }
+        };
+        let mut buf = payload;
+        let replica =
+            ReplicaId::decode(&mut buf).map_err(|e| wire_corrupt(file, "replica id", e))?;
+        let n = get_varint(&mut buf).map_err(|e| wire_corrupt(file, "cluster size", e))?;
+        let next_counter =
+            get_varint(&mut buf).map_err(|e| wire_corrupt(file, "label counter", e))?;
+        let len = get_varint(&mut buf).map_err(|e| wire_corrupt(file, "prefix length", e))?;
+        let mut prefix = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            let id = OpId::decode(&mut buf).map_err(|e| wire_corrupt(file, "prefix id", e))?;
+            let label =
+                Label::decode(&mut buf).map_err(|e| wire_corrupt(file, "prefix label", e))?;
+            let value =
+                T::Value::decode(&mut buf).map_err(|e| wire_corrupt(file, "prefix value", e))?;
+            let stable_here =
+                bool::decode(&mut buf).map_err(|e| wire_corrupt(file, "stability flag", e))?;
+            let stable_everywhere =
+                bool::decode(&mut buf).map_err(|e| wire_corrupt(file, "stability flag", e))?;
+            prefix.push(PrefixEntry {
+                id,
+                label,
+                value,
+                stable_here,
+                stable_everywhere,
+            });
+        }
+        let state = T::State::decode(&mut buf).map_err(|e| wire_corrupt(file, "state", e))?;
+        if !buf.is_empty() {
+            return Err(corrupt(
+                file,
+                0,
+                format!("{} trailing bytes after snapshot", buf.len()),
+            ));
+        }
+        Ok(Some(Snapshot {
+            replica,
+            n,
+            next_counter,
+            prefix,
+            state,
+        }))
+    }
+}

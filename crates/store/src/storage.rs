@@ -1,0 +1,462 @@
+//! The byte-level [`Storage`] backend abstraction and its two
+//! implementations: real append-only files ([`FileStorage`]) and a
+//! deterministic in-memory backend with an injectable crash-point /
+//! torn-write fault plane ([`MemStorage`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Errors of the storage layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O failure of the underlying backend.
+    Io(String),
+    /// The injected crash point was reached ([`MemStorage`] only): the
+    /// simulated machine has lost power and every further operation
+    /// fails. Recover via [`MemStorage::survivor`].
+    Crashed,
+    /// A complete, checksummed record failed verification or decoding.
+    /// Unlike a torn tail (an incomplete record at end-of-file, which is
+    /// the expected shape of an interrupted append and is dropped with a
+    /// diagnostic), corruption is never skipped: recovery refuses the
+    /// store rather than silently losing acknowledged operations.
+    Corrupt {
+        /// File the bad record lives in.
+        file: String,
+        /// Byte offset of the record's frame header.
+        offset: usize,
+        /// What failed to verify.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StoreError::Crashed => write!(f, "storage crashed at the injected crash point"),
+            StoreError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt record in {file} at byte {offset}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+pub(crate) fn corrupt(file: &str, offset: usize, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        file: file.to_string(),
+        offset,
+        detail: detail.into(),
+    }
+}
+
+fn io_err(e: io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+/// A flat namespace of append-only files — everything [`DurableStore`]
+/// (see [`crate::durable`]) needs from a disk.
+///
+/// The contract mirrors POSIX semantics: [`append`](Storage::append) may
+/// buffer; only bytes appended before a completed
+/// [`sync`](Storage::sync) are guaranteed to survive a crash, and an
+/// interrupted append may leave a *torn* prefix of itself on disk.
+pub trait Storage: Send {
+    /// Appends `bytes` to `file`, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Backend failure, or [`StoreError::Crashed`] past a crash point.
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Forces all appended bytes of `file` to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// Backend failure, or [`StoreError::Crashed`] past a crash point.
+    fn sync(&mut self, file: &str) -> Result<(), StoreError>;
+
+    /// Reads the full contents of `file` (`None` if it does not exist).
+    ///
+    /// # Errors
+    ///
+    /// Backend failure.
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Removes `file`; removing a missing file is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Backend failure, or [`StoreError::Crashed`] past a crash point.
+    fn remove(&mut self, file: &str) -> Result<(), StoreError>;
+
+    /// Lists all files, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Backend failure.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+}
+
+// ---------------------------------------------------------------------
+// FileStorage
+// ---------------------------------------------------------------------
+
+/// Real files in one directory, opened in append mode with handles
+/// cached across calls. [`Storage::sync`] is `fsync` on the file plus
+/// the directory (so newly created log/snapshot files survive too).
+pub struct FileStorage {
+    dir: PathBuf,
+    handles: BTreeMap<String, File>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) the directory backing this store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        Ok(FileStorage {
+            dir,
+            handles: BTreeMap::new(),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn handle(&mut self, file: &str) -> Result<&mut File, StoreError> {
+        if !self.handles.contains_key(file) {
+            let f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(file))
+                .map_err(io_err)?;
+            self.handles.insert(file.to_string(), f);
+        }
+        Ok(self.handles.get_mut(file).expect("inserted above"))
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.handle(file)?.write_all(bytes).map_err(io_err)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        self.handle(file)?.sync_all().map_err(io_err)?;
+        // Durability of the file's existence, not just its bytes.
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err)
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.dir.join(file)) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        self.handles.remove(file);
+        match fs::remove_file(self.dir.join(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            if entry.file_type().map_err(io_err)?.is_file() {
+                out.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemStorage + fault plane
+// ---------------------------------------------------------------------
+
+/// An injectable crash point for [`MemStorage`]: the simulated machine
+/// loses power after `after_bytes` further bytes have been appended
+/// (across all files). The interrupted append keeps only the bytes
+/// below the threshold — a *torn write*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Bytes of append traffic (counted from [`MemStorage::set_crash_plan`])
+    /// admitted before the power cut. `0` crashes the very next append.
+    pub after_bytes: u64,
+    /// Whether unsynced appended bytes (including the torn partial append)
+    /// make it to the platter. `false` models the page cache dying with
+    /// the machine: only bytes covered by a completed
+    /// [`Storage::sync`] survive into [`MemStorage::survivor`].
+    pub keep_unsynced_tail: bool,
+}
+
+#[derive(Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+#[derive(Default)]
+struct MemInner {
+    files: BTreeMap<String, MemFile>,
+    remaining: Option<u64>,
+    keep_unsynced_tail: bool,
+    crashed: bool,
+}
+
+/// Deterministic in-memory [`Storage`] with a crash-point / torn-write
+/// fault plane, for the simulator and proptests. Cloning shares the
+/// underlying files (a clone is another handle on the same "disk").
+///
+/// # Examples
+///
+/// ```
+/// use esds_store::{CrashPlan, MemStorage, Storage, StoreError};
+///
+/// let mut disk = MemStorage::new();
+/// disk.append("wal", b"abcd").unwrap();
+/// disk.sync("wal").unwrap();
+/// disk.set_crash_plan(CrashPlan { after_bytes: 2, keep_unsynced_tail: true });
+/// assert_eq!(disk.append("wal", b"efgh"), Err(StoreError::Crashed));
+/// // The synced prefix plus the torn two-byte tail survive.
+/// let after = disk.survivor();
+/// assert_eq!(after.read("wal").unwrap().unwrap(), b"abcdef");
+/// ```
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// An empty disk with no crash plan armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        self.inner.lock().expect("MemStorage lock poisoned")
+    }
+
+    /// Arms the crash point: after `plan.after_bytes` further appended
+    /// bytes, the disk "loses power" mid-append and every subsequent
+    /// operation returns [`StoreError::Crashed`].
+    pub fn set_crash_plan(&self, plan: CrashPlan) {
+        let mut g = self.lock();
+        g.remaining = Some(plan.after_bytes);
+        g.keep_unsynced_tail = plan.keep_unsynced_tail;
+    }
+
+    /// Whether the armed crash point has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The disk image a restarted process would see: per file, the
+    /// synced prefix — plus the unsynced tail if the plan kept it.
+    /// The result is a fresh, healthy disk (no plan armed).
+    pub fn survivor(&self) -> MemStorage {
+        let g = self.lock();
+        let files = g
+            .files
+            .iter()
+            .map(|(name, f)| {
+                let keep = if g.keep_unsynced_tail {
+                    f.data.len()
+                } else {
+                    f.synced
+                };
+                (
+                    name.clone(),
+                    MemFile {
+                        data: f.data[..keep].to_vec(),
+                        synced: keep,
+                    },
+                )
+            })
+            .filter(|(_, f)| !f.data.is_empty())
+            .collect();
+        MemStorage {
+            inner: Arc::new(Mutex::new(MemInner {
+                files,
+                ..MemInner::default()
+            })),
+        }
+    }
+
+    /// Flips every bit of one byte in `file` (bit-rot injection for
+    /// corruption tests). Returns `false` if the offset is out of range.
+    pub fn flip_byte(&self, file: &str, offset: usize) -> bool {
+        let mut g = self.lock();
+        match g.files.get_mut(file).and_then(|f| f.data.get_mut(offset)) {
+            Some(b) => {
+                *b ^= 0xff;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Truncates `file` to `len` bytes (simulates a cut-short tail).
+    /// Returns `false` if the file is missing or already shorter.
+    pub fn truncate_file(&self, file: &str, len: usize) -> bool {
+        let mut g = self.lock();
+        match g.files.get_mut(file) {
+            Some(f) if f.data.len() > len => {
+                f.data.truncate(len);
+                f.synced = f.synced.min(len);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut g = self.lock();
+        if g.crashed {
+            return Err(StoreError::Crashed);
+        }
+        let cut = match g.remaining {
+            Some(rem) if bytes.len() as u64 >= rem => Some(rem as usize),
+            _ => None,
+        };
+        let entry = g.files.entry(file.to_string()).or_default();
+        match cut {
+            Some(c) => {
+                entry.data.extend_from_slice(&bytes[..c]);
+                g.remaining = None;
+                g.crashed = true;
+                Err(StoreError::Crashed)
+            }
+            None => {
+                entry.data.extend_from_slice(bytes);
+                if let Some(rem) = &mut g.remaining {
+                    *rem -= bytes.len() as u64;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        let mut g = self.lock();
+        if g.crashed {
+            return Err(StoreError::Crashed);
+        }
+        let f = g.files.entry(file.to_string()).or_default();
+        f.synced = f.data.len();
+        Ok(())
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.lock().files.get(file).map(|f| f.data.clone()))
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        let mut g = self.lock();
+        if g.crashed {
+            return Err(StoreError::Crashed);
+        }
+        g.files.remove(file);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.lock().files.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_crash_point_tears_the_append() {
+        let mut disk = MemStorage::new();
+        disk.append("f", b"0123456789").unwrap();
+        disk.sync("f").unwrap();
+        disk.set_crash_plan(CrashPlan {
+            after_bytes: 3,
+            keep_unsynced_tail: false,
+        });
+        disk.append("f", b"ab").unwrap(); // 2 of 3 budget bytes
+        assert_eq!(disk.append("f", b"cd"), Err(StoreError::Crashed));
+        assert!(disk.is_crashed());
+        assert_eq!(disk.sync("f"), Err(StoreError::Crashed));
+        // Unsynced tail ("ab" + torn "c") is dropped: only the synced
+        // prefix survives.
+        let after = disk.survivor();
+        assert_eq!(after.read("f").unwrap().unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn mem_storage_keep_unsynced_tail_keeps_torn_bytes() {
+        let mut disk = MemStorage::new();
+        disk.set_crash_plan(CrashPlan {
+            after_bytes: 5,
+            keep_unsynced_tail: true,
+        });
+        assert_eq!(disk.append("f", b"0123456789"), Err(StoreError::Crashed));
+        let after = disk.survivor();
+        assert_eq!(after.read("f").unwrap().unwrap(), b"01234");
+        // The survivor is healthy again.
+        let mut after = after;
+        after.append("f", b"!").unwrap();
+        after.sync("f").unwrap();
+    }
+
+    #[test]
+    fn mem_storage_crash_after_zero_bytes_fails_next_append() {
+        let mut disk = MemStorage::new();
+        disk.append("f", b"keep").unwrap();
+        disk.sync("f").unwrap();
+        disk.set_crash_plan(CrashPlan {
+            after_bytes: 0,
+            keep_unsynced_tail: true,
+        });
+        assert_eq!(disk.append("f", b"lost"), Err(StoreError::Crashed));
+        assert_eq!(disk.survivor().read("f").unwrap().unwrap(), b"keep");
+    }
+
+    #[test]
+    fn file_storage_round_trips() {
+        let dir = std::env::temp_dir().join(format!("esds-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = FileStorage::open(&dir).unwrap();
+        assert_eq!(s.read("a").unwrap(), None);
+        s.append("a", b"hello ").unwrap();
+        s.append("a", b"world").unwrap();
+        s.sync("a").unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello world");
+        assert_eq!(s.list().unwrap(), vec!["a".to_string()]);
+        s.remove("a").unwrap();
+        s.remove("a").unwrap(); // idempotent
+        assert_eq!(s.read("a").unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

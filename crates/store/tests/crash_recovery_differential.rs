@@ -1,0 +1,304 @@
+//! Crash-point differential property tests for the durable store.
+//!
+//! The sync-before-release discipline promises: **anything the replica
+//! released (responses, gossip) is backed by synced log records**, so a
+//! crash can only lose knowledge nobody was told about. These
+//! properties check that end-to-end, Vbox-style, on random workloads ×
+//! crash points × torn/truncated log tails:
+//!
+//! 1. **Recovery bounds + reconvergence**: a replica recovered from its
+//!    surviving disk image knows *at least* every op whose persist
+//!    call succeeded and *at most* what it knew at the power cut; after
+//!    rejoining through the §9.3 gate, the cluster reconverges to one
+//!    order that still extends the pre-crash stable-everywhere prefix
+//!    (so no answered strict response is contradicted).
+//! 2. **Truncation is torn, never corrupt**: any proper cut of a log's
+//!    tail recovers a prefix of its records, reporting the dropped
+//!    bytes as a diagnostic — never an error, never a silent skip.
+//! 3. **Bit rot is never silently absorbed**: flipping one byte of a
+//!    log never yields a clean full-count recovery — it is either
+//!    refused as [`StoreError::Corrupt`] (with the file named) or
+//!    surfaces as a reported torn tail (a flip in a frame's length
+//!    field is indistinguishable from truncation, which is the honest
+//!    classification).
+//!
+//! The acceptance bar for this suite is ≥ 256 cases (`PROPTEST_CASES`;
+//! CI runs it at 512 in release mode).
+
+use std::collections::BTreeSet;
+
+use esds_alg::{Replica, ReplicaConfig};
+use esds_core::{ClientId, OpDescriptor, OpId, ReplicaId};
+use esds_datatypes::{KvOp, KvStore};
+use esds_store::{CrashPlan, DurableConfig, DurableStore, MemStorage, Storage, StoreError};
+use proptest::prelude::*;
+
+const N: usize = 3;
+
+#[derive(Clone, Debug)]
+struct Step {
+    target: usize,
+    key: u8,
+    read: bool,
+    strict: bool,
+    gossip_after: bool,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (0..N as u32, 0..6u8, 0..4u8, 0..5u8, 0..2u8).prop_map(|(t, k, r, s, g)| Step {
+        target: t as usize,
+        key: k,
+        read: r == 0,
+        strict: s == 0,
+        gossip_after: g == 0,
+    })
+}
+
+fn op_of(step: &Step, seq: usize) -> KvOp {
+    if step.read {
+        KvOp::Get(format!("k{}", step.key))
+    } else {
+        KvOp::Put(format!("k{}", step.key), format!("v{seq}"))
+    }
+}
+
+/// All op ids a replica knows, memoized or still in `rcvd`.
+fn known_ids(rep: &Replica<KvStore>) -> BTreeSet<OpId> {
+    rep.memo_order()
+        .iter()
+        .copied()
+        .chain(rep.rcvd().keys().copied())
+        .collect()
+}
+
+/// One gossip round over `alive` replicas (indices into `reps`),
+/// persisting replica 0 through `store` when it participates.
+fn gossip_round(
+    reps: &mut [Replica<KvStore>],
+    store: &mut Option<&mut DurableStore<KvStore, MemStorage>>,
+    alive0: bool,
+) -> Result<(), StoreError> {
+    for from in 0..N {
+        for to in 0..N {
+            if from == to || (!alive0 && (from == 0 || to == 0)) {
+                continue;
+            }
+            let g = reps[from].make_gossip(ReplicaId(to as u32));
+            let _fx = reps[to].on_gossip(g);
+            if to == 0 {
+                if let Some(s) = store.as_deref_mut() {
+                    s.persist(&mut reps[0])?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Property 1: recovery bounds and reconvergence across a random
+    /// crash point.
+    #[test]
+    fn crash_recovery_preserves_stable_prefix_and_reconverges(
+        steps in proptest::collection::vec(step_strategy(), 5..25),
+        crash_after in 0u64..2500,
+        keep_unsynced in any::<bool>(),
+        snapshot_every in prop_oneof![Just(None), (2u64..12).prop_map(Some)],
+    ) {
+        let disk = MemStorage::new();
+        let (mut store, rep0, _) = DurableStore::open(
+            KvStore,
+            disk.clone(),
+            ReplicaId(0),
+            N,
+            ReplicaConfig::default(),
+            DurableConfig { snapshot_every },
+        ).expect("fresh open");
+        let mut reps: Vec<Replica<KvStore>> = vec![rep0];
+        reps.extend((1..N as u32).map(|i| {
+            Replica::new(KvStore, ReplicaId(i), N, ReplicaConfig::default())
+        }));
+        disk.set_crash_plan(CrashPlan {
+            after_bytes: crash_after,
+            keep_unsynced_tail: keep_unsynced,
+        });
+
+        // Run the workload; replica 0 persists after every handler and
+        // "loses power" when the plan fires.
+        let mut last_acked = BTreeSet::new();
+        let mut at_crash = None;
+        for (seq, s) in steps.iter().enumerate() {
+            let target = if at_crash.is_some() && s.target == 0 { 1 } else { s.target };
+            let d = OpDescriptor::new(OpId::new(ClientId(target as u32), seq as u64), op_of(s, seq))
+                .with_strict(s.strict);
+            let _fx = reps[target].on_request(d);
+            if target == 0 {
+                match store.persist(&mut reps[0]) {
+                    Ok(()) => last_acked = known_ids(&reps[0]),
+                    Err(_) => { at_crash = Some(known_ids(&reps[0])); }
+                }
+            }
+            if s.gossip_after && at_crash.is_none() {
+                let mut st = Some(&mut store);
+                if gossip_round(&mut reps, &mut st, true).is_err() {
+                    at_crash = Some(known_ids(&reps[0]));
+                }
+            } else if s.gossip_after {
+                gossip_round(&mut reps, &mut None, false).expect("peers never crash");
+            }
+        }
+        // A power cut between handlers if the plan never fired.
+        let at_crash = at_crash.unwrap_or_else(|| {
+            last_acked = known_ids(&reps[0]);
+            known_ids(&reps[0])
+        });
+        // The position-final prefix (PR 6's fence): the longest *prefix*
+        // of the label order that is stable everywhere. Ops stable out
+        // of position are not final yet — an earlier-labeled op may
+        // still slot in before them.
+        let pre_crash_stable: Vec<OpId> = reps[0]
+            .local_order()
+            .into_iter()
+            .take_while(|x| reps[0].stable_everywhere().contains(x))
+            .collect();
+
+        // Restart replica 0 from the surviving disk image.
+        let survivor = disk.survivor();
+        let (mut store, recovered, report) = DurableStore::open(
+            KvStore,
+            survivor,
+            ReplicaId(0),
+            N,
+            ReplicaConfig::default(),
+            DurableConfig { snapshot_every },
+        ).expect("recovery must succeed (torn tails are tolerated)");
+        let got = known_ids(&recovered);
+        prop_assert!(
+            got.is_superset(&last_acked),
+            "lost an acknowledged op: acked {last_acked:?}, recovered {got:?} ({report})"
+        );
+        prop_assert!(
+            got.is_subset(&at_crash),
+            "resurrected an op the replica never knew: {got:?} vs {at_crash:?}"
+        );
+
+        // Rejoin and reconverge.
+        reps[0] = recovered;
+        let mut converged = false;
+        for _ in 0..12 {
+            let mut st = Some(&mut store);
+            gossip_round(&mut reps, &mut st, true).expect("healthy disk");
+            let order0 = reps[0].local_order();
+            if !reps[0].is_recovering()
+                && reps.iter().all(|r| r.local_order() == order0)
+                && reps[0].stable_everywhere().len() == order0.len()
+            {
+                converged = true;
+                break;
+            }
+        }
+        prop_assert!(converged, "cluster failed to reconverge after recovery");
+        let final_order = reps[0].local_order();
+        prop_assert_eq!(
+            &final_order[..pre_crash_stable.len()],
+            &pre_crash_stable[..],
+            "pre-crash stable-everywhere prefix was reordered"
+        );
+        for r in &reps[1..] {
+            prop_assert_eq!(r.current_state(), reps[0].current_state(), "states diverged");
+        }
+    }
+
+    /// Property 2: truncating a log at any byte recovers a prefix of its
+    /// records with the torn tail reported, never an error.
+    #[test]
+    fn truncation_is_torn_never_corrupt(
+        n_ops in 1usize..12,
+        cut_permille in 0u64..=1000,
+    ) {
+        let disk = MemStorage::new();
+        let (mut store, mut rep, _) = DurableStore::open(
+            KvStore, disk.clone(), ReplicaId(0), 1,
+            ReplicaConfig::default(), DurableConfig::wal_only(),
+        ).expect("fresh open");
+        for seq in 0..n_ops as u64 {
+            let _fx = rep.on_request(OpDescriptor::new(
+                OpId::new(ClientId(0), seq),
+                KvOp::Put(format!("k{seq}"), format!("v{seq}")),
+            ));
+            store.persist(&mut rep).expect("healthy disk");
+        }
+        let full = known_ids(&rep);
+        let wal = "wal-0000000000.log";
+        let bytes = disk.read(wal).unwrap().unwrap();
+        let len = bytes.len();
+        // Frame boundaries of the intact log: a cut landing exactly on
+        // one leaves a clean shorter log (indistinguishable from a
+        // crash right after a sync) — any other cut must be reported
+        // as a torn tail of exactly the leftover bytes.
+        let mut boundaries = BTreeSet::from([0usize]);
+        let mut pos = 0usize;
+        while pos + 12 <= len {
+            let flen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 12 + flen;
+            boundaries.insert(pos);
+        }
+        let cut = (len as u64 * cut_permille / 1000) as usize;
+        disk.truncate_file(wal, cut);
+
+        let (_, recovered, report) = DurableStore::open(
+            KvStore, disk, ReplicaId(0), 1,
+            ReplicaConfig::default(), DurableConfig::wal_only(),
+        ).expect("truncation must never refuse recovery");
+        let got = known_ids(&recovered);
+        prop_assert!(got.is_subset(&full));
+        let torn: usize = report.torn_tails.iter().map(|(_, b)| *b).sum();
+        let clean_boundary = *boundaries.range(..=cut).next_back().unwrap();
+        prop_assert_eq!(
+            torn, cut - clean_boundary,
+            "dropped bytes must be reported exactly: cut={} boundary={} ({})",
+            cut, clean_boundary, report
+        );
+    }
+
+    /// Property 3: a single flipped byte never yields a clean full-count
+    /// recovery — it is refused with a named-file diagnostic, or (for
+    /// length-field flips) surfaces as a reported torn tail.
+    #[test]
+    fn single_byte_flip_is_never_silently_absorbed(
+        n_ops in 1usize..10,
+        flip_permille in 0u64..1000,
+    ) {
+        let disk = MemStorage::new();
+        let (mut store, mut rep, _) = DurableStore::open(
+            KvStore, disk.clone(), ReplicaId(0), 1,
+            ReplicaConfig::default(), DurableConfig::wal_only(),
+        ).expect("fresh open");
+        for seq in 0..n_ops as u64 {
+            let _fx = rep.on_request(OpDescriptor::new(
+                OpId::new(ClientId(0), seq),
+                KvOp::Put(format!("k{seq}"), format!("v{seq}")),
+            ));
+            store.persist(&mut rep).expect("healthy disk");
+        }
+        let full = known_ids(&rep);
+        let wal = "wal-0000000000.log";
+        let len = disk.read(wal).unwrap().unwrap().len();
+        let offset = ((len - 1) as u64 * flip_permille / 1000) as usize;
+        prop_assert!(disk.flip_byte(wal, offset));
+
+        match DurableStore::open(
+            KvStore, disk, ReplicaId(0), 1,
+            ReplicaConfig::default(), DurableConfig::wal_only(),
+        ) {
+            Err(e @ StoreError::Corrupt { .. }) => {
+                prop_assert!(format!("{e}").contains(wal), "diagnostic names the file: {e}");
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+            Ok((_, recovered, report)) => {
+                let clean = report.torn_tails.is_empty() && known_ids(&recovered) == full;
+                prop_assert!(!clean, "one flipped byte at {offset} was silently absorbed");
+            }
+        }
+    }
+}

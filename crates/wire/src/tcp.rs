@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esds_alg::{
-    FrontEnd, GossipEnvelope, RecoveryStub, RelayPolicy, Replica, ReplicaConfig, RequestMsg,
+    FrontEnd, GossipEnvelope, Persistence, RecoveryStub, RelayPolicy, Replica, ReplicaConfig,
+    RequestMsg,
 };
 use esds_core::{ClientId, OpId, ReplicaId, RoutingTable, SerialDataType, ShardedOpId};
 use parking_lot::Mutex;
@@ -149,7 +150,29 @@ where
         config: &TcpClusterConfig,
     ) -> Self {
         let rep = Replica::new(dt, id, config.n_replicas, config.replica);
-        Self::spawn_node(rep, listener, addrs, config, None)
+        Self::spawn_node(rep, listener, addrs, config, None, None)
+    }
+
+    /// Spawns a **durable** node over a pre-built replica and its
+    /// persistence backend — the restart-from-disk entry point: open the
+    /// replica's store (recovering whatever survives on disk), then hand
+    /// the recovered replica here. Every mutating input is persisted
+    /// (synced) before its response or gossip leaves the node; a persist
+    /// failure stops the core thread, exactly as if the machine had lost
+    /// power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read or threads
+    /// cannot be spawned.
+    pub fn spawn_durable(
+        rep: Replica<T>,
+        store: Box<dyn Persistence<T>>,
+        listener: TcpListener,
+        addrs: AddrTable,
+        config: &TcpClusterConfig,
+    ) -> Self {
+        Self::spawn_node(rep, listener, addrs, config, None, Some(store))
     }
 
     /// Like [`TcpReplicaNode::spawn`], but shard-aware: `ShardedRequest`
@@ -166,7 +189,7 @@ where
         shard: ShardCtx,
     ) -> Self {
         let rep = Replica::new(dt, id, config.n_replicas, config.replica);
-        Self::spawn_node(rep, listener, addrs, config, Some(shard))
+        Self::spawn_node(rep, listener, addrs, config, Some(shard), None)
     }
 
     /// Spawns a node recovering from a crash (paper §9.3): the replica
@@ -185,7 +208,7 @@ where
         config: &TcpClusterConfig,
     ) -> Self {
         let rep = Replica::recover(dt, stub, config.n_replicas, config.replica);
-        Self::spawn_node(rep, listener, addrs, config, None)
+        Self::spawn_node(rep, listener, addrs, config, None, None)
     }
 
     fn spawn_node(
@@ -194,6 +217,7 @@ where
         addrs: AddrTable,
         config: &TcpClusterConfig,
         shard: Option<ShardCtx>,
+        store: Option<Box<dyn Persistence<T>>>,
     ) -> Self {
         let id = rep.id();
         let addr = listener.local_addr().expect("listener address");
@@ -218,6 +242,7 @@ where
             clients,
             stop.clone(),
             shard,
+            store,
         );
 
         TcpReplicaNode {
@@ -436,6 +461,7 @@ fn read_connection<T>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_core<T>(
     mut rep: Replica<T>,
     config: TcpClusterConfig,
@@ -444,6 +470,7 @@ fn spawn_core<T>(
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
     shard: Option<ShardCtx>,
+    mut store: Option<Box<dyn Persistence<T>>>,
 ) -> JoinHandle<Replica<T>>
 where
     T: SerialDataType + Send + 'static,
@@ -459,7 +486,7 @@ where
             let mut peers: Vec<Option<(SocketAddr, TcpStream)>> = (0..n).map(|_| None).collect();
             let mut next_gossip = Instant::now() + config.gossip_interval;
             let mut out = BytesMut::new();
-            loop {
+            'run: loop {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
@@ -475,6 +502,13 @@ where
                         let Some(env) = rep.poll_gossip(pid) else {
                             continue;
                         };
+                        // Sync-before-release: a failing disk silences
+                        // the node before the envelope leaves it.
+                        if let Some(st) = store.as_mut() {
+                            if st.persist(&mut rep).is_err() {
+                                break 'run;
+                            }
+                        }
                         out.clear();
                         match env {
                             GossipEnvelope::Batched(b) => {
@@ -521,6 +555,15 @@ where
                     }
                     NodeInput::Shutdown => break,
                 };
+                // Persist (append + sync) the handler's changes before
+                // any response frame is written — a crash after this
+                // point re-delivers the answered value from disk; a
+                // persist failure is the node's death, effects dropped.
+                if let Some(st) = store.as_mut() {
+                    if st.persist(&mut rep).is_err() {
+                        break 'run;
+                    }
+                }
                 for e in effects {
                     out.clear();
                     // Operations accepted through the sharded handshake

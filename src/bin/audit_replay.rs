@@ -103,6 +103,85 @@ fn synthetic_trace() -> Vec<TraceEvent> {
     ]
 }
 
+/// A crash/restart trace, shaped like what the durability lane captures:
+/// client 0's answered prefix survives the kill (sync-before-release —
+/// an answered op's frame was on disk), one in-flight op survives as a
+/// synced-but-unanswered frame (stabilizes, never answered), and a
+/// fresh post-restart client — numbered above every recovered identity
+/// — strictly reads the survivor.
+fn recovery_trace() -> Vec<TraceEvent> {
+    let pre = ClientId(0);
+    let post = ClientId(1);
+    let answered = OpId::new(pre, 0);
+    let inflight = OpId::new(pre, 1);
+    let read = OpId::new(post, 0);
+    let sh = |event| TraceEvent { shard: 0, event };
+    vec![
+        sh(AuditEvent::Request(OpDescriptor::new(
+            answered,
+            KvOp::put("k", "pre"),
+        ))),
+        sh(AuditEvent::Response {
+            id: answered,
+            value: KvValue::Ack,
+            witness: Some(vec![answered]),
+        }),
+        // In flight at the cut; its frame reached the disk, so the
+        // recovered order re-admits it, but nobody was ever told.
+        sh(AuditEvent::Request(OpDescriptor::new(
+            inflight,
+            KvOp::put("m", "unacked"),
+        ))),
+        // ---- kill -9, restart from disk ----
+        sh(AuditEvent::Request(
+            OpDescriptor::new(read, KvOp::get("k"))
+                .with_prev([answered])
+                .with_strict(true),
+        )),
+        sh(AuditEvent::Stabilize(answered)),
+        sh(AuditEvent::Stabilize(inflight)),
+        sh(AuditEvent::Stabilize(read)),
+        sh(AuditEvent::Response {
+            id: read,
+            value: KvValue::Value(Some("pre".into())),
+            witness: Some(vec![answered, inflight, read]),
+        }),
+    ]
+}
+
+/// The §9.3 half of the self-check: the honest crash/restart trace must
+/// verify, and a **resurrected label** — the recovered order naming an
+/// operation whose request the cut dropped (a frame that never synced
+/// cannot reappear; if it does, the store invented history) — must be
+/// rejected with the theorem named.
+fn self_check_recovery() -> Result<(), String> {
+    let honest = recovery_trace();
+    replay(honest.iter().map(encode_line))
+        .map_err(|e| format!("honest recovery trace rejected: {e}"))?;
+
+    let mut lying = honest;
+    let resurrected = OpId::new(ClientId(0), 7);
+    lying.insert(
+        lying.len() - 1,
+        TraceEvent {
+            shard: 0,
+            event: AuditEvent::Stabilize(resurrected),
+        },
+    );
+    match replay(lying.iter().map(encode_line)) {
+        Ok(_) => Err("resurrected pre-crash label accepted".into()),
+        Err(e) => {
+            let msg = e.to_string();
+            if !msg.contains("Theorem") {
+                return Err(format!("rejection does not name its theorem: {msg}"));
+            }
+            println!("audit_replay: self-check ok — resurrected label rejected as expected:");
+            println!("  {msg}");
+            Ok(())
+        }
+    }
+}
+
 /// Proves the lane can actually fail: the honest trace must verify, a
 /// value-corrupted copy of it must be rejected with a counterexample.
 fn self_check() -> ExitCode {
@@ -128,12 +207,19 @@ fn self_check() -> ExitCode {
     match replay(lying.iter().map(encode_line)) {
         Ok(_) => {
             eprintln!("audit_replay: self-check failed — corrupted strict read accepted");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         Err(e) => {
             println!("audit_replay: self-check ok — corruption rejected as expected:");
             println!("  {e}");
-            ExitCode::SUCCESS
+        }
+    }
+
+    match self_check_recovery() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("audit_replay: self-check failed — {msg}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -74,6 +74,7 @@ pub use esds_mc as mc;
 pub use esds_runtime as runtime;
 pub use esds_sim as sim;
 pub use esds_spec as spec;
+pub use esds_store as store;
 pub use esds_wire as wire;
 
 /// `VERIFICATION.md`'s Rust blocks compile and run as doctests of this
