@@ -149,7 +149,7 @@ fn main() {
             .map(|(mode, tp)| vec![s(mode), n(tp)])
             .collect(),
     ));
-    let t1 = ex::tab_response_bounds(1);
+    let (t1, t1_ladder) = ex::tab_response_bounds(1);
     series.push((
         "tab_response_bounds",
         vec!["op_class", "measured_ms", "bound_ms"],
@@ -159,6 +159,20 @@ fn main() {
                     s(format!("{c:?}")),
                     n(m.as_secs_f64() * 1e3),
                     n(b.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect(),
+    ));
+    series.push((
+        "tab_response_bounds_ladder",
+        vec!["mode", "mean_ms", "max_ms"],
+        t1_ladder
+            .into_iter()
+            .map(|r| {
+                vec![
+                    s(r.mode),
+                    n(r.mean.as_secs_f64() * 1e3),
+                    n(r.max.as_secs_f64() * 1e3),
                 ]
             })
             .collect(),

@@ -563,9 +563,27 @@ pub fn fig_strict_latency(n: usize, ops_per_client: usize) -> Vec<(u32, f64)> {
     out
 }
 
+/// One rung of the whole-object read ladder measured by
+/// [`tab_response_bounds`]: the read mode and its mean/worst latency.
+#[derive(Clone, Debug)]
+pub struct LadderRung {
+    /// `"eventual gather"`, `"strict home read"`, or
+    /// `"barrier-strict gather"`.
+    pub mode: &'static str,
+    /// Mean response latency of the mode.
+    pub mean: SimDuration,
+    /// Worst response latency of the mode.
+    pub max: SimDuration,
+}
+
 /// T1 — Theorem 9.3: measured worst-case response time per class vs the
-/// analytic bound δ(x). Returns `(class, measured, bound)` triples.
-pub fn tab_response_bounds(seed: u64) -> Vec<(OpClass, SimDuration, SimDuration)> {
+/// analytic bound δ(x), plus the whole-object read ladder on a sharded
+/// deployment (eventual gather < strict home read < barrier-strict
+/// gather). Returns the `(class, measured, bound)` triples and the
+/// ladder rungs.
+pub fn tab_response_bounds(
+    seed: u64,
+) -> (Vec<(OpClass, SimDuration, SimDuration)>, Vec<LadderRung>) {
     // Round-robin relay so `prev` dependencies genuinely cross replicas;
     // with client-attached front ends the paper's locality remark applies
     // and nonstrict latency collapses to 2·df regardless of prev.
@@ -628,7 +646,76 @@ pub fn tab_response_bounds(seed: u64) -> Vec<(OpClass, SimDuration, SimDuration)
         &["class", "measured max", "bound δ(x)", "within bound"],
         &rows,
     );
-    out
+
+    // T1b — the whole-object read ladder on a two-shard deployment with
+    // the same timing parameters. Each round writes one key per shard,
+    // then issues the three read modes at the same instant:
+    //   * an *eventual* gather (`Keys`, nonstrict) — fan out one
+    //     sub-operation per shard, merge the answers, no stability wait;
+    //   * a *strict home* read (strict `Get` on one key) — the classic
+    //     Theorem 9.3 strict path confined to a single shard, which is
+    //     all the pre-fix router could offer a whole-object query (and
+    //     it answered from that one slice);
+    //   * a *barrier-strict* gather (`Keys`, strict) — snapshot each
+    //     shard's answered frontier, wait until it is stable
+    //     everywhere, then run strict sub-operations on every shard.
+    // Truth across shards is paid for in stability waits, never given
+    // up: the means must form the ladder.
+    use esds_datatypes::KvOp;
+    let mut ssys = ShardedSimSystem::new(
+        KvStore,
+        ShardedSystemConfig::new(2, standard_config(3, seed ^ 0x9e37)),
+    );
+    let router = ssys.router();
+    let key_on = |shard: u32| {
+        (0..10_000)
+            .map(|i| format!("k{i}"))
+            .find(|k| router.shard_of_key(k) == shard)
+            .expect("both shards own keys")
+    };
+    let (k0, k1) = (key_on(0), key_on(1));
+    let c = ssys.add_client(0);
+    let mut rounds = Vec::new();
+    for k in 0..24u64 {
+        let at = SimTime::from_millis(80 * k);
+        ssys.submit_at(at, c, KvOp::put(&k0, format!("a{k}")), &[], false);
+        ssys.submit_at(at, c, KvOp::put(&k1, format!("b{k}")), &[], false);
+        // Issue the reads just after the writes have *answered* (2·df)
+        // but before they are *stable everywhere* (df + g + dg): the
+        // barrier-strict gather's frontier then contains this round's
+        // writes and the stability wait is genuinely nonzero.
+        let t = at + SimDuration::from_millis(12);
+        let eventual = ssys.submit_at(t, c, KvOp::Keys, &[], false);
+        let home = ssys.submit_at(t, c, KvOp::get(&k0), &[], true);
+        let barrier = ssys.submit_at(t, c, KvOp::Keys, &[], true);
+        rounds.push([eventual, home, barrier]);
+    }
+    ssys.run_until_quiescent();
+    let mut ladder = Vec::new();
+    let mut ladder_rows = Vec::new();
+    for (slot, mode) in [
+        (0usize, "eventual gather"),
+        (1, "strict home read"),
+        (2, "barrier-strict gather"),
+    ] {
+        let lats: Vec<SimDuration> = rounds
+            .iter()
+            .map(|r| {
+                let (sub, done) = ssys.op_timing(r[slot]).expect("issued above");
+                done.expect("quiescent system answered everything") - sub
+            })
+            .collect();
+        let mean = lats.iter().fold(SimDuration::ZERO, |acc, l| acc + *l) / lats.len() as u64;
+        let max = lats.iter().copied().max().expect("nonempty rounds");
+        ladder_rows.push(vec![mode.to_string(), format!("{mean}"), format!("{max}")]);
+        ladder.push(LadderRung { mode, mean, max });
+    }
+    print_table(
+        "T1b — whole-object read ladder, 2 shards (eventual < strict home < barrier-strict)",
+        &["mode", "mean", "max"],
+        &ladder_rows,
+    );
+    (out, ladder)
 }
 
 /// T2 — Lemma 9.2: time until each operation is done at *every* replica,
@@ -1199,10 +1286,18 @@ mod tests {
     /// experiment binaries).
     #[test]
     fn shapes_hold_in_miniature() {
-        let bounds = tab_response_bounds(3);
+        let (bounds, ladder) = tab_response_bounds(3);
         for (_, measured, bound) in bounds {
             assert!(measured <= bound);
         }
+        // The whole-object read ladder: the eventual gather answers
+        // before the strict modes, and the barrier-strict gather pays
+        // at least the strict home read's price.
+        assert_eq!(ladder.len(), 3);
+        assert!(
+            ladder[0].mean < ladder[1].mean && ladder[1].mean <= ladder[2].mean,
+            "ladder out of order: {ladder:?}"
+        );
         let (measured, bound) = tab_stabilization(4);
         assert!(measured <= bound);
     }

@@ -47,7 +47,7 @@ pub use label::{Label, LabelGenerator, LabelMap, LabelSlot};
 pub use op::{csc, OpDescriptor};
 pub use order::{total_order_consistent, Digraph};
 pub use shard::{
-    fnv1a_64, shard_frontier, KeyedDataType, MigrationPlan, RoutingTable, ShardRouter, ShardedOpId,
-    SlotMove, HOME_SHARD, HOME_SLOT, SLOT_COUNT,
+    fnv1a_64, gather_frontier, shard_frontier, KeyedDataType, MigrationPlan, RoutingTable,
+    ShardRouter, ShardedOpId, SlotMove, HOME_SHARD, HOME_SLOT, SLOT_COUNT,
 };
 pub use summary::IdSummary;

@@ -59,9 +59,12 @@ use crate::SerialDataType;
 /// independent in the [`crate::CommutativitySpec`] sense — they commute
 /// and neither observes the other. Keys partition the object state; an
 /// operator that touches the whole object (e.g. a list-all-keys query)
-/// returns `None` and is routed to the fixed *home shard*, where it
-/// observes only that shard's slice (scatter-gather reads are future
-/// work; see `ROADMAP.md`).
+/// returns `None`. A keyless operator that additionally implements
+/// [`KeyedDataType::merge_gathered`] is a **gatherable query**: the
+/// sharded layers execute it as one read-only sub-operation per involved
+/// shard and merge the partial answers. A keyless operator *without* a
+/// merge is un-gatherable and the deployment layers must reject it
+/// rather than answer from a single shard's slice.
 ///
 /// # Examples
 ///
@@ -95,6 +98,32 @@ pub trait KeyedDataType: SerialDataType {
     /// The partition key `op` touches, or `None` for a whole-object
     /// operator that cannot be attributed to a single partition.
     fn shard_key<'a>(&self, op: &'a Self::Operator) -> Option<&'a str>;
+
+    /// Merges the per-shard partial answers of a whole-object query into
+    /// the answer a single unsharded deployment would have returned, or
+    /// `None` if `op` cannot be gathered (the default: a keyless operator
+    /// with no merge is rejected by the deployment layers instead of
+    /// being mis-answered from one shard's slice).
+    ///
+    /// A gather supplies one `parts` entry per involved shard, in
+    /// ascending shard order; [`KeyedDataType::is_gatherable`] probes
+    /// with an empty list, so implementations must answer `Some` for any
+    /// number of parts (zero included). A gatherable operator must be a
+    /// **read-only query**: the sharded layers may re-scatter it
+    /// (retries, NAK re-routes), so executing a sub-operation twice on
+    /// the same shard must be observably idempotent — true of any
+    /// mutation-free operator.
+    fn merge_gathered(&self, op: &Self::Operator, parts: Vec<Self::Value>) -> Option<Self::Value> {
+        let _ = (op, parts);
+        None
+    }
+
+    /// Whether `op` is a whole-object query the sharded layers can
+    /// scatter-gather (keyless *and* mergeable). Single-key operators
+    /// return `false`: they route to exactly one shard.
+    fn is_gatherable(&self, op: &Self::Operator) -> bool {
+        self.shard_key(op).is_none() && self.merge_gathered(op, Vec::new()).is_some()
+    }
 }
 
 /// 64-bit FNV-1a over a byte string — the stable, dependency-free hash
@@ -272,6 +301,14 @@ impl RoutingTable {
         (0..self.slots.len() as u16)
             .filter(|s| self.slots[*s as usize] == shard)
             .collect()
+    }
+
+    /// The shards that currently own at least one slot, ascending — the
+    /// set a whole-object query must be scattered to. A drained shard
+    /// owns nothing a gather could observe, so it is (correctly) absent.
+    pub fn involved_shards(&self) -> Vec<u32> {
+        let set: BTreeSet<u32> = self.slots.iter().copied().collect();
+        set.into_iter().collect()
     }
 
     /// Slots owned per shard (index = shard id).
@@ -589,6 +626,67 @@ where
     out
 }
 
+/// The multi-placement generalization of [`shard_frontier`] for
+/// histories that contain **gathered** operations.
+///
+/// A gathered whole-object query has one sub-operation on *every*
+/// involved shard, so a single `(shard, local id)` placement cannot
+/// describe it. Here `node` resolves a global identifier to *all* of its
+/// placements plus its global prev set; the walk anchors on a node the
+/// moment it holds a placement on `shard` (a dependent of a gathered op
+/// orders after that shard's own sub-operation — the cross-shard `prev`
+/// rule of the scatter-gather design) and descends through nodes with no
+/// same-shard placement. Single-placement nodes make this walk coincide
+/// exactly with [`shard_frontier`].
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::gather_frontier;
+///
+/// // G is a gathered query placed on shards 0 and 1; K (shard 1)
+/// // depends on it.
+/// let node = |g: u8| match g {
+///     0 => (vec![(0u32, "g@0"), (1, "g@1")], vec![]),
+///     _ => unreachable!(),
+/// };
+/// // K lands on shard 1: anchors on G's shard-1 sub-operation.
+/// assert_eq!(gather_frontier(&[0], 1, node), vec!["g@1"]);
+/// // A dependent on shard 2 sees no same-shard placement and G has no
+/// // predecessors: empty frontier.
+/// assert_eq!(gather_frontier(&[0], 2, node), Vec::<&str>::new());
+/// ```
+pub fn gather_frontier<Id, L>(
+    prev: &[Id],
+    shard: u32,
+    mut node: impl FnMut(Id) -> (Vec<(u32, L)>, Vec<Id>),
+) -> Vec<L>
+where
+    Id: Ord + Copy,
+{
+    let mut out = Vec::new();
+    let mut visited = std::collections::BTreeSet::new();
+    let mut stack: Vec<Id> = prev.to_vec();
+    while let Some(g) = stack.pop() {
+        if !visited.insert(g) {
+            continue;
+        }
+        let (placements, prevs) = node(g);
+        let mut local = None;
+        for (s, l) in placements {
+            if s == shard {
+                local = Some(l);
+                break;
+            }
+        }
+        match local {
+            Some(l) => out.push(l),
+            None => stack.extend(prevs),
+        }
+    }
+    out
+}
+
 /// An operation identifier in the **global** namespace of a sharded
 /// service.
 ///
@@ -783,6 +881,59 @@ mod tests {
         assert_eq!(f, vec!['b']);
         // No predecessors at all: empty frontier.
         assert_eq!(shard_frontier::<u8, char>(&[], 0, node), Vec::<char>::new());
+    }
+
+    #[test]
+    fn involved_shards_tracks_ownership() {
+        let mut t = RoutingTable::uniform(3);
+        assert_eq!(t.involved_shards(), vec![0, 1, 2]);
+        t.apply(&MigrationPlan::drain_shard(&t, 1));
+        assert_eq!(
+            t.involved_shards(),
+            vec![0, 2],
+            "a drained shard owns no slots and must not be scattered to"
+        );
+        t.apply(&MigrationPlan::add_shard(&t));
+        assert_eq!(t.involved_shards(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn gather_frontier_anchors_on_same_shard_placement() {
+        // G gathered over shards {0,1}, with a foreign single-placement
+        // predecessor P on shard 2; D depends on G.
+        let node = |g: u8| match g {
+            0 => (vec![(2u32, "p@2")], vec![]),
+            1 => (vec![(0, "g@0"), (1, "g@1")], vec![0]),
+            _ => unreachable!(),
+        };
+        // D on shard 0 or 1: the gathered op's own sub-op is the anchor.
+        assert_eq!(gather_frontier(&[1], 0, node), vec!["g@0"]);
+        assert_eq!(gather_frontier(&[1], 1, node), vec!["g@1"]);
+        // D on shard 2: descends through G to reach P.
+        assert_eq!(gather_frontier(&[1], 2, node), vec!["p@2"]);
+        // D on shard 3: nothing placed there anywhere in the closure.
+        assert_eq!(gather_frontier(&[1], 3, node), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn gather_frontier_coincides_with_shard_frontier_on_single_placements() {
+        let single = |g: u8| match g {
+            0 => (0u32, 'a', vec![]),
+            1 => (1, 'b', vec![0]),
+            2 => (2, 'c', vec![0]),
+            _ => unreachable!(),
+        };
+        let multi = |g: u8| {
+            let (s, l, p) = single(g);
+            (vec![(s, l)], p)
+        };
+        for shard in 0..4 {
+            let mut a = shard_frontier(&[1, 2], shard, single);
+            let mut b = gather_frontier(&[1, 2], shard, multi);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "shard {shard}");
+        }
     }
 
     #[test]

@@ -239,11 +239,35 @@ impl CommutativitySpec for Directory {
 /// Names partition the directory: every per-name operator (create,
 /// remove, set, lookup) is routed by its name — the §11.2 idiom of
 /// creating a name and then initializing it with `prev`-ordered `SetAttr`s
-/// stays entirely within one shard. `ListNames` is a whole-object query
-/// and goes to the home shard.
+/// stays entirely within one shard. `ListNames` is a gatherable
+/// whole-object query: the sharded layers run it on every involved shard
+/// and merge the per-shard name lists here (sorted disjoint union —
+/// shards own disjoint name sets).
 impl KeyedDataType for Directory {
     fn shard_key<'a>(&self, op: &'a DirectoryOp) -> Option<&'a str> {
         op.name()
+    }
+
+    fn merge_gathered(
+        &self,
+        op: &DirectoryOp,
+        parts: Vec<DirectoryValue>,
+    ) -> Option<DirectoryValue> {
+        match op {
+            DirectoryOp::ListNames => {
+                let mut all: Vec<String> = parts
+                    .into_iter()
+                    .flat_map(|v| match v {
+                        DirectoryValue::Names(ns) => ns,
+                        other => unreachable!("ListNames sub-op answered {other:?}"),
+                    })
+                    .collect();
+                all.sort();
+                all.dedup();
+                Some(DirectoryValue::Names(all))
+            }
+            _ => None,
+        }
     }
 }
 
@@ -288,6 +312,29 @@ mod tests {
         assert_eq!(v, DirectoryValue::Removed(true));
         let (_, v) = dt.apply(&s, &DirectoryOp::ListNames);
         assert_eq!(v, DirectoryValue::Names(vec!["y".into()]));
+    }
+
+    #[test]
+    fn list_names_is_gatherable_and_merges_to_sorted_union() {
+        let dt = Directory;
+        assert!(dt.is_gatherable(&DirectoryOp::ListNames));
+        assert!(!dt.is_gatherable(&DirectoryOp::lookup("a", "k")));
+        let merged = dt.merge_gathered(
+            &DirectoryOp::ListNames,
+            vec![
+                DirectoryValue::Names(vec!["y".into()]),
+                DirectoryValue::Names(vec!["x".into(), "z".into()]),
+            ],
+        );
+        assert_eq!(
+            merged,
+            Some(DirectoryValue::Names(vec![
+                "x".into(),
+                "y".into(),
+                "z".into()
+            ]))
+        );
+        assert_eq!(dt.merge_gathered(&DirectoryOp::create("a"), vec![]), None);
     }
 
     fn any_name() -> impl Strategy<Value = String> {

@@ -137,11 +137,31 @@ impl CommutativitySpec for KvStore {
 }
 
 /// The keyspace is the shard space: `Put`/`Get`/`Remove` are routed by
-/// their key; `Keys` is a whole-object query and goes to the home shard,
-/// where it observes only that shard's slice.
+/// their key; `Keys` is a gatherable whole-object query — the sharded
+/// layers run it on every involved shard and merge the per-shard key
+/// lists here. Shards own disjoint key sets, so the merge is a sorted
+/// disjoint union (dedup defends against a shard answering twice).
 impl KeyedDataType for KvStore {
     fn shard_key<'a>(&self, op: &'a KvOp) -> Option<&'a str> {
         op.key()
+    }
+
+    fn merge_gathered(&self, op: &KvOp, parts: Vec<KvValue>) -> Option<KvValue> {
+        match op {
+            KvOp::Keys => {
+                let mut all: Vec<String> = parts
+                    .into_iter()
+                    .flat_map(|v| match v {
+                        KvValue::Keys(ks) => ks,
+                        other => unreachable!("Keys sub-op answered {other:?}"),
+                    })
+                    .collect();
+                all.sort();
+                all.dedup();
+                Some(KvValue::Keys(all))
+            }
+            _ => None,
+        }
     }
 }
 
@@ -171,6 +191,36 @@ mod tests {
         assert!(!dt.commutes(&KvOp::put("a", "1"), &KvOp::put("a", "2")));
         assert!(dt.independent(&KvOp::get("a"), &KvOp::put("b", "2")));
         assert!(!dt.independent(&KvOp::get("a"), &KvOp::put("a", "2")));
+    }
+
+    #[test]
+    fn keys_is_gatherable_and_merges_to_sorted_union() {
+        let dt = KvStore;
+        assert!(dt.is_gatherable(&KvOp::Keys));
+        assert!(!dt.is_gatherable(&KvOp::get("a")));
+        let merged = dt.merge_gathered(
+            &KvOp::Keys,
+            vec![
+                KvValue::Keys(vec!["b".into(), "d".into()]),
+                KvValue::Keys(vec!["a".into(), "c".into()]),
+                KvValue::Keys(vec!["a".into()]),
+            ],
+        );
+        assert_eq!(
+            merged,
+            Some(KvValue::Keys(vec![
+                "a".into(),
+                "b".into(),
+                "c".into(),
+                "d".into()
+            ]))
+        );
+        assert_eq!(
+            dt.merge_gathered(&KvOp::Keys, vec![]),
+            Some(KvValue::Keys(vec![])),
+            "the zero-part probe must answer"
+        );
+        assert_eq!(dt.merge_gathered(&KvOp::get("a"), vec![]), None);
     }
 
     fn any_key() -> impl Strategy<Value = String> {

@@ -58,6 +58,43 @@
 //! gate cannot pass and the migration simply waits — frozen submissions
 //! stay queued and are answered after recovery, never lost.
 //!
+//! ## Whole-object queries: scatter-gather
+//!
+//! A keyless operator touches the whole object, which sharding has cut
+//! into `S` disjoint slices. If the data type can merge partial answers
+//! ([`KeyedDataType::merge_gathered`] — e.g. `Keys`, `ListNames`), the
+//! router executes it as one **sub-operation per involved shard** (every
+//! shard owning at least one slot) and merges the per-shard answers into
+//! the value a single unsharded deployment would have returned:
+//!
+//! * **eventual mode** — sub-operations are scattered immediately and
+//!   merged as they answer: each slice is *some* consistent view of its
+//!   shard, with no cross-shard ordering claim (mirroring the paper's
+//!   eventual consistency level);
+//! * **barrier-strict mode** (`strict = true`) — before scattering, the
+//!   router snapshots each involved shard's **answered frontier** and
+//!   waits until every snapshotted operation is **stable everywhere** in
+//!   its shard. Only then are strict sub-operations submitted: each
+//!   one's freshly-minted label is necessarily greater than every
+//!   frontier label, so each sub-operation is ordered after its shard's
+//!   entire frontier in that shard's eventual total order (Theorem 5.8)
+//!   — the merged answer is a **consistent cut** covering everything
+//!   answered anywhere before the gather began. No 2PC: shards never
+//!   coordinate; the barrier is pure waiting, per shard independently.
+//!   (A bare strict sub-operation is *not* enough: an operation answered
+//!   at a fast-clocked replica before the query can carry a label larger
+//!   than the sub-operation's, excluding it from the answer despite
+//!   having been answered first. The stability-cover wait closes exactly
+//!   that race.)
+//!
+//! A gathered operation participates in `prev` like any other: each
+//! sub-operation carries the same-shard frontier of the gather's `prev`
+//! closure, and a later dependent anchors on the involved shard's own
+//! sub-operation (see [`esds_core::gather_frontier`]). Gathers defer
+//! while a migration is active — the involved-shard set must not change
+//! mid-gather — and keyless operators *without* a merge keep the legacy
+//! home-slot routing, answering from one shard's slice only.
+//!
 //! Shards advance in lockstep: [`ShardedSimSystem::run_until`] drives
 //! every per-shard event queue to the same virtual instant, releasing
 //! deferred operations and advancing any active migration between
@@ -122,6 +159,26 @@ enum TicketState<T: KeyedDataType> {
         local: OpId,
         prev: Vec<ShardedOpId>,
     },
+    /// A gatherable whole-object query in barrier-strict mode: released
+    /// from the routing layer, holding each involved shard's answered
+    /// frontier, waiting until every snapshotted operation is stable
+    /// everywhere in its shard before scattering.
+    GatherBarrier {
+        p: PendingOp<T>,
+        frontier: BTreeMap<u32, Vec<OpId>>,
+    },
+    /// A gathered query scattered as one sub-operation per involved
+    /// shard. `merged` is filled once every sub-operation is answered;
+    /// `frontier` retains the barrier obligation (empty in eventual
+    /// mode) so conformance tests can check the cut.
+    GatherScattered {
+        op: T::Operator,
+        subs: BTreeMap<u32, OpId>,
+        prev: Vec<ShardedOpId>,
+        frontier: BTreeMap<u32, Vec<OpId>>,
+        requested_at: SimTime,
+        merged: Option<T::Value>,
+    },
 }
 
 /// An in-progress slot migration (see the module docs' state machine).
@@ -165,6 +222,10 @@ pub struct ShardedSimSystem<T: KeyedDataType + Clone> {
     /// Deferred submissions in FIFO order (release preserves per-client
     /// submission order whenever constraints allow).
     deferred: VecDeque<ShardedOpId>,
+    /// Gathered queries still in flight: waiting on their barrier or on
+    /// sub-operation answers (see [`TicketState::GatherBarrier`] /
+    /// [`TicketState::GatherScattered`]).
+    active_gathers: Vec<ShardedOpId>,
     next_seq: BTreeMap<ClientId, u64>,
     /// Relay hints of every client, in creation order — replayed into
     /// shards spawned later so per-shard [`ClientId`]s stay aligned.
@@ -199,6 +260,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             shards,
             tickets: BTreeMap::new(),
             deferred: VecDeque::new(),
+            active_gathers: Vec::new(),
             next_seq: BTreeMap::new(),
             client_hints: Vec::new(),
             migration: None,
@@ -354,6 +416,9 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// walk checks every visited foreign node explicitly, exactly as the
     /// threaded `ShardedClient` awaits each one.
     fn is_ready(&self, p: &PendingOp<T>) -> bool {
+        if self.dt.is_gatherable(&p.op) {
+            return self.gather_ready(p);
+        }
         if p.at > self.now() || self.is_frozen(p.slot) {
             return false;
         }
@@ -366,7 +431,9 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
             }
             match self.tickets.get(&g) {
                 None => panic!("prev {g} was never submitted to this system"),
-                Some(TicketState::Pending(_)) => return false,
+                Some(TicketState::Pending(_)) | Some(TicketState::GatherBarrier { .. }) => {
+                    return false
+                }
                 Some(TicketState::Submitted {
                     shard, local, prev, ..
                 }) => {
@@ -377,6 +444,66 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
                         stack.extend(prev.iter().copied());
                     }
                 }
+                Some(TicketState::GatherScattered {
+                    subs, prev, merged, ..
+                }) => {
+                    // A sub-operation on the target shard anchors the
+                    // dependent in-shard (inherited by local_frontier);
+                    // otherwise the gather is foreign and must be fully
+                    // answered before its edge can be dropped.
+                    if !subs.contains_key(&target) {
+                        if merged.is_none() {
+                            return false;
+                        }
+                        stack.extend(prev.iter().copied());
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether a gatherable whole-object query may scatter: its time has
+    /// arrived, no migration is active (the involved-shard set must not
+    /// change mid-gather — this also closes the keyless/flip race: a
+    /// whole-object query can never land on a shard that just
+    /// replayed-and-drained), and every predecessor in its constraint
+    /// closure is either placed on an involved shard (the gather's own
+    /// sub-operation there will carry the ordering) or answered.
+    fn gather_ready(&self, p: &PendingOp<T>) -> bool {
+        if p.at > self.now() || self.migration.is_some() {
+            return false;
+        }
+        let involved: BTreeSet<u32> = self.router.table().involved_shards().into_iter().collect();
+        let mut visited: BTreeSet<ShardedOpId> = BTreeSet::new();
+        let mut stack: Vec<ShardedOpId> = p.prev.clone();
+        while let Some(g) = stack.pop() {
+            if !visited.insert(g) {
+                continue;
+            }
+            match self.tickets.get(&g) {
+                None => panic!("prev {g} was never submitted to this system"),
+                Some(TicketState::Pending(_)) | Some(TicketState::GatherBarrier { .. }) => {
+                    return false
+                }
+                Some(TicketState::Submitted {
+                    shard, local, prev, ..
+                }) => {
+                    if !involved.contains(shard) {
+                        // Placed on a drained shard no sub-operation
+                        // will visit: must be answered, like any
+                        // foreign predecessor.
+                        if self.shards[*shard as usize].response(*local).is_none() {
+                            return false;
+                        }
+                        stack.extend(prev.iter().copied());
+                    }
+                }
+                Some(TicketState::GatherScattered { merged, .. }) => {
+                    if merged.is_none() {
+                        return false;
+                    }
+                }
             }
         }
         true
@@ -384,22 +511,23 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
 
     /// The `prev` constraints to carry into shard `shard`: the local ids
     /// of every same-shard operation reachable from `prev` through
-    /// foreign hops — [`esds_core::shard_frontier`] over the ticket map.
-    /// Every foreign node the walk visits is already answered (checked
-    /// over the same closure by [`ShardedSimSystem::is_ready`]), so only
-    /// ordering must be inherited here, not awaited.
+    /// foreign hops — [`esds_core::gather_frontier`] over the ticket map
+    /// (a gathered predecessor anchors on its own sub-operation in
+    /// `shard`). Every foreign node the walk visits is already answered
+    /// (checked over the same closure by [`ShardedSimSystem::is_ready`]),
+    /// so only ordering must be inherited here, not awaited.
     fn local_frontier(&self, prev: &[ShardedOpId], shard: u32) -> Vec<OpId> {
-        esds_core::shard_frontier(prev, shard, |g| {
-            let Some(TicketState::Submitted {
+        esds_core::gather_frontier(prev, shard, |g| match self.tickets.get(&g) {
+            Some(TicketState::Submitted {
                 shard: s,
                 local,
                 prev,
                 ..
-            }) = self.tickets.get(&g)
-            else {
-                unreachable!("is_ready guarantees every predecessor is released");
-            };
-            (*s, *local, prev.clone())
+            }) => (vec![(*s, *local)], prev.clone()),
+            Some(TicketState::GatherScattered { subs, prev, .. }) => {
+                (subs.iter().map(|(s, l)| (*s, *l)).collect(), prev.clone())
+            }
+            _ => unreachable!("is_ready guarantees every predecessor is released"),
         })
     }
 
@@ -408,6 +536,10 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// slot with a replayed prefix carry a `prev` anchor on the last
     /// replayed operation, ordering them behind the transferred history.
     fn release(&mut self, gid: ShardedOpId, p: PendingOp<T>) {
+        if self.dt.is_gatherable(&p.op) {
+            self.release_gather(gid, p);
+            return;
+        }
         let shard = self.router.table().shard_of_slot(p.slot);
         let mut local_prev = self.local_frontier(&p.prev, shard);
         if let Some(anchor) = self.replay_anchor.get(&(shard, p.slot)) {
@@ -426,10 +558,178 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         );
     }
 
+    /// Routes a ready gatherable query: barrier-strict queries snapshot
+    /// every involved shard's answered frontier and wait for stability
+    /// cover ([`ShardedSimSystem::pump_gathers`] scatters them once
+    /// covered); eventual queries scatter immediately.
+    fn release_gather(&mut self, gid: ShardedOpId, p: PendingOp<T>) {
+        if p.strict {
+            let frontier: BTreeMap<u32, Vec<OpId>> = self
+                .router
+                .table()
+                .involved_shards()
+                .into_iter()
+                .map(|s| (s, self.answered_frontier(s)))
+                .collect();
+            self.tickets
+                .insert(gid, TicketState::GatherBarrier { p, frontier });
+            self.active_gathers.push(gid);
+        } else {
+            self.scatter(gid, p, BTreeMap::new());
+        }
+    }
+
+    /// Every operation some replica of `shard` has responded to — the
+    /// shard's answered frontier, the barrier's unit of snapshot.
+    fn answered_frontier(&self, shard: u32) -> Vec<OpId> {
+        let sys = &self.shards[shard as usize];
+        sys.requested()
+            .keys()
+            .filter(|id| sys.response(**id).is_some())
+            .copied()
+            .collect()
+    }
+
+    /// Whether every snapshotted frontier operation is stable everywhere
+    /// in its shard — the barrier condition.
+    fn barrier_covered(&self, frontier: &BTreeMap<u32, Vec<OpId>>) -> bool {
+        frontier.iter().all(|(s, ids)| {
+            let sys = &self.shards[*s as usize];
+            ids.iter().all(|id| sys.op_is_stable_everywhere(*id))
+        })
+    }
+
+    /// Submits one sub-operation of a gathered query per involved shard,
+    /// carrying the gather's same-shard `prev` frontier plus an anchor
+    /// behind any prefix replayed onto the shard by past migrations (so
+    /// the query cannot observe a pre-handoff state).
+    fn scatter(&mut self, gid: ShardedOpId, p: PendingOp<T>, frontier: BTreeMap<u32, Vec<OpId>>) {
+        let involved = self.router.table().involved_shards();
+        let mut subs = BTreeMap::new();
+        for s in involved {
+            let mut local_prev = self.local_frontier(&p.prev, s);
+            for ((sh, _), anchor) in self.replay_anchor.iter() {
+                if *sh == s {
+                    local_prev.push(*anchor);
+                }
+            }
+            let target = &mut self.shards[s as usize];
+            let at = p.at.max(target.now());
+            let local = target.submit_at(at, p.client, p.op.clone(), &local_prev, p.strict);
+            subs.insert(s, local);
+        }
+        self.tickets.insert(
+            gid,
+            TicketState::GatherScattered {
+                op: p.op,
+                subs,
+                prev: p.prev,
+                frontier,
+                requested_at: p.at,
+                merged: None,
+            },
+        );
+        self.active_gathers.push(gid);
+    }
+
+    /// Advances in-flight gathers: scatters barrier gathers whose
+    /// frontier is now covered, merges scattered gathers whose
+    /// sub-operations are all answered. Returns whether anything moved.
+    fn pump_gathers(&mut self) -> bool {
+        enum Step {
+            Wait,
+            Scatter,
+            Merge,
+            Done,
+        }
+        let mut progressed = false;
+        let gids: Vec<ShardedOpId> = std::mem::take(&mut self.active_gathers);
+        for gid in gids {
+            let step = match self.tickets.get(&gid) {
+                Some(TicketState::GatherBarrier { frontier, .. }) => {
+                    if self.barrier_covered(frontier) {
+                        Step::Scatter
+                    } else {
+                        Step::Wait
+                    }
+                }
+                Some(TicketState::GatherScattered { subs, merged, .. }) => {
+                    if merged.is_some() {
+                        Step::Done
+                    } else if subs
+                        .iter()
+                        .all(|(s, l)| self.shards[*s as usize].response(*l).is_some())
+                    {
+                        Step::Merge
+                    } else {
+                        Step::Wait
+                    }
+                }
+                _ => unreachable!("active gather must be a gather ticket"),
+            };
+            match step {
+                Step::Wait => self.active_gathers.push(gid),
+                Step::Done => {}
+                Step::Scatter => {
+                    let Some(TicketState::GatherBarrier { p, frontier }) =
+                        self.tickets.remove(&gid)
+                    else {
+                        unreachable!("checked above");
+                    };
+                    self.scatter(gid, p, frontier);
+                    progressed = true;
+                }
+                Step::Merge => {
+                    let (op, parts) = {
+                        let Some(TicketState::GatherScattered { op, subs, .. }) =
+                            self.tickets.get(&gid)
+                        else {
+                            unreachable!("checked above");
+                        };
+                        let parts: Vec<T::Value> = subs
+                            .iter()
+                            .map(|(s, l)| {
+                                self.shards[*s as usize]
+                                    .response(*l)
+                                    .expect("checked")
+                                    .clone()
+                            })
+                            .collect();
+                        (op.clone(), parts)
+                    };
+                    let v = self
+                        .dt
+                        .merge_gathered(&op, parts)
+                        .expect("scattered operators are gatherable");
+                    let Some(TicketState::GatherScattered { merged, .. }) =
+                        self.tickets.get_mut(&gid)
+                    else {
+                        unreachable!("checked above");
+                    };
+                    *merged = Some(v);
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
     /// Releases every deferred operation whose predecessors, schedule,
-    /// and slot are now clear, to fixpoint (one release can unblock
-    /// another).
+    /// and slot are now clear, and advances in-flight gathers, to
+    /// fixpoint (one release can unblock another; a merged gather can
+    /// unblock a deferred dependent).
     fn pump(&mut self) {
+        loop {
+            self.pump_deferred();
+            if !self.pump_gathers() {
+                return;
+            }
+        }
+    }
+
+    /// One sub-step of [`ShardedSimSystem::pump`]: the deferred queue
+    /// alone, to fixpoint.
+    fn pump_deferred(&mut self) {
         loop {
             let mut progressed = false;
             let mut still: VecDeque<ShardedOpId> = VecDeque::new();
@@ -678,24 +978,31 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         self.run_until(t);
     }
 
-    /// Runs **one** event of shard `shard` and returns its report, then
-    /// releases any deferred cross-shard submissions the event unblocked
-    /// and advances any active migration. `None` when that shard's queue
-    /// is empty. This is the fine-grained stepping mode the per-shard
-    /// [`crate::ConformanceObserver`]s need: each shard is an independent
-    /// ESDS instance, so observing every shard's steps against its own
-    /// `ESDS-II` automaton is exactly the sharded conformance statement —
-    /// and it holds *through* a slot handoff, because replayed and
-    /// drained operations are ordinary requests of the receiving shard.
+    /// Releases any deferred cross-shard submissions earlier steps
+    /// unblocked, advances any active migration, then runs **one** event
+    /// of shard `shard` and returns its report. `None` when that shard's
+    /// queue is empty. This is the fine-grained stepping mode the
+    /// per-shard [`crate::ConformanceObserver`]s need: each shard is an
+    /// independent ESDS instance, so observing every shard's steps
+    /// against its own `ESDS-II` automaton is exactly the sharded
+    /// conformance statement — and it holds *through* a slot handoff,
+    /// because replayed and drained operations are ordinary requests of
+    /// the receiving shard.
+    ///
+    /// The release pump runs **before** the step, not after: a released
+    /// operation (and in particular a scattered whole-object query,
+    /// whose sub-operations land on *every* involved shard at once —
+    /// including `shard` itself) must appear in the next report the
+    /// observer sees for its shard, never in the gap between a report
+    /// and the post-step view it is checked against.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn step_shard(&mut self, shard: usize) -> Option<crate::system::TimedStep<T>> {
-        let out = self.shards[shard].step_one();
         self.pump();
         self.try_complete_migration();
-        out
+        self.shards[shard].step_one()
     }
 
     /// A live borrow view of shard `shard` for invariant/conformance
@@ -714,6 +1021,7 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     pub fn is_converged(&self) -> bool {
         self.migration.is_none()
             && self.deferred.is_empty()
+            && self.active_gathers.is_empty()
             && self.shards.iter().all(|s| s.is_converged())
     }
 
@@ -735,6 +1043,14 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
                 if !self.deferred.is_empty() {
                     let held: Vec<String> = self.deferred.iter().map(|g| g.to_string()).collect();
                     parts.push(format!("{} deferred {held:?}", self.deferred.len()));
+                }
+                if !self.active_gathers.is_empty() {
+                    let held: Vec<String> =
+                        self.active_gathers.iter().map(|g| g.to_string()).collect();
+                    parts.push(format!(
+                        "{} gathers in flight {held:?}",
+                        self.active_gathers.len()
+                    ));
                 }
                 for (i, s) in self.shards.iter().enumerate() {
                     if !s.is_converged() {
@@ -777,21 +1093,43 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     /// Where `id` was routed: its shard and, once released, its local
     /// identifier within that shard. For pending operations the shard is
     /// the *current* owner of the operation's slot (a pending operation
-    /// follows migrations until it is released).
+    /// follows migrations until it is released). Gathered queries have
+    /// no single placement — `None` here; see
+    /// [`ShardedSimSystem::gather_detail`].
     pub fn placement(&self, id: ShardedOpId) -> Option<(u32, Option<OpId>)> {
         match self.tickets.get(&id)? {
             TicketState::Pending(p) => Some((self.router.table().shard_of_slot(p.slot), None)),
             TicketState::Submitted { shard, local, .. } => Some((*shard, Some(*local))),
+            TicketState::GatherBarrier { .. } | TicketState::GatherScattered { .. } => None,
         }
     }
 
-    /// The response delivered for `id`, if any.
+    /// A gathered query's per-shard sub-operations and, in barrier-strict
+    /// mode, the answered-frontier snapshot its barrier waited out (empty
+    /// in eventual mode) — the raw material of an `esds_spec::ShardBarrier`
+    /// cut check. `None` until the query scatters, and for single-key
+    /// operations.
+    #[allow(clippy::type_complexity)]
+    pub fn gather_detail(
+        &self,
+        id: ShardedOpId,
+    ) -> Option<(&BTreeMap<u32, OpId>, &BTreeMap<u32, Vec<OpId>>)> {
+        match self.tickets.get(&id)? {
+            TicketState::GatherScattered { subs, frontier, .. } => Some((subs, frontier)),
+            _ => None,
+        }
+    }
+
+    /// The response delivered for `id`, if any. For a gathered query this
+    /// is the merged whole-object answer, available once every involved
+    /// shard has answered its sub-operation.
     pub fn response(&self, id: ShardedOpId) -> Option<&T::Value> {
         match self.tickets.get(&id)? {
-            TicketState::Pending { .. } => None,
+            TicketState::Pending { .. } | TicketState::GatherBarrier { .. } => None,
             TicketState::Submitted { shard, local, .. } => {
                 self.shards[*shard as usize].response(*local)
             }
+            TicketState::GatherScattered { merged, .. } => merged.as_ref(),
         }
     }
 
@@ -814,10 +1152,11 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
         self.tickets
             .values()
             .filter(|t| match t {
-                TicketState::Pending(_) => false,
+                TicketState::Pending(_) | TicketState::GatherBarrier { .. } => false,
                 TicketState::Submitted { shard, local, .. } => {
                     self.shards[*shard as usize].response(*local).is_some()
                 }
+                TicketState::GatherScattered { merged, .. } => merged.is_some(),
             })
             .count()
     }
@@ -834,27 +1173,53 @@ impl<T: KeyedDataType + Clone> ShardedSimSystem<T> {
     }
 
     /// The submission/response timing of `id`, if released and known:
-    /// `(submitted, responded)`.
+    /// `(submitted, responded)`. For a gathered query, `submitted` is
+    /// the instant the client requested it (barrier waiting counts
+    /// toward latency — it is part of what the client pays) and
+    /// `responded` the instant the *last* sub-operation answered.
     pub fn op_timing(&self, id: ShardedOpId) -> Option<(SimTime, Option<SimTime>)> {
         match self.tickets.get(&id)? {
-            TicketState::Pending { .. } => None,
+            TicketState::Pending { .. } | TicketState::GatherBarrier { .. } => None,
             TicketState::Submitted { shard, local, .. } => self.shards[*shard as usize]
                 .op_times()
                 .get(local)
                 .map(|t| (t.submitted, t.responded)),
+            TicketState::GatherScattered {
+                subs, requested_at, ..
+            } => {
+                let responded = subs
+                    .iter()
+                    .map(|(s, l)| {
+                        self.shards[*s as usize]
+                            .op_times()
+                            .get(l)
+                            .and_then(|t| t.responded)
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .and_then(|ts| ts.into_iter().max());
+                Some((*requested_at, responded))
+            }
         }
     }
 
     /// Per-shard count of operations routed there (load-balance metric).
-    /// Pending operations count toward their slot's current owner.
+    /// Pending operations count toward their slot's current owner; a
+    /// gathered query counts once per involved shard (it really does
+    /// occupy each of them).
     pub fn shard_loads(&self) -> Vec<usize> {
         let mut loads = vec![0usize; self.shards.len()];
         for t in self.tickets.values() {
-            let s = match t {
-                TicketState::Pending(p) => self.router.table().shard_of_slot(p.slot),
-                TicketState::Submitted { shard, .. } => *shard,
-            };
-            loads[s as usize] += 1;
+            match t {
+                TicketState::Pending(p) | TicketState::GatherBarrier { p, .. } => {
+                    loads[self.router.table().shard_of_slot(p.slot) as usize] += 1;
+                }
+                TicketState::Submitted { shard, .. } => loads[*shard as usize] += 1,
+                TicketState::GatherScattered { subs, .. } => {
+                    for s in subs.keys() {
+                        loads[*s as usize] += 1;
+                    }
+                }
+            }
         }
         loads
     }
@@ -998,16 +1363,184 @@ mod tests {
     }
 
     #[test]
-    fn keyless_ops_go_to_home_shard() {
+    fn whole_object_query_gathers_union_across_shards() {
+        // Regression pin for the PR 2–5 bug: `Keys` used to route to the
+        // HOME_SLOT owner and return only that shard's slice. Reverting
+        // scatter-gather (keyless → home shard) makes this fail: 32 keys
+        // spread over 4 shards, and the home shard holds only ~a quarter
+        // of them.
         let mut sys = kv_sys(4, 6);
         let c = sys.add_client(0);
+        let mut expect: Vec<String> = Vec::new();
+        for i in 0..32 {
+            let k = format!("k{i}");
+            sys.submit(c, KvOp::put(&k, "v"), &[], false);
+            expect.push(k);
+        }
+        expect.sort();
         let keys = sys.submit(c, KvOp::Keys, &[], false);
+        sys.run_until_quiescent();
+        let loads = sys.shard_loads();
+        assert!(
+            loads.iter().all(|l| *l > 0),
+            "precondition: every shard must hold some keys: {loads:?}"
+        );
+        let (subs, frontier) = sys.gather_detail(keys).expect("scattered");
+        assert_eq!(subs.len(), 4, "one sub-operation per involved shard");
+        assert!(frontier.is_empty(), "eventual gather takes no barrier");
         assert_eq!(
-            sys.placement(keys).map(|(s, _)| s),
+            sys.response(keys),
+            Some(&KvValue::Keys(expect)),
+            "a whole-object query must return the union of every shard's slice"
+        );
+    }
+
+    #[test]
+    fn barrier_strict_keys_is_exact_and_cut_checks() {
+        use esds_spec::{check_barrier_cut, ShardBarrier};
+        let mut sys = kv_sys(4, 21);
+        let c = sys.add_client(0);
+        let mut expect: Vec<String> = Vec::new();
+        for i in 0..24 {
+            let k = format!("k{i}");
+            sys.submit(c, KvOp::put(&k, "v"), &[], i % 5 == 0);
+            expect.push(k);
+        }
+        expect.sort();
+        // Everything answered before the query is requested: barrier
+        // strictness must make the answer exactly the full key set.
+        sys.run_until_quiescent();
+        let keys = sys.submit(c, KvOp::Keys, &[], true);
+        sys.run_until_quiescent();
+        assert_eq!(sys.response(keys), Some(&KvValue::Keys(expect)));
+        let (subs, frontier) = sys.gather_detail(keys).expect("scattered");
+        assert_eq!(subs.len(), 4);
+        assert_eq!(frontier.len(), 4, "barrier snapshots every involved shard");
+        assert!(
+            frontier.values().any(|f| !f.is_empty()),
+            "an answered workload must leave a nonempty frontier somewhere"
+        );
+        // The conformance predicate: each sub-op after its shard's whole
+        // frontier in that shard's eventual order.
+        for (shard, f) in frontier {
+            let b = ShardBarrier {
+                shard: *shard,
+                frontier: f.clone(),
+                sub: subs[shard],
+            };
+            let order = sys.shards()[*shard as usize].minlabel_order();
+            assert_eq!(check_barrier_cut(&b, &order), vec![], "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn gather_defers_while_migration_active() {
+        // The keyless/flip race (satellite of ISSUE 8): a whole-object
+        // query must never race a routing-table flip — it defers until
+        // the migration completes, then gathers over the *new* shard
+        // set, seeing every migrated key exactly once.
+        let mut sys = kv_sys(2, 23);
+        let c = sys.add_client(0);
+        let mut expect: Vec<String> = Vec::new();
+        for i in 0..20 {
+            let k = format!("k{i}");
+            sys.submit(c, KvOp::put(&k, "v"), &[], false);
+            expect.push(k);
+        }
+        expect.sort();
+        sys.run_for(SimDuration::from_millis(40));
+        sys.begin_add_shard();
+        assert!(sys.migration_active());
+        let keys = sys.submit(c, KvOp::Keys, &[], true);
+        assert!(
+            sys.gather_detail(keys).is_none(),
+            "a gather must not scatter mid-migration"
+        );
+        sys.run_until_quiescent();
+        assert_eq!(sys.table_version(), 1);
+        let (subs, _) = sys.gather_detail(keys).expect("scattered after the flip");
+        assert_eq!(
+            subs.len(),
+            3,
+            "the deferred gather must cover the post-flip shard set"
+        );
+        assert_eq!(sys.response(keys), Some(&KvValue::Keys(expect)));
+    }
+
+    #[test]
+    fn gather_participates_in_prev_both_directions() {
+        let mut sys = kv_sys(4, 25);
+        let c = sys.add_client(0);
+        // Writes on (at least) two different shards, unanswered when the
+        // gather is requested, ordered before it via prev.
+        let a = sys.submit(c, KvOp::put("a", "1"), &[], false);
+        let b = sys.submit(c, KvOp::put("b0", "2"), &[], false);
+        let keys = sys.submit(c, KvOp::Keys, &[a, b], false);
+        // And a dependent ordered after the gather.
+        let after = sys.submit(c, KvOp::put("c", "3"), &[keys], false);
+        sys.run_until_quiescent();
+        let KvValue::Keys(ks) = sys.response(keys).expect("answered") else {
+            panic!("wrong value kind");
+        };
+        assert!(
+            ks.contains(&"a".to_string()),
+            "prev write a missing: {ks:?}"
+        );
+        assert!(
+            ks.contains(&"b0".to_string()),
+            "prev write b missing: {ks:?}"
+        );
+        assert_eq!(sys.response(after), Some(&KvValue::Ack));
+    }
+
+    #[test]
+    fn ungatherable_keyless_ops_still_route_home() {
+        use esds_core::SerialDataType;
+        // A keyless operator without a merge keeps the legacy home-slot
+        // routing (the sim's document-and-route analog of the wire
+        // layer's typed rejection).
+        #[derive(Clone)]
+        struct NoMerge;
+        #[derive(Clone, PartialEq, Debug)]
+        enum NmOp {
+            Touch(String),
+            Whole,
+        }
+        impl SerialDataType for NoMerge {
+            type State = u64;
+            type Operator = NmOp;
+            type Value = u64;
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn apply(&self, s: &u64, _op: &NmOp) -> (u64, u64) {
+                (s + 1, s + 1)
+            }
+        }
+        impl esds_core::KeyedDataType for NoMerge {
+            fn shard_key<'a>(&self, op: &'a NmOp) -> Option<&'a str> {
+                match op {
+                    NmOp::Touch(k) => Some(k),
+                    NmOp::Whole => None,
+                }
+            }
+        }
+        let cfg = ShardedSystemConfig::new(4, SystemConfig::new(2).with_seed(27));
+        let mut sys = ShardedSimSystem::new(NoMerge, cfg);
+        let c = sys.add_client(0);
+        let t = sys.submit(c, NmOp::Touch("x".into()), &[], false);
+        let w = sys.submit(c, NmOp::Whole, &[t], false);
+        assert_eq!(
+            sys.placement(t).map(|(s, _)| s),
+            Some(sys.router().shard_of_key("x"))
+        );
+        assert_eq!(
+            sys.placement(w).map(|(s, _)| s),
             Some(sys.router().table().shard_of_slot(esds_core::HOME_SLOT))
         );
         sys.run_until_quiescent();
-        assert!(matches!(sys.response(keys), Some(KvValue::Keys(_))));
+        assert!(sys.gather_detail(w).is_none());
+        assert!(sys.response(w).is_some());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Differential testing of scatter-gather whole-object queries: a
+//! sharded deployment (S ∈ {2, 4}) must answer whole-object queries
+//! like the unsharded reference (S = 1).
+//!
+//! * **Barrier-strict is exact**: at quiescence, a strict `Keys` /
+//!   `ListNames` returns the *same* answer on every shard count — the
+//!   full sorted union. Pre-fix, the sharded deployments answered from
+//!   the home shard's slice alone, so this property is precisely the
+//!   ISSUE's bug statement run as a property.
+//! * **Eventual is bounded**: a gathered eventual query racing the
+//!   writes reflects *some* cut of the concurrent history — everything
+//!   the query was constrained after (its `prev` closure) must appear,
+//!   and nothing never written may appear. The same bound holds at
+//!   S = 1, making the sharded answer indistinguishable from a legal
+//!   unsharded interleaving.
+//! * **The colocated control is exact**: `Bank` has a single key, so
+//!   every operation lands on one home shard at any S; under a fully
+//!   `prev`-chained workload the eventual total order is forced and the
+//!   final strict `Balance` equals the serial fold everywhere.
+//!
+//! Runs at 512 cases in the release-mode CI `proptests` job.
+
+use std::collections::BTreeSet;
+
+use esds_datatypes::{
+    Bank, BankOp, BankValue, Directory, DirectoryOp, DirectoryValue, KvOp, KvStore, KvValue,
+};
+use esds_harness::{ShardedSimSystem, ShardedSystemConfig, SystemConfig};
+use esds_sim::SimTime;
+use proptest::prelude::*;
+
+/// Generous virtual-time budget; convergence is typically milliseconds.
+fn budget() -> SimTime {
+    SimTime::from_millis(600_000)
+}
+
+fn shard_counts() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4usize)]
+}
+
+/// One sharded run of a kv workload: `writes` submitted eventually with
+/// no constraints, one eventual `Keys` racing them (constrained after
+/// the first half), then — at quiescence — one barrier-strict `Keys`.
+/// Returns `(eventual answer, strict answer)`.
+fn kv_run(n_shards: usize, seed: u64, writes: &[(u8, u8)]) -> (Vec<String>, Vec<String>) {
+    let shard = SystemConfig::new(2).with_seed(seed);
+    let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(n_shards, shard));
+    let c = sys.add_client(0);
+    let ids: Vec<_> = writes
+        .iter()
+        .map(|(k, v)| sys.submit(c, KvOp::put(format!("k{k}"), format!("v{v}")), &[], false))
+        .collect();
+    let qe = sys.submit(c, KvOp::Keys, &ids[..ids.len().div_ceil(2)], false);
+    sys.run_until_converged(budget())
+        .expect("kv workload converges");
+    let qs = sys.submit(c, KvOp::Keys, &[], true);
+    sys.run_until_converged(budget())
+        .expect("strict gather converges");
+    let KvValue::Keys(ev) = sys.response(qe).expect("eventual Keys answered").clone() else {
+        panic!("Keys answered with a non-Keys value")
+    };
+    let KvValue::Keys(st) = sys.response(qs).expect("strict Keys answered").clone() else {
+        panic!("Keys answered with a non-Keys value")
+    };
+    (ev, st)
+}
+
+/// Same shape for the directory service (`create` + `ListNames`).
+fn dir_run(n_shards: usize, seed: u64, names: &[u8]) -> (Vec<String>, Vec<String>) {
+    let shard = SystemConfig::new(2).with_seed(seed);
+    let mut sys = ShardedSimSystem::new(Directory, ShardedSystemConfig::new(n_shards, shard));
+    let c = sys.add_client(0);
+    let ids: Vec<_> = names
+        .iter()
+        .map(|n| sys.submit(c, DirectoryOp::create(format!("n{n}")), &[], false))
+        .collect();
+    let qe = sys.submit(
+        c,
+        DirectoryOp::ListNames,
+        &ids[..ids.len().div_ceil(2)],
+        false,
+    );
+    sys.run_until_converged(budget())
+        .expect("directory workload converges");
+    let qs = sys.submit(c, DirectoryOp::ListNames, &[], true);
+    sys.run_until_converged(budget())
+        .expect("strict gather converges");
+    let DirectoryValue::Names(ev) = sys
+        .response(qe)
+        .expect("eventual ListNames answered")
+        .clone()
+    else {
+        panic!("ListNames answered with a non-Names value")
+    };
+    let DirectoryValue::Names(st) = sys.response(qs).expect("strict ListNames answered").clone()
+    else {
+        panic!("ListNames answered with a non-Names value")
+    };
+    (ev, st)
+}
+
+/// A fully `prev`-chained bank workload ending in a strict `Balance`:
+/// the chain forces the eventual total order, so the balance is the
+/// serial fold of the chain on any deployment.
+fn bank_run(n_shards: usize, seed: u64, ops: &[BankOp]) -> u64 {
+    let shard = SystemConfig::new(2).with_seed(seed);
+    let mut sys = ShardedSimSystem::new(Bank, ShardedSystemConfig::new(n_shards, shard));
+    let c = sys.add_client(0);
+    let mut last = Vec::new();
+    for op in ops {
+        last = vec![sys.submit(c, op.clone(), &last, false)];
+    }
+    let q = sys.submit(c, BankOp::Balance, &last, true);
+    sys.run_until_converged(budget())
+        .expect("bank workload converges");
+    let BankValue::Balance(b) = sys.response(q).expect("strict Balance answered") else {
+        panic!("Balance answered with a non-Balance value")
+    };
+    *b
+}
+
+/// The eventual-query bound shared by both shard counts: the answer is
+/// a set containing every `prev`-constrained write and nothing that was
+/// never written.
+fn assert_some_interleaving(
+    tag: &str,
+    answer: &[String],
+    must: &BTreeSet<String>,
+    may: &BTreeSet<String>,
+) {
+    let got: BTreeSet<String> = answer.iter().cloned().collect();
+    assert_eq!(
+        got.len(),
+        answer.len(),
+        "{tag}: merged answer repeats entries"
+    );
+    assert!(
+        got.is_superset(must),
+        "{tag}: eventual answer {got:?} misses prev-constrained writes {must:?}"
+    );
+    assert!(
+        got.is_subset(may),
+        "{tag}: eventual answer {got:?} invents entries beyond {may:?}"
+    );
+}
+
+proptest! {
+    /// `Keys` on S ∈ {2, 4} versus the S = 1 reference: barrier-strict
+    /// answers are identical (and equal the full union); eventual
+    /// answers on every deployment are legal cuts of the same history.
+    #[test]
+    fn kv_keys_differential(
+        writes in proptest::collection::vec((0u8..12, 0u8..8), 1..12),
+        n in shard_counts(),
+        seed in 0u64..1024,
+    ) {
+        let (ev1, st1) = kv_run(1, seed, &writes);
+        let (evn, stn) = kv_run(n, seed, &writes);
+        let all: BTreeSet<String> = writes.iter().map(|(k, _)| format!("k{k}")).collect();
+        let must: BTreeSet<String> = writes[..writes.len().div_ceil(2)]
+            .iter()
+            .map(|(k, _)| format!("k{k}"))
+            .collect();
+        // Exactness: the sharded strict union is the unsharded answer.
+        prop_assert_eq!(&stn, &st1, "strict Keys must not depend on the shard count");
+        let full: Vec<String> = all.iter().cloned().collect();
+        prop_assert_eq!(&st1, &full, "strict Keys at quiescence is the full sorted union");
+        // Interleaving bound, identical on both deployments.
+        assert_some_interleaving("S=1", &ev1, &must, &all);
+        assert_some_interleaving(&format!("S={n}"), &evn, &must, &all);
+    }
+
+    /// Same differential for the directory's `ListNames`.
+    #[test]
+    fn directory_list_names_differential(
+        names in proptest::collection::vec(0u8..12, 1..12),
+        n in shard_counts(),
+        seed in 0u64..1024,
+    ) {
+        let (ev1, st1) = dir_run(1, seed, &names);
+        let (evn, stn) = dir_run(n, seed, &names);
+        let all: BTreeSet<String> = names.iter().map(|n| format!("n{n}")).collect();
+        let must: BTreeSet<String> = names[..names.len().div_ceil(2)]
+            .iter()
+            .map(|n| format!("n{n}"))
+            .collect();
+        prop_assert_eq!(&stn, &st1, "strict ListNames must not depend on the shard count");
+        let full: Vec<String> = all.iter().cloned().collect();
+        prop_assert_eq!(&st1, &full, "strict ListNames at quiescence is the full sorted union");
+        assert_some_interleaving("S=1", &ev1, &must, &all);
+        assert_some_interleaving(&format!("S={n}"), &evn, &must, &all);
+    }
+
+    /// The colocated control: a single-key data type behaves identically
+    /// at any shard count, and the chained workload pins the exact value.
+    #[test]
+    fn bank_balance_differential(
+        amounts in proptest::collection::vec((any::<bool>(), 0u64..50), 1..12),
+        n in shard_counts(),
+        seed in 0u64..1024,
+    ) {
+        let ops: Vec<BankOp> = amounts
+            .iter()
+            .map(|(dep, a)| if *dep { BankOp::Deposit(*a) } else { BankOp::Withdraw(*a) })
+            .collect();
+        let expect = ops.iter().fold(0u64, |s, op| match op {
+            BankOp::Deposit(a) => s.saturating_add(*a),
+            BankOp::Withdraw(a) if s >= *a => s - a,
+            _ => s,
+        });
+        prop_assert_eq!(bank_run(1, seed, &ops), expect);
+        prop_assert_eq!(bank_run(n, seed, &ops), expect);
+    }
+}

@@ -635,12 +635,19 @@ where
     /// thread notices; the durability contract is indifferent to where
     /// exactly the cut falls.)
     pub fn kill(mut self) {
-        // Stop routing first: the network thread holds clones of every
-        // replica input sender, so replica threads only observe
-        // disconnection once it is gone.
+        // Stop routing first, so no replica input arrives after the ones
+        // already queued when the kill landed.
         let _ = self.net_tx.send(NetInput::Shutdown);
         if let Some(h) = self.net_thread.take() {
             let _ = h.join();
+        }
+        // Stop replicas by explicit message, not by dropping senders:
+        // [`InspectHandle`]s (audit sidecars, gather barriers) hold
+        // clones of these senders and may legitimately outlive the
+        // service, so disconnection alone never comes. `Shutdown` breaks
+        // the replica loop before any persist — the cut stays abrupt.
+        for tx in &self.replica_inputs {
+            let _ = tx.send(ReplicaInput::Shutdown);
         }
         self.replica_inputs.clear();
         for h in self.replica_threads.drain(..) {

@@ -43,6 +43,41 @@
 //! (different shards are disjoint objects, so once the predecessor is
 //! answered the remaining constraint is vacuous). Same-shard
 //! predecessors are passed through to the group's protocol unchanged.
+//!
+//! ## Whole-object queries: scatter-gather
+//!
+//! Operators with no shard key whose data type can merge partial results
+//! ([`KeyedDataType::is_gatherable`]) are **scattered**: one sub-operation
+//! per involved shard (every shard owning at least one slot), answers
+//! merged by [`KeyedDataType::merge_gathered`]. Routing a whole-object
+//! query to the [`HOME_SLOT`] owner would silently return one shard's
+//! slice — the wrong-partial-answer bug this subsystem removes.
+//!
+//! A gather touches every slot, so it registers against **every** slot in
+//! the shared in-flight table (a migration drains it like any keyed
+//! operation before freezing its slots' state) and blocks while *any*
+//! slot is frozen — it can never observe a half-migrated table or land on
+//! a shard that just replayed-and-drained.
+//!
+//! In **eventual** mode the sub-operations are ordinary non-strict
+//! requests and the merge is whatever each shard answered. In
+//! **barrier-strict** mode the client first takes a per-shard barrier, one
+//! shard at a time (no 2PC, shards stay independent): snapshot the
+//! shard's *answered frontier* (over-approximated by the union of its
+//! replicas' local orders, which contains every answered operation), wait
+//! until every replica of that shard reports the frontier **stable
+//! everywhere**, and only then submit the strict sub-operation. Its fresh
+//! label necessarily orders after the whole frontier in the shard's
+//! eventual total order, so the merged answer is a consistent cut —
+//! `esds_spec::check_barrier_cut` is the per-shard conformance predicate
+//! (feed it [`ShardedClient::gather_detail`]).
+//!
+//! A keyless operator that is *not* gatherable keeps the legacy
+//! [`HOME_SLOT`] routing. Cross-shard `prev` composes with gathers in
+//! both directions: a gathered query's sub-operations anchor behind the
+//! per-shard frontier of its `prev` set, and a dependent of a gathered
+//! query anchors on the gather's **own sub-operation** in each involved
+//! shard.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,7 +88,7 @@ use esds_core::{
     ClientId, KeyedDataType, MigrationPlan, OpId, RoutingTable, ShardedOpId, HOME_SLOT,
 };
 
-use crate::service::{RuntimeClient, RuntimeConfig, RuntimeService};
+use crate::service::{InspectHandle, RuntimeClient, RuntimeConfig, RuntimeService};
 
 /// The slot an operator is attributed to (keyless → [`HOME_SLOT`]).
 fn slot_of_op<T: KeyedDataType>(dt: &T, table: &RoutingTable, op: &T::Operator) -> u16 {
@@ -78,9 +113,10 @@ struct RoutingShared {
     cv: Condvar,
 }
 
-/// Front ends created for existing client handles when a shard is added,
-/// waiting to be picked up: `handle → [(shard, front end)]`.
-type Mailbox<T> = Arc<Mutex<BTreeMap<u32, Vec<(u32, RuntimeClient<T>)>>>>;
+/// Front ends (and inspect handles, for the gather barrier) created for
+/// existing client handles when a shard is added, waiting to be picked
+/// up: `handle → [(shard, front end, inspect handle)]`.
+type Mailbox<T> = Arc<Mutex<BTreeMap<u32, Vec<(u32, RuntimeClient<T>, InspectHandle<T>)>>>>;
 
 /// The running sharded service: `S` independent [`RuntimeService`]s
 /// behind a shared, versioned routing table.
@@ -225,6 +261,8 @@ where
     /// group-local ids per placement, so this is invisible to callers.
     pub fn client(&mut self) -> ShardedClient<T> {
         let fes: Vec<RuntimeClient<T>> = self.shards.iter_mut().map(|s| s.client()).collect();
+        let inspects: Vec<InspectHandle<T>> =
+            self.shards.iter().map(|s| s.inspect_handle()).collect();
         let id = fes[0].client();
         let handle = self.n_handles;
         self.n_handles += 1;
@@ -235,11 +273,19 @@ where
             handle,
             id,
             fes,
+            inspects,
             next_seq: 0,
             placements: BTreeMap::new(),
+            gathers: BTreeMap::new(),
             unsettled: BTreeSet::new(),
             cross_shard_wait: self.cross_shard_wait,
         }
+    }
+
+    /// An [`InspectHandle`] onto one shard's replica group — what a
+    /// barrier-cut audit needs to obtain the shard's eventual order.
+    pub fn inspect_handle(&self, shard: u32) -> InspectHandle<T> {
+        self.shards[shard as usize].inspect_handle()
     }
 
     /// Adds a shard and live-migrates ~`1/(S+1)` of the slots onto it
@@ -268,7 +314,9 @@ where
         {
             let mut mb = self.mailbox.lock().expect("mailbox lock");
             for h in 0..self.n_handles {
-                mb.entry(h).or_default().push((new_idx, svc.client()));
+                mb.entry(h)
+                    .or_default()
+                    .push((new_idx, svc.client(), svc.inspect_handle()));
             }
         }
         // The migration's own front end for the stable-prefix replay.
@@ -412,11 +460,16 @@ pub struct ShardedClient<T: KeyedDataType> {
     handle: u32,
     id: ClientId,
     fes: Vec<RuntimeClient<T>>,
+    /// One inspect handle per shard — the gather barrier reads answered
+    /// frontiers and stability through these.
+    inspects: Vec<InspectHandle<T>>,
     next_seq: u64,
     /// Global sequence number → where the operation went.
     placements: BTreeMap<u64, Placement>,
+    /// Global sequence number → scattered whole-object query.
+    gathers: BTreeMap<u64, Gather<T>>,
     /// Sequence numbers whose response has not yet been observed by this
-    /// handle (still registered as in-flight against their slot).
+    /// handle (still registered as in-flight against their slot(s)).
     unsettled: BTreeSet<u64>,
     cross_shard_wait: Duration,
 }
@@ -432,6 +485,27 @@ struct Placement {
     slot: u16,
     /// The routing-table version this operation was routed under.
     version: u64,
+}
+
+/// A scattered whole-object query: one sub-operation per involved shard,
+/// merged once every shard has answered.
+struct Gather<T: KeyedDataType> {
+    /// The operator (kept to drive [`KeyedDataType::merge_gathered`]).
+    op: T::Operator,
+    /// Involved shard → the sub-operation submitted there.
+    subs: BTreeMap<u32, OpId>,
+    /// Global `prev` sequence numbers, for dependents' frontier walks.
+    prev: Vec<u64>,
+    /// Every slot this gather registered in-flight against (all of them).
+    slots: Vec<u16>,
+    /// The routing-table version the gather was routed under.
+    version: u64,
+    /// Barrier-strict only: per-shard answered frontier snapshotted (and
+    /// stability-covered) before the sub-operations went out. Empty in
+    /// eventual mode.
+    frontier: BTreeMap<u32, Vec<OpId>>,
+    /// The merged answer, once every sub-operation has responded.
+    merged: Option<T::Value>,
 }
 
 impl<T: KeyedDataType> ShardedClient<T>
@@ -460,14 +534,15 @@ where
     fn sync_shards(&mut self) {
         let mut mb = self.mailbox.lock().expect("mailbox lock");
         if let Some(pending) = mb.get_mut(&self.handle) {
-            pending.sort_by_key(|(s, _)| *s);
-            for (s, fe) in pending.drain(..) {
+            pending.sort_by_key(|(s, _, _)| *s);
+            for (s, fe, ih) in pending.drain(..) {
                 assert_eq!(
                     s as usize,
                     self.fes.len(),
                     "shard front ends must arrive in order"
                 );
                 self.fes.push(fe);
+                self.inspects.push(ih);
             }
         }
     }
@@ -479,23 +554,45 @@ where
         for fe in &mut self.fes {
             fe.poll_responses();
         }
-        let done: Vec<u64> = self
-            .unsettled
-            .iter()
-            .copied()
-            .filter(|seq| {
-                let p = &self.placements[seq];
-                self.fes[p.shard as usize].value_of(p.local).is_some()
-            })
-            .collect();
+        let pending: Vec<u64> = self.unsettled.iter().copied().collect();
+        let mut done: Vec<u64> = Vec::new();
+        for seq in pending {
+            if let Some(p) = self.placements.get(&seq) {
+                if self.fes[p.shard as usize].value_of(p.local).is_some() {
+                    done.push(seq);
+                }
+                continue;
+            }
+            // A gather settles when every sub-operation has answered; the
+            // merge happens here, once, and is cached on the record.
+            let g = &self.gathers[&seq];
+            let parts: Option<Vec<T::Value>> = g
+                .subs
+                .iter()
+                .map(|(s, l)| self.fes[*s as usize].value_of(*l).cloned())
+                .collect();
+            if let Some(parts) = parts {
+                let merged = self
+                    .dt
+                    .merge_gathered(&g.op, parts)
+                    .expect("scattered operators are gatherable");
+                self.gathers.get_mut(&seq).expect("just read").merged = Some(merged);
+                done.push(seq);
+            }
+        }
         if done.is_empty() {
             return;
         }
         let mut st = self.routing.state.lock().expect("routing lock");
         for seq in &done {
-            let slot = self.placements[seq].slot;
-            let n = st.inflight.get_mut(&slot).expect("registered at submit");
-            *n -= 1;
+            let slots: &[u16] = match self.placements.get(seq) {
+                Some(p) => std::slice::from_ref(&p.slot),
+                None => &self.gathers[seq].slots,
+            };
+            for slot in slots {
+                let n = st.inflight.get_mut(slot).expect("registered at submit");
+                *n -= 1;
+            }
             self.unsettled.remove(seq);
         }
         drop(st);
@@ -527,9 +624,12 @@ where
                 "prev {g} was not issued by this client handle"
             );
             assert!(
-                self.placements.contains_key(&g.seq()),
+                self.placements.contains_key(&g.seq()) || self.gathers.contains_key(&g.seq()),
                 "prev {g} was never submitted via this handle"
             );
+        }
+        if self.dt.is_gatherable(&op) {
+            return self.submit_gather(op, prev, strict);
         }
         // Route under the shared lock: the slot's owner and the version
         // are read atomically with the in-flight registration, so a
@@ -559,26 +659,8 @@ where
         };
         // The table may have grown since this handle last synced.
         self.sync_shards();
-        // The shared frontier walk ([`esds_core::shard_frontier`]):
-        // same-shard predecessors — including those inherited *through*
-        // foreign hops — become local `prev` constraints, and every
-        // foreign predecessor encountered is awaited before descending.
         let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
-        let local_prev: Vec<OpId> = esds_core::shard_frontier(&seqs, shard, |seq| {
-            let p = self.placements[&seq].clone();
-            if p.shard != shard && self.fes[p.shard as usize].value_of(p.local).is_none() {
-                let answered = self.fes[p.shard as usize]
-                    .await_response(p.local, self.cross_shard_wait)
-                    .is_some();
-                assert!(
-                    answered,
-                    "cross-shard prev {} unanswered after {:?}",
-                    ShardedOpId::new(self.id, seq),
-                    self.cross_shard_wait
-                );
-            }
-            (p.shard, p.local, p.prev)
-        });
+        let local_prev = self.local_frontier(&seqs, shard);
         self.settle_answered();
         let local = self.fes[shard as usize].submit(op, &local_prev, strict);
         let gid = ShardedOpId::new(self.id, self.next_seq);
@@ -597,6 +679,168 @@ where
         gid
     }
 
+    /// The shared frontier walk ([`esds_core::gather_frontier`]) for one
+    /// target shard: same-shard predecessors — including those inherited
+    /// *through* foreign hops — become local `prev` constraints; every
+    /// foreign keyed predecessor encountered is awaited before
+    /// descending. A gathered predecessor contributes its own sub-
+    /// operation on the target shard as the anchor; if it has none there
+    /// (the shard set changed under a migration), its sub-operations are
+    /// awaited like foreign keyed predecessors and the walk descends.
+    fn local_frontier(&mut self, seqs: &[u64], shard: u32) -> Vec<OpId> {
+        esds_core::gather_frontier(seqs, shard, |seq| {
+            if let Some(p) = self.placements.get(&seq).cloned() {
+                if p.shard != shard && self.fes[p.shard as usize].value_of(p.local).is_none() {
+                    let answered = self.fes[p.shard as usize]
+                        .await_response(p.local, self.cross_shard_wait)
+                        .is_some();
+                    assert!(
+                        answered,
+                        "cross-shard prev {} unanswered after {:?}",
+                        ShardedOpId::new(self.id, seq),
+                        self.cross_shard_wait
+                    );
+                }
+                return (vec![(p.shard, p.local)], p.prev);
+            }
+            let (subs, gprev) = {
+                let g = &self.gathers[&seq];
+                (g.subs.clone(), g.prev.clone())
+            };
+            if !subs.contains_key(&shard) {
+                for (s, l) in &subs {
+                    if self.fes[*s as usize].value_of(*l).is_none() {
+                        let answered = self.fes[*s as usize]
+                            .await_response(*l, self.cross_shard_wait)
+                            .is_some();
+                        assert!(
+                            answered,
+                            "cross-shard prev {} (gathered sub-op on shard {s}) unanswered \
+                             after {:?}",
+                            ShardedOpId::new(self.id, seq),
+                            self.cross_shard_wait
+                        );
+                    }
+                }
+            }
+            (subs.into_iter().collect(), gprev)
+        })
+    }
+
+    /// Scatters a whole-object query: one sub-operation per involved
+    /// shard, merged by the data type once every shard answers. In strict
+    /// mode, takes the per-shard barrier first (see module docs). Blocks
+    /// while any slot is frozen and registers against every slot, so a
+    /// migration and a gather serialize against each other instead of
+    /// racing the table flip.
+    fn submit_gather(
+        &mut self,
+        op: T::Operator,
+        prev: &[ShardedOpId],
+        strict: bool,
+    ) -> ShardedOpId {
+        let deadline = Instant::now() + self.cross_shard_wait;
+        let (table, slots) = loop {
+            {
+                let mut st = self.routing.state.lock().expect("routing lock");
+                if st.frozen.is_empty() {
+                    let slots: Vec<u16> = (0..st.table.n_slots()).collect();
+                    for s in &slots {
+                        *st.inflight.entry(*s).or_default() += 1;
+                    }
+                    break (st.table.clone(), slots);
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slots frozen past the cross-shard timeout; migration stuck?"
+            );
+            self.settle_answered();
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        self.sync_shards();
+        let involved = table.involved_shards();
+        let mut frontier: BTreeMap<u32, Vec<OpId>> = BTreeMap::new();
+        if strict {
+            // Barrier, one shard at a time: snapshot the answered
+            // frontier, then wait until every replica of the shard has it
+            // stable everywhere. Only then may the strict sub-operation
+            // be submitted — its fresh label orders after the whole
+            // frontier in the shard's eventual total order.
+            for s in &involved {
+                frontier.insert(*s, self.shard_frontier_snapshot(*s));
+            }
+            for (s, f) in &frontier {
+                self.await_stability_cover(*s, f, deadline);
+            }
+        }
+        let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
+        let mut subs: BTreeMap<u32, OpId> = BTreeMap::new();
+        for shard in &involved {
+            let local_prev = self.local_frontier(&seqs, *shard);
+            let local = self.fes[*shard as usize].submit(op.clone(), &local_prev, strict);
+            subs.insert(*shard, local);
+        }
+        self.settle_answered();
+        let gid = ShardedOpId::new(self.id, self.next_seq);
+        self.gathers.insert(
+            self.next_seq,
+            Gather {
+                op,
+                subs,
+                prev: seqs,
+                slots,
+                version: table.version(),
+                frontier,
+                merged: None,
+            },
+        );
+        self.unsettled.insert(self.next_seq);
+        self.next_seq += 1;
+        gid
+    }
+
+    /// One shard's answered frontier, over-approximated by the union of
+    /// its replicas' local orders: every operation a replica has answered
+    /// is in that replica's order, so the union contains the true
+    /// answered frontier (the over-approximation only strengthens the
+    /// barrier).
+    fn shard_frontier_snapshot(&self, shard: u32) -> Vec<OpId> {
+        let h = &self.inspects[shard as usize];
+        let mut all: BTreeSet<OpId> = BTreeSet::new();
+        for r in 0..h.n_replicas() {
+            if let Some(snap) = h.snapshot(r) {
+                all.extend(snap.order);
+            }
+        }
+        all.into_iter().collect()
+    }
+
+    /// Waits until every replica of `shard` reports every frontier
+    /// operation stable everywhere — after which any label minted in the
+    /// shard is greater than every frontier label.
+    fn await_stability_cover(&self, shard: u32, frontier: &[OpId], deadline: Instant) {
+        let h = &self.inspects[shard as usize];
+        loop {
+            let covered = (0..h.n_replicas()).all(|r| match h.snapshot(r) {
+                Some(snap) => frontier
+                    .iter()
+                    .all(|id| snap.stable_everywhere.contains(id)),
+                // Service shut down under us; nothing left to wait for.
+                None => true,
+            });
+            if covered {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "barrier frontier on shard {shard} did not stabilize within the \
+                 cross-shard timeout"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// Waits until `id` is answered or `timeout` elapses (with the
     /// underlying front end's retry behaviour). An operation submitted
     /// before a migration of its slot is still answered by its original
@@ -604,21 +848,65 @@ where
     /// transferred stable prefix.
     pub fn await_response(&mut self, id: ShardedOpId, timeout: Duration) -> Option<T::Value> {
         self.sync_shards();
+        if id.client() == self.id && self.gathers.contains_key(&id.seq()) {
+            if let Some(v) = &self.gathers[&id.seq()].merged {
+                return Some(v.clone());
+            }
+            let deadline = Instant::now() + timeout;
+            let subs: Vec<(u32, OpId)> = self.gathers[&id.seq()]
+                .subs
+                .iter()
+                .map(|(s, l)| (*s, *l))
+                .collect();
+            for (s, l) in subs {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.fes[s as usize].await_response(l, remaining)?;
+            }
+            self.settle_answered();
+            return self.gathers[&id.seq()].merged.clone();
+        }
         let (shard, local) = self.resolve(id)?;
         let v = self.fes[shard as usize].await_response(local, timeout);
         self.settle_answered();
         v
     }
 
-    /// The value previously returned for `id`, if completed.
+    /// The value previously returned for `id`, if completed. For a
+    /// gathered query this is the merged answer, available once the
+    /// handle has observed every sub-operation's response (via
+    /// [`ShardedClient::await_response`] or any later call).
     pub fn value_of(&self, id: ShardedOpId) -> Option<&T::Value> {
+        if id.client() == self.id {
+            if let Some(g) = self.gathers.get(&id.seq()) {
+                return g.merged.as_ref();
+            }
+        }
         let (shard, local) = self.resolve(id)?;
         self.fes[shard as usize].value_of(local)
     }
 
-    /// The shard `id` was routed to, if issued by this handle.
+    /// The shard `id` was routed to, if issued by this handle. `None`
+    /// for a gathered query (it has no single shard — see
+    /// [`ShardedClient::gather_detail`]).
     pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
         self.resolve(id).map(|(s, _)| s)
+    }
+
+    /// For a gathered query issued by this handle: its per-shard
+    /// sub-operations and, in barrier-strict mode, the per-shard answered
+    /// frontier snapshotted at the barrier (empty map = eventual mode).
+    /// Pairs each shard's entries into the `esds_spec::ShardBarrier`
+    /// shape that `esds_spec::check_barrier_cut` verifies against the
+    /// shard's eventual order. `None` for keyed operations.
+    #[allow(clippy::type_complexity)]
+    pub fn gather_detail(
+        &self,
+        id: ShardedOpId,
+    ) -> Option<(&BTreeMap<u32, OpId>, &BTreeMap<u32, Vec<OpId>>)> {
+        if id.client() != self.id {
+            return None;
+        }
+        self.gathers.get(&id.seq()).map(|g| (&g.subs, &g.frontier))
     }
 
     /// The shard-local [`OpId`] `id` was submitted under — the identity
@@ -637,7 +925,10 @@ where
         if id.client() != self.id {
             return None;
         }
-        self.placements.get(&id.seq()).map(|p| p.version)
+        self.placements
+            .get(&id.seq())
+            .map(|p| p.version)
+            .or_else(|| self.gathers.get(&id.seq()).map(|g| g.version))
     }
 
     fn resolve(&self, id: ShardedOpId) -> Option<(u32, OpId)> {
@@ -787,6 +1078,153 @@ mod tests {
         assert!(migrated > 0, "no test key migrated; widen the key set");
         // Pre-migration ids report the version they were routed under.
         assert_eq!(c.routed_version(ids[0]), Some(0));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn whole_object_keys_gathers_union_across_shards() {
+        // Regression pin for the wrong-partial-answer bug: before
+        // scatter-gather, `Keys` routed to the HOME_SLOT owner and
+        // returned only that shard's slice. Reverting to home routing
+        // fails the equality below.
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        let table = svc.table();
+        let mut c = svc.client();
+        let mut expect = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            let k = format!("k{i}");
+            expect.push(k.clone());
+            ids.push(c.submit(KvOp::put(&k, "v"), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(KvValue::Ack)
+            );
+        }
+        // Both shards own keys, so a home-shard answer would be a strict
+        // subset of the union.
+        let shards: std::collections::BTreeSet<u32> = (0..16)
+            .map(|i| table.shard_of_key(&format!("k{i}")))
+            .collect();
+        assert_eq!(shards.len(), 2);
+        expect.sort();
+        let keys = c.submit(KvOp::Keys, &[*ids.last().expect("nonempty")], false);
+        assert_eq!(
+            c.await_response(keys, Duration::from_secs(10)),
+            Some(KvValue::Keys(expect))
+        );
+        assert_eq!(c.shard_of(keys), None, "a gather has no single shard");
+        {
+            let (subs, frontier) = c.gather_detail(keys).expect("gathered");
+            assert_eq!(subs.len(), 2);
+            assert!(frontier.is_empty(), "eventual mode takes no barrier");
+        }
+        // A dependent of the gather anchors on its same-shard sub-op.
+        let dep = c.submit(KvOp::get("k0"), &[keys], false);
+        assert_eq!(
+            c.await_response(dep, Duration::from_secs(10)),
+            Some(KvValue::Value(Some("v".into())))
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn barrier_strict_keys_is_exact_and_cut_checks() {
+        use esds_spec::{check_barrier_cut, ShardBarrier};
+        let mut svc = ShardedService::start(KvStore, 4, RuntimeConfig::new(2));
+        let mut c = svc.client();
+        let mut expect = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            let k = format!("k{i}");
+            expect.push(k.clone());
+            ids.push(c.submit(KvOp::put(&k, "v"), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(KvValue::Ack)
+            );
+        }
+        expect.sort();
+        let keys = c.submit(KvOp::Keys, &[], true);
+        assert_eq!(
+            c.await_response(keys, Duration::from_secs(30)),
+            Some(KvValue::Keys(expect)),
+            "barrier-strict Keys must be exactly the 1-shard union"
+        );
+        let (subs, frontier) = c.gather_detail(keys).expect("gathered");
+        assert_eq!(subs.len(), 4);
+        assert_eq!(frontier.len(), 4, "strict mode snapshots every shard");
+        // The checkable residue of the barrier: on every shard, the
+        // sub-op appears after the whole frontier in the shard's (stable,
+        // hence eventual) order.
+        for (shard, sub) in subs {
+            let h = svc.inspect_handle(*shard);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let order = loop {
+                let snap = h.snapshot(0).expect("service running");
+                if snap.stable_everywhere.contains(sub) {
+                    break snap.order;
+                }
+                assert!(Instant::now() < deadline, "sub-op never stabilized");
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            let b = ShardBarrier {
+                shard: *shard,
+                frontier: frontier[shard].clone(),
+                sub: *sub,
+            };
+            assert_eq!(check_barrier_cut(&b, &order), vec![]);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn gather_serializes_with_add_shard_and_spans_new_shard() {
+        let mut svc = ShardedService::start(KvStore, 2, RuntimeConfig::new(2));
+        let mut c = svc.client();
+        let mut expect: Vec<String> = (0..16).map(|i| format!("k{i}")).collect();
+        let mut ids = Vec::new();
+        for k in &expect {
+            ids.push(c.submit(KvOp::put(k, "v"), &[], false));
+        }
+        for id in &ids {
+            assert_eq!(
+                c.await_response(*id, Duration::from_secs(10)),
+                Some(KvValue::Ack)
+            );
+        }
+        expect.sort();
+        // A reader thread keeps gathering while the migration runs: every
+        // answer must be the full union — never a partial slice from a
+        // half-migrated table. Gathers register against every slot (the
+        // migration drains them before freezing) and block while any slot
+        // is frozen, so the two serialize instead of racing the flip.
+        let exp = expect.clone();
+        let reader = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                let keys = c.submit(KvOp::Keys, &[], false);
+                let v = c.await_response(keys, Duration::from_secs(10));
+                assert_eq!(v, Some(KvValue::Keys(exp.clone())));
+                if c.routed_version(keys) == Some(1) {
+                    let (subs, _) = c.gather_detail(keys).expect("gathered");
+                    assert_eq!(subs.len(), 3, "post-flip gathers span the new shard");
+                    return;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "never observed a post-flip gather"
+                );
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let new = svc.add_shard();
+        assert_eq!(new, 2);
+        reader.join().expect("reader panicked");
         svc.shutdown();
     }
 

@@ -1,0 +1,328 @@
+//! The **barrier-cut predicate** for cross-shard strict (scatter-gather)
+//! queries.
+//!
+//! A sharded deployment runs one independent ESDS instance per shard, so
+//! Theorems 5.7/5.8 are checked *per shard* by [`crate::TraceChecker`] /
+//! [`crate::StreamingChecker`] exactly as in the unsharded service — a
+//! gathered query's per-shard sub-operations are ordinary strict
+//! operations in their shard's trace and need no new theory. What those
+//! checkers cannot see is the *cross-shard* claim of barrier-strict mode:
+//! that the merged answer is a **consistent cut** — on every involved
+//! shard, the sub-operation observed (at least) every operation that had
+//! been answered *anywhere* before the gather began.
+//!
+//! The protocol earns that claim without 2PC, one shard at a time:
+//!
+//! 1. snapshot shard `s`'s **answered frontier** `F_s` (every operation a
+//!    replica of `s` has responded to);
+//! 2. wait until `F_s` is **stable everywhere** in `s` — then every
+//!    replica's label clock has passed every label in `F_s`, so any label
+//!    minted later in `s` is greater;
+//! 3. only then submit the strict sub-operation — its fresh label
+//!    necessarily orders after all of `F_s` in `s`'s eventual total
+//!    order, and strictness means its response is consistent with that
+//!    order (Theorem 5.8).
+//!
+//! Step 2 is the part a bare strict sub-operation does not give: an
+//! operation answered at a fast-clocked replica *before* the gather could
+//! still carry a label larger than a fresh sub-operation's label minted
+//! at a slow-clocked relay, and would then be ordered after the
+//! sub-operation — excluded from the answer despite having been answered
+//! first. Waiting for stability-cover closes exactly that race.
+//!
+//! The checkable residue of steps 1–3 is purely per shard, which is what
+//! keeps shards independent: **each sub-operation appears after its
+//! shard's entire frontier in that shard's eventual total order**.
+//! [`check_barrier_cut`] decides it given the orders the existing
+//! checkers already consume (e.g. [`crate::TraceChecker::default_eto`]
+//! or a stable watermark).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use esds_core::{OpId, ShardedOpId};
+
+/// What barrier-strict execution promised for one shard of a gathered
+/// query: the answered frontier snapshotted (and stability-covered)
+/// before the sub-operation was submitted there.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardBarrier {
+    /// The involved shard.
+    pub shard: u32,
+    /// The answered frontier of `shard` at the barrier: per-shard ids of
+    /// every operation some replica of the shard had responded to.
+    pub frontier: Vec<OpId>,
+    /// The per-shard id of the gathered query's sub-operation.
+    pub sub: OpId,
+}
+
+/// A gathered query's full barrier obligation — one [`ShardBarrier`] per
+/// involved shard. Produced by the deployment layers in barrier-strict
+/// mode, consumed by [`check_barrier_cut`] per shard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BarrierObligation {
+    /// The gathered query's global identity.
+    pub gathered: ShardedOpId,
+    /// Per-shard barriers, ascending by shard.
+    pub shards: Vec<ShardBarrier>,
+}
+
+/// How a barrier cut failed verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BarrierViolation {
+    /// The sub-operation never appeared in its shard's eventual order.
+    SubOpMissing {
+        /// The shard whose order was checked.
+        shard: u32,
+        /// The missing sub-operation.
+        sub: OpId,
+    },
+    /// A frontier operation never appeared in the shard's eventual order
+    /// (the snapshot named an operation the shard does not know).
+    FrontierOpMissing {
+        /// The shard whose order was checked.
+        shard: u32,
+        /// The missing frontier operation.
+        op: OpId,
+    },
+    /// The sub-operation was ordered **before** a frontier operation —
+    /// the cut excluded an operation that was answered before the gather
+    /// began. This is exactly the wrong-partial-answer bug class the
+    /// barrier exists to rule out.
+    SubOpBeforeFrontier {
+        /// The shard whose order was checked.
+        shard: u32,
+        /// The sub-operation.
+        sub: OpId,
+        /// The frontier operation found after it.
+        frontier_op: OpId,
+    },
+}
+
+impl fmt::Display for BarrierViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierViolation::SubOpMissing { shard, sub } => {
+                write!(f, "shard {shard}: sub-op {sub} absent from eventual order")
+            }
+            BarrierViolation::FrontierOpMissing { shard, op } => {
+                write!(
+                    f,
+                    "shard {shard}: frontier op {op} absent from eventual order"
+                )
+            }
+            BarrierViolation::SubOpBeforeFrontier {
+                shard,
+                sub,
+                frontier_op,
+            } => write!(
+                f,
+                "shard {shard}: sub-op {sub} ordered before frontier op {frontier_op} — \
+                 the gathered answer is not a consistent cut"
+            ),
+        }
+    }
+}
+
+/// Checks one shard's half of the barrier-cut claim: in `eventual_order`
+/// (that shard's eventual total order, or any prefix of it that has
+/// grown past the sub-operation), the sub-operation appears **after
+/// every frontier operation**.
+///
+/// Returns every violation found (empty = the cut holds on this shard).
+///
+/// # Examples
+///
+/// ```
+/// use esds_core::{ClientId, OpId};
+/// use esds_spec::{check_barrier_cut, ShardBarrier};
+///
+/// let id = |c: u32, s: u64| OpId::new(ClientId(c), s);
+/// let order = [id(1, 1), id(2, 1), id(9, 1)]; // sub-op last
+/// let b = ShardBarrier { shard: 0, frontier: vec![id(1, 1), id(2, 1)], sub: id(9, 1) };
+/// assert!(check_barrier_cut(&b, &order).is_empty());
+///
+/// let bad = ShardBarrier { shard: 0, frontier: vec![id(9, 1)], sub: id(1, 1) };
+/// assert_eq!(check_barrier_cut(&bad, &order).len(), 1);
+/// ```
+pub fn check_barrier_cut(b: &ShardBarrier, eventual_order: &[OpId]) -> Vec<BarrierViolation> {
+    let pos: BTreeMap<OpId, usize> = eventual_order
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
+    let mut out = Vec::new();
+    let Some(sub_pos) = pos.get(&b.sub) else {
+        out.push(BarrierViolation::SubOpMissing {
+            shard: b.shard,
+            sub: b.sub,
+        });
+        return out;
+    };
+    for f in &b.frontier {
+        match pos.get(f) {
+            None => out.push(BarrierViolation::FrontierOpMissing {
+                shard: b.shard,
+                op: *f,
+            }),
+            Some(fp) if fp >= sub_pos => out.push(BarrierViolation::SubOpBeforeFrontier {
+                shard: b.shard,
+                sub: b.sub,
+                frontier_op: *f,
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Checks a full obligation against per-shard eventual orders:
+/// `order_of(shard)` supplies each involved shard's order (`None` = the
+/// caller has no order for that shard, reported as every frontier op and
+/// the sub-op missing would be overkill — it is reported as a single
+/// [`BarrierViolation::SubOpMissing`]).
+pub fn check_barrier_obligation(
+    ob: &BarrierObligation,
+    mut order_of: impl FnMut(u32) -> Option<Vec<OpId>>,
+) -> Vec<BarrierViolation> {
+    let mut out = Vec::new();
+    for b in &ob.shards {
+        match order_of(b.shard) {
+            Some(order) => out.extend(check_barrier_cut(b, &order)),
+            None => out.push(BarrierViolation::SubOpMissing {
+                shard: b.shard,
+                sub: b.sub,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esds_core::ClientId;
+
+    fn id(c: u32, s: u64) -> OpId {
+        OpId::new(ClientId(c), s)
+    }
+
+    #[test]
+    fn cut_holds_when_sub_follows_whole_frontier() {
+        let b = ShardBarrier {
+            shard: 3,
+            frontier: vec![id(1, 1), id(1, 2), id(2, 1)],
+            sub: id(7, 1),
+        };
+        let order = [id(1, 1), id(2, 1), id(1, 2), id(7, 1), id(2, 2)];
+        assert!(check_barrier_cut(&b, &order).is_empty());
+    }
+
+    #[test]
+    fn empty_frontier_needs_only_the_sub_op() {
+        let b = ShardBarrier {
+            shard: 0,
+            frontier: vec![],
+            sub: id(7, 1),
+        };
+        assert!(check_barrier_cut(&b, &[id(7, 1)]).is_empty());
+        assert_eq!(
+            check_barrier_cut(&b, &[]),
+            vec![BarrierViolation::SubOpMissing {
+                shard: 0,
+                sub: id(7, 1)
+            }]
+        );
+    }
+
+    #[test]
+    fn sub_before_frontier_is_the_bug_class() {
+        let b = ShardBarrier {
+            shard: 1,
+            frontier: vec![id(1, 1), id(2, 1)],
+            sub: id(7, 1),
+        };
+        // The sub-op slid between the frontier ops: one violation.
+        let order = [id(1, 1), id(7, 1), id(2, 1)];
+        assert_eq!(
+            check_barrier_cut(&b, &order),
+            vec![BarrierViolation::SubOpBeforeFrontier {
+                shard: 1,
+                sub: id(7, 1),
+                frontier_op: id(2, 1),
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_frontier_op_reported() {
+        let b = ShardBarrier {
+            shard: 0,
+            frontier: vec![id(1, 1), id(9, 9)],
+            sub: id(7, 1),
+        };
+        let order = [id(1, 1), id(7, 1)];
+        assert_eq!(
+            check_barrier_cut(&b, &order),
+            vec![BarrierViolation::FrontierOpMissing {
+                shard: 0,
+                op: id(9, 9)
+            }]
+        );
+    }
+
+    #[test]
+    fn obligation_checks_every_shard_and_flags_missing_orders() {
+        let ob = BarrierObligation {
+            gathered: ShardedOpId::new(ClientId(5), 3),
+            shards: vec![
+                ShardBarrier {
+                    shard: 0,
+                    frontier: vec![id(1, 1)],
+                    sub: id(7, 1),
+                },
+                ShardBarrier {
+                    shard: 1,
+                    frontier: vec![],
+                    sub: id(7, 1),
+                },
+            ],
+        };
+        let v = check_barrier_obligation(&ob, |s| match s {
+            0 => Some(vec![id(1, 1), id(7, 1)]),
+            _ => None,
+        });
+        assert_eq!(
+            v,
+            vec![BarrierViolation::SubOpMissing {
+                shard: 1,
+                sub: id(7, 1)
+            }]
+        );
+    }
+
+    #[test]
+    fn violations_display() {
+        let texts = [
+            BarrierViolation::SubOpMissing {
+                shard: 0,
+                sub: id(1, 1),
+            }
+            .to_string(),
+            BarrierViolation::FrontierOpMissing {
+                shard: 1,
+                op: id(2, 1),
+            }
+            .to_string(),
+            BarrierViolation::SubOpBeforeFrontier {
+                shard: 2,
+                sub: id(1, 1),
+                frontier_op: id(2, 1),
+            }
+            .to_string(),
+        ];
+        assert!(texts[0].contains("absent"));
+        assert!(texts[1].contains("frontier op"));
+        assert!(texts[2].contains("consistent cut"));
+    }
+}

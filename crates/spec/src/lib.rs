@@ -38,12 +38,16 @@
 #![forbid(unsafe_code)]
 
 mod automaton;
+mod barrier;
 mod checker;
 mod reference;
 mod streaming;
 mod users;
 
 pub use automaton::{EsdsSpec, SpecVariant};
+pub use barrier::{
+    check_barrier_cut, check_barrier_obligation, BarrierObligation, BarrierViolation, ShardBarrier,
+};
 pub use checker::{check_converged, RecordedResponse, TraceChecker, TraceViolation};
 pub use reference::{replay_serial, ReferenceService};
 pub use streaming::{

@@ -53,13 +53,19 @@ pub enum FrameKind {
     /// A sharded-deployment response: the answered global operation, or a
     /// version-mismatch NAK carrying the authoritative routing table.
     ShardedResponse = 8,
+    /// A client's probe of a replica's stability knowledge (no payload) —
+    /// the wire half of the barrier-strict gather snapshot.
+    StabilityQuery = 9,
+    /// The probed replica's answer: its local label order and the set it
+    /// knows stable at every replica.
+    StabilityInfo = 10,
 }
 
 impl FrameKind {
     /// Every frame kind the protocol defines, in tag order. Exhaustive by
     /// construction — the round-trip tests iterate this so a new variant
     /// cannot be added without entering the coverage.
-    pub const ALL: [FrameKind; 8] = [
+    pub const ALL: [FrameKind; 10] = [
         FrameKind::Request,
         FrameKind::Response,
         FrameKind::Gossip,
@@ -68,6 +74,8 @@ impl FrameKind {
         FrameKind::GossipBatched,
         FrameKind::ShardedRequest,
         FrameKind::ShardedResponse,
+        FrameKind::StabilityQuery,
+        FrameKind::StabilityInfo,
     ];
 
     /// Decodes a tag byte.
@@ -85,6 +93,8 @@ impl FrameKind {
             6 => Ok(FrameKind::GossipBatched),
             7 => Ok(FrameKind::ShardedRequest),
             8 => Ok(FrameKind::ShardedResponse),
+            9 => Ok(FrameKind::StabilityQuery),
+            10 => Ok(FrameKind::StabilityInfo),
             tag => Err(WireError::InvalidTag {
                 context: "FrameKind",
                 tag,

@@ -55,10 +55,12 @@ pub use codec::Wire;
 pub use error::WireError;
 pub use frame::{read_frame, write_frame, Frame, FrameKind, MAX_FRAME_LEN};
 pub use message::{
-    decode_message, encode_message, ShardedRequestMsg, ShardedResponseMsg, SummarizedGossip,
-    WireMessage,
+    decode_message, encode_message, ShardedRequestMsg, ShardedResponseMsg, StabilityInfoMsg,
+    SummarizedGossip, WireMessage,
 };
-pub use sharded::{ChaosStats, ShardedWireClient, ShardedWireConfig, ShardedWireService};
+pub use sharded::{
+    ChaosStats, ShardedWireClient, ShardedWireConfig, ShardedWireService, WholeObjectUnsupported,
+};
 pub use tcp::{
     AddrTable, StabilitySnapshot, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode,
 };

@@ -276,6 +276,32 @@ impl<V: Wire> Wire for ShardedResponseMsg<V> {
     }
 }
 
+/// A replica's stability knowledge, answered to a
+/// [`WireMessage::StabilityQuery`] — the wire form of the node's
+/// `StabilitySnapshot`. A barrier-strict gathered query snapshots the
+/// relay's `order` as the shard's answered frontier and polls until
+/// `stable_everywhere` covers it (see `esds_wire::ShardedWireClient`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StabilityInfoMsg {
+    /// The replica's local label order (ids only).
+    pub order: Vec<OpId>,
+    /// Operations the replica knows are stable at every replica.
+    pub stable_everywhere: Vec<OpId>,
+}
+
+impl Wire for StabilityInfoMsg {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.order.encode(buf);
+        self.stable_everywhere.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        Ok(StabilityInfoMsg {
+            order: Vec::decode(buf)?,
+            stable_everywhere: Vec::decode(buf)?,
+        })
+    }
+}
+
 /// Any message the transport can carry, tagged by [`FrameKind`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireMessage<O, V> {
@@ -296,6 +322,10 @@ pub enum WireMessage<O, V> {
     ShardedRequest(ShardedRequestMsg<O>),
     /// Shard relay replica → sharded client (answer or version NAK).
     ShardedResponse(ShardedResponseMsg<V>),
+    /// Client → replica: probe stability knowledge (no payload).
+    StabilityQuery,
+    /// Replica → client: the probed stability knowledge.
+    StabilityInfo(StabilityInfoMsg),
 }
 
 /// Encodes a message as a complete frame appended to `out`.
@@ -334,6 +364,11 @@ pub fn encode_message<O: Wire, V: Wire>(msg: &WireMessage<O, V>, out: &mut Bytes
             m.encode(&mut payload);
             FrameKind::ShardedResponse
         }
+        WireMessage::StabilityQuery => FrameKind::StabilityQuery,
+        WireMessage::StabilityInfo(m) => {
+            m.encode(&mut payload);
+            FrameKind::StabilityInfo
+        }
     };
     encode_frame(kind, &payload, out);
 }
@@ -358,6 +393,8 @@ pub fn decode_message<O: Wire, V: Wire>(frame: &Frame) -> Result<WireMessage<O, 
         FrameKind::ShardedResponse => {
             WireMessage::ShardedResponse(ShardedResponseMsg::decode(&mut buf)?)
         }
+        FrameKind::StabilityQuery => WireMessage::StabilityQuery,
+        FrameKind::StabilityInfo => WireMessage::StabilityInfo(StabilityInfoMsg::decode(&mut buf)?),
     };
     if buf.has_remaining() {
         return Err(WireError::InvalidTag {
@@ -450,6 +487,19 @@ mod tests {
         roundtrip(Msg::ShardedResponse(ShardedResponseMsg::Nak {
             global: ShardedOpId::new(ClientId(1), 5),
             table,
+        }));
+    }
+
+    #[test]
+    fn stability_roundtrip() {
+        roundtrip(Msg::StabilityQuery);
+        roundtrip(Msg::StabilityInfo(StabilityInfoMsg {
+            order: vec![id(0, 0), id(1, 3), id(0, 1)],
+            stable_everywhere: vec![id(0, 0), id(1, 3)],
+        }));
+        roundtrip(Msg::StabilityInfo(StabilityInfoMsg {
+            order: vec![],
+            stable_everywhere: vec![],
         }));
     }
 

@@ -41,6 +41,44 @@
 //! and every foreign predecessor encountered is awaited **over the wire**
 //! before the dependent request frame is sent to its shard.
 //!
+//! ## Whole-object queries: scatter-gather
+//!
+//! A keyless, mergeable operator (`shard_key` `None`,
+//! [`KeyedDataType::merge_gathered`] `Some` — e.g. `KvOp::Keys`) touches
+//! every shard's slice, so on a table whose slots span more than one
+//! shard the client **scatters** it: one hidden sub-operation per
+//! involved shard, each riding the ordinary request/NAK/retry protocol
+//! under its own global sequence number, gathered with the data type's
+//! merge once every shard has answered. Keyless operators *without* a
+//! merge cannot be answered truthfully from one shard's slice;
+//! [`ShardedWireClient::try_submit`] refuses them with
+//! [`WholeObjectUnsupported`] instead of mis-answering from the home
+//! shard (the pre-fix behavior this module is named after).
+//!
+//! A **strict** gathered query takes a per-shard stability barrier
+//! before scattering: the client probes its relay with a
+//! [`FrameKind::StabilityQuery`](crate::FrameKind) frame, snapshots the
+//! relay's label order as the shard's *answered frontier* (every answer
+//! this client has observed from the shard came through that relay, so
+//! the relay's order covers it), and polls until the relay knows the
+//! whole frontier stable at every replica. Only then is the strict
+//! sub-operation sent: the fresh label the relay mints for it exceeds
+//! every frontier label, and the frontier's positions are final, so the
+//! sub-operation lands after the frontier in the shard's eventual total
+//! order — per shard exactly the paper's strict guarantee, with no
+//! cross-shard commit protocol. The recorded (frontier, sub) pairs are
+//! checkable after the fact against each shard's stable watermark
+//! (`esds_spec::check_barrier_cut`).
+//!
+//! A NAK against any sub-operation re-scatters the *whole* gather under
+//! the adopted table (the involved shard set itself may have changed),
+//! re-taking barriers when strict — safe because gatherable operators
+//! are read-only queries. Cross-shard `prev` composes in both
+//! directions: a gathered query's sub-operations each carry the local
+//! frontier of the gather's `prev` set, and a later operation naming a
+//! gather as `prev` anchors on the gather's sub-operation on its own
+//! shard.
+//!
 //! ## Chaos
 //!
 //! [`ShardedWireConfig::with_chaos`] puts a [`ChaosProxy`] in front of
@@ -74,7 +112,8 @@ use crate::chaos::{ChaosConfig, ChaosProxy};
 use crate::codec::Wire;
 use crate::frame::decode_frame;
 use crate::message::{
-    decode_message, encode_message, HelloId, ShardedRequestMsg, ShardedResponseMsg, WireMessage,
+    decode_message, encode_message, HelloId, ShardedRequestMsg, ShardedResponseMsg,
+    StabilityInfoMsg, WireMessage,
 };
 use crate::tcp::{AddrTable, ShardCtx, TcpClusterConfig, TcpReplicaNode};
 
@@ -373,6 +412,10 @@ where
             pending: BTreeSet::new(),
             needs_reroute: BTreeSet::new(),
             values: BTreeMap::new(),
+            gathers: BTreeMap::new(),
+            scattering: BTreeSet::new(),
+            stability_seen: vec![0; self.shards.len()],
+            stability_last: vec![None; self.shards.len()],
             cross_shard_wait: self.cross_shard_wait,
             next_retry: Instant::now() + RETRY_EVERY,
         }
@@ -420,6 +463,11 @@ struct WirePlacement<O> {
     local_prev: Vec<OpId>,
     /// The table version the operation was last routed under.
     version: u64,
+    /// When this placement is a hidden sub-operation of a scattered
+    /// whole-object query: the owning gather's global sequence. A NAK
+    /// never re-routes a sub-operation alone — the whole gather is
+    /// re-scattered (the involved shard set may have changed).
+    gather: Option<u64>,
 }
 
 impl<O: Clone> WirePlacement<O> {
@@ -432,6 +480,42 @@ impl<O: Clone> WirePlacement<O> {
             .with_strict(self.strict)
     }
 }
+
+/// A whole-object query scattered across every involved shard.
+struct WireGather<O> {
+    op: O,
+    /// Global `prev` sequence numbers as submitted.
+    prev: Vec<u64>,
+    strict: bool,
+    /// Involved shard → global sequence of its hidden sub-operation.
+    subs: BTreeMap<u32, u64>,
+    /// The table version of the current scatter.
+    version: u64,
+    /// Strict only: per involved shard, the relay's answered-frontier
+    /// snapshot the sub-operation was barrier-ordered after — the data
+    /// [`ShardedWireClient::gather_detail`] exposes for the spec-level
+    /// conformance predicate.
+    frontier: BTreeMap<u32, Vec<OpId>>,
+}
+
+/// A keyless operator without a gather merge was submitted against a
+/// routing table whose slots span more than one shard: no single shard
+/// holds the whole object, and without [`KeyedDataType::merge_gathered`]
+/// the per-shard partial answers cannot be combined. Returned by
+/// [`ShardedWireClient::try_submit`] instead of the pre-fix behavior of
+/// silently answering from the home shard's slice.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WholeObjectUnsupported;
+
+impl std::fmt::Display for WholeObjectUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "whole-object operator has no gather merge and the routing table spans multiple shards",
+        )
+    }
+}
+
+impl std::error::Error for WholeObjectUnsupported {}
 
 /// A client of a [`ShardedWireService`]: routes `key → slot → shard`
 /// through its view of the [`RoutingTable`], speaks the
@@ -459,6 +543,19 @@ pub struct ShardedWireClient<T: KeyedDataType> {
     needs_reroute: BTreeSet<u64>,
     /// Answers: global sequence → (value, witness).
     values: BTreeMap<u64, (T::Value, Option<Vec<OpId>>)>,
+    /// Scattered whole-object queries by global sequence.
+    gathers: BTreeMap<u64, WireGather<T::Operator>>,
+    /// Gathers currently mid-scatter (re-entrancy guard: scattering can
+    /// block on barriers and foreign `prev` waits, which pump and may
+    /// trigger repair of *other* stale gathers, but never of the one
+    /// already being scattered).
+    scattering: BTreeSet<u64>,
+    /// Per shard: how many [`StabilityInfoMsg`] replies have arrived,
+    /// and the latest one — the barrier loop sends a fresh probe and
+    /// waits for the counter to advance, so it never reads a stale
+    /// snapshot.
+    stability_seen: Vec<u64>,
+    stability_last: Vec<Option<StabilityInfoMsg>>,
     cross_shard_wait: Duration,
     next_retry: Instant,
 }
@@ -480,13 +577,77 @@ where
     }
 
     /// The shard `id` is currently placed on, if issued by this handle.
+    /// `None` for a scattered whole-object query — it lives on every
+    /// involved shard; see [`Self::gather_detail`].
     pub fn shard_of(&self, id: ShardedOpId) -> Option<u32> {
         self.placement(id).map(|p| p.shard)
     }
 
-    /// The table version `id` was last routed under.
+    /// The table version `id` was last routed (for a gather: scattered)
+    /// under.
     pub fn routed_version(&self, id: ShardedOpId) -> Option<u64> {
-        self.placement(id).map(|p| p.version)
+        if id.client() != self.id {
+            return None;
+        }
+        self.placements
+            .get(&id.seq())
+            .map(|p| p.version)
+            .or_else(|| self.gathers.get(&id.seq()).map(|g| g.version))
+    }
+
+    /// For a scattered whole-object query: the per-shard sub-operation
+    /// ids and — when strict — the answered-frontier snapshot each
+    /// sub-operation was barrier-ordered after. Together these form the
+    /// `esds_spec::ShardBarrier` records of the conformance predicate
+    /// (`esds_spec::check_barrier_cut`): each shard's eventual order
+    /// must place the sub-operation after its whole frontier. `None`
+    /// for keyed operations and ids this handle did not issue.
+    #[allow(clippy::type_complexity)]
+    pub fn gather_detail(
+        &self,
+        id: ShardedOpId,
+    ) -> Option<(BTreeMap<u32, OpId>, BTreeMap<u32, Vec<OpId>>)> {
+        if id.client() != self.id {
+            return None;
+        }
+        let g = self.gathers.get(&id.seq())?;
+        let subs = g
+            .subs
+            .iter()
+            .map(|(shard, sub)| (*shard, self.placements[sub].local))
+            .collect();
+        Some((subs, g.frontier.clone()))
+    }
+
+    /// For an *answered* scattered whole-object query: the per-shard
+    /// trace its hidden sub-operations contributed — `(shard,
+    /// descriptor, value, witness)` in ascending shard order. Each
+    /// sub-operation is an ordinary request of its shard answered with
+    /// that shard's slice, so a black-box per-shard checker records
+    /// these exactly like keyed traffic. `None` for keyed operations,
+    /// gathers with unanswered sub-operations, and ids this handle did
+    /// not issue.
+    #[allow(clippy::type_complexity)]
+    pub fn gather_sub_trace(
+        &self,
+        id: ShardedOpId,
+    ) -> Option<Vec<(u32, OpDescriptor<T::Operator>, T::Value, Option<Vec<OpId>>)>> {
+        if id.client() != self.id {
+            return None;
+        }
+        let g = self.gathers.get(&id.seq())?;
+        g.subs
+            .iter()
+            .map(|(shard, sub)| {
+                let (v, w) = self.values.get(sub)?;
+                Some((
+                    *shard,
+                    self.placements[sub].descriptor(),
+                    v.clone(),
+                    w.clone(),
+                ))
+            })
+            .collect()
     }
 
     /// The per-shard descriptor `id` is currently submitted as (shard,
@@ -521,56 +682,78 @@ where
             .flatten()
     }
 
-    /// Submits an operation to the shard owning its key under this
-    /// client's table view and returns its global id. Foreign-shard
-    /// `prev` entries are awaited over the wire (blocking, up to the
-    /// configured cross-shard timeout) before the request frame is sent;
-    /// same-shard entries — including those inherited through foreign
-    /// hops — ride the shard's own protocol as the local `prev` set.
+    /// Submits an operation and returns its global id. Single-key
+    /// operators route to the shard owning their key under this client's
+    /// table view; a keyless, mergeable operator on a table spanning
+    /// more than one shard is **scattered** across every involved shard
+    /// and gathered with [`KeyedDataType::merge_gathered`] (strict
+    /// gathers take a per-shard stability barrier first — see the
+    /// module docs). Foreign-shard `prev` entries are awaited over the
+    /// wire (blocking, up to the configured cross-shard timeout) before
+    /// request frames are sent; same-shard entries — including those
+    /// inherited through foreign hops, and the same-shard sub-operation
+    /// of a gathered predecessor — ride each shard's own protocol as the
+    /// local `prev` set.
     ///
     /// # Panics
     ///
-    /// Panics if `prev` names an id this handle did not issue, or if a
-    /// foreign predecessor stays unanswered past the cross-shard timeout
-    /// (the deployment is then considered broken — the same situation in
-    /// which [`ShardedWireClient::await_response`] would return `None`).
+    /// Panics if `prev` names an id this handle did not issue, if a
+    /// foreign predecessor or barrier stays unanswered past the
+    /// cross-shard timeout (the deployment is then considered broken —
+    /// the same situation in which
+    /// [`ShardedWireClient::await_response`] would return `None`), or if
+    /// the operation is a whole-object query the deployment cannot
+    /// gather — use [`Self::try_submit`] to handle that case as a value.
     pub fn submit(&mut self, op: T::Operator, prev: &[ShardedOpId], strict: bool) -> ShardedOpId {
+        self.try_submit(op, prev, strict)
+            .unwrap_or_else(|e| panic!("{e}; use try_submit to handle this case"))
+    }
+
+    /// Like [`Self::submit`], but a keyless operator without a gather
+    /// merge on a multi-shard table is refused with
+    /// [`WholeObjectUnsupported`] instead of panicking (answering it
+    /// from one shard's slice would silently drop every other shard's
+    /// contribution).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::submit`], except for the un-gatherable whole-object
+    /// case, which is returned as an error.
+    pub fn try_submit(
+        &mut self,
+        op: T::Operator,
+        prev: &[ShardedOpId],
+        strict: bool,
+    ) -> Result<ShardedOpId, WholeObjectUnsupported> {
         for g in prev {
             assert!(
                 g.client() == self.id,
                 "prev {g} was not issued by this client handle"
             );
             assert!(
-                self.placements.contains_key(&g.seq()),
+                self.placements.contains_key(&g.seq()) || self.gathers.contains_key(&g.seq()),
                 "prev {g} was never submitted via this handle"
             );
         }
         self.pump();
+        let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
+        if self.dt.shard_key(&op).is_none() && self.table.involved_shards().len() > 1 {
+            if !self.dt.is_gatherable(&op) {
+                return Err(WholeObjectUnsupported);
+            }
+            return Ok(self.submit_gather(op, seqs, strict));
+        }
+        // Keyed — or keyless on a table whose slots all live on one
+        // shard, where the home-slot owner holds the whole object and
+        // legacy routing is exact.
+        Ok(self.submit_keyed(op, seqs, strict))
+    }
+
+    fn submit_keyed(&mut self, op: T::Operator, seqs: Vec<u64>, strict: bool) -> ShardedOpId {
         let slot = self.slot_of_op(&op);
         let shard = self.table.shard_of_slot(slot);
         let version = self.table.version();
-        // The shared frontier walk (`esds_core::shard_frontier`):
-        // same-shard predecessors become local `prev` constraints, and
-        // every foreign predecessor encountered is awaited — over the
-        // wire — before descending through it.
-        let seqs: Vec<u64> = prev.iter().map(|g| g.seq()).collect();
-        let wait = self.cross_shard_wait;
-        let local_prev: Vec<OpId> = esds_core::shard_frontier(&seqs, shard, |seq| {
-            let (p_shard, p_local, p_prev) = {
-                let p = &self.placements[&seq];
-                (p.shard, p.local, p.prev.clone())
-            };
-            if p_shard != shard && !self.values.contains_key(&seq) {
-                let answered = self.await_seq(seq, wait);
-                assert!(
-                    answered,
-                    "cross-shard prev {} unanswered after {:?}",
-                    ShardedOpId::new(self.id, seq),
-                    wait
-                );
-            }
-            (p_shard, p_local, p_prev)
-        });
+        let local_prev = self.local_frontier(&seqs, shard);
         let local = OpId::new(self.id, self.next_local[shard as usize]);
         self.next_local[shard as usize] += 1;
         let seq = self.next_global;
@@ -585,6 +768,7 @@ where
                 strict,
                 local_prev,
                 version,
+                gather: None,
             },
         );
         self.pending.insert(seq);
@@ -592,10 +776,171 @@ where
         ShardedOpId::new(self.id, seq)
     }
 
+    fn submit_gather(&mut self, op: T::Operator, prev: Vec<u64>, strict: bool) -> ShardedOpId {
+        let gid = self.next_global;
+        self.next_global += 1;
+        let version = self.table.version();
+        self.gathers.insert(
+            gid,
+            WireGather {
+                op,
+                prev,
+                strict,
+                subs: BTreeMap::new(),
+                version,
+                frontier: BTreeMap::new(),
+            },
+        );
+        self.scatter(gid);
+        ShardedOpId::new(self.id, gid)
+    }
+
+    /// (Re-)scatters gather `gid` under the current table: one hidden
+    /// sub-operation per involved shard, preceded by a per-shard
+    /// stability barrier when the gather is strict. Blocking (barriers
+    /// and foreign `prev` waits run here), so never called from the
+    /// non-blocking pump — a NAKed sub-operation waits in
+    /// `needs_reroute` until [`Self::repair_gathers`] runs in an await
+    /// loop.
+    fn scatter(&mut self, gid: u64) {
+        if !self.scattering.insert(gid) {
+            return;
+        }
+        let deadline = Instant::now() + self.cross_shard_wait;
+        let version = self.table.version();
+        let involved = self.table.involved_shards();
+        let (op, prev, strict) = {
+            let g = &self.gathers[&gid];
+            (g.op.clone(), g.prev.clone(), g.strict)
+        };
+        // Strict: barrier first. Snapshot each involved shard's answered
+        // frontier (the relay's order) and wait until the shard knows it
+        // stable everywhere; the fresh sub-operation label the relay
+        // then mints exceeds every frontier label, whose positions are
+        // final — so the sub-operation is ordered after everything any
+        // answer this client observed could reflect.
+        let mut frontier = BTreeMap::new();
+        if strict {
+            for s in &involved {
+                let f = self.take_barrier(*s, deadline).unwrap_or_else(|| {
+                    panic!(
+                        "barrier on shard {s} did not stabilize within {:?}",
+                        self.cross_shard_wait
+                    )
+                });
+                frontier.insert(*s, f);
+            }
+        }
+        // Retire the previous scatter (version-refused sub-operations):
+        // once out of `pending`, straggler NAKs for them are ignored.
+        let old: Vec<u64> = self.gathers[&gid].subs.values().copied().collect();
+        for s in old {
+            self.pending.remove(&s);
+            self.needs_reroute.remove(&s);
+        }
+        let mut subs = BTreeMap::new();
+        for shard in involved {
+            let local_prev = self.local_frontier(&prev, shard);
+            let local = OpId::new(self.id, self.next_local[shard as usize]);
+            self.next_local[shard as usize] += 1;
+            let sub = self.next_global;
+            self.next_global += 1;
+            self.placements.insert(
+                sub,
+                WirePlacement {
+                    shard,
+                    local,
+                    op: op.clone(),
+                    prev: prev.clone(),
+                    strict,
+                    local_prev,
+                    version,
+                    gather: Some(gid),
+                },
+            );
+            self.pending.insert(sub);
+            subs.insert(shard, sub);
+        }
+        let sub_seqs: Vec<u64> = subs.values().copied().collect();
+        {
+            let g = self.gathers.get_mut(&gid).expect("gathered");
+            g.subs = subs;
+            g.version = version;
+            g.frontier = frontier;
+        }
+        for sub in sub_seqs {
+            self.send_placed(sub);
+        }
+        self.scattering.remove(&gid);
+    }
+
+    /// The same-shard `prev` frontier of `seqs` — the shared
+    /// [`esds_core::gather_frontier`] walk. Keyed predecessors anchor on
+    /// their placement; a gathered predecessor anchors on its
+    /// sub-operation on `shard`. Every foreign (or stale-scattered)
+    /// predecessor encountered is awaited over the wire before the walk
+    /// descends through it: once answered, its constraint is satisfied
+    /// for the client-observed order and vacuous for disjoint state.
+    fn local_frontier(&mut self, seqs: &[u64], shard: u32) -> Vec<OpId> {
+        let wait = self.cross_shard_wait;
+        esds_core::gather_frontier(seqs, shard, |seq| {
+            if self.gathers.contains_key(&seq) {
+                let (gprev, sub_seqs, must_wait) = {
+                    let g = &self.gathers[&seq];
+                    let stale = g.version != self.table.version();
+                    let spans = g.subs.contains_key(&shard);
+                    (
+                        g.prev.clone(),
+                        g.subs.clone(),
+                        (stale || !spans) && !self.values.contains_key(&seq),
+                    )
+                };
+                let sub_seqs = if must_wait {
+                    // A stale gather is re-scattered (and an answered one
+                    // settled) inside the await loop; re-read the subs
+                    // afterwards so the anchor is the live sub-operation.
+                    let answered = self.await_seq(seq, wait);
+                    assert!(
+                        answered,
+                        "cross-shard prev {} unanswered after {:?}",
+                        ShardedOpId::new(self.id, seq),
+                        wait
+                    );
+                    self.gathers[&seq].subs.clone()
+                } else {
+                    sub_seqs
+                };
+                let subs: Vec<(u32, OpId)> = sub_seqs
+                    .iter()
+                    .map(|(s, sub)| (*s, self.placements[sub].local))
+                    .collect();
+                (subs, gprev)
+            } else {
+                let (p_shard, p_local, p_prev) = {
+                    let p = &self.placements[&seq];
+                    (p.shard, p.local, p.prev.clone())
+                };
+                if p_shard != shard && !self.values.contains_key(&seq) {
+                    let answered = self.await_seq(seq, wait);
+                    assert!(
+                        answered,
+                        "cross-shard prev {} unanswered after {:?}",
+                        ShardedOpId::new(self.id, seq),
+                        wait
+                    );
+                }
+                (vec![(p_shard, p_local)], p_prev)
+            }
+        })
+    }
+
     /// Waits until `id` is answered or `timeout` elapses, re-sending
-    /// unanswered requests every 50 ms and processing NAK re-routes.
+    /// unanswered requests every 50 ms and processing NAK re-routes
+    /// (for a scattered whole-object query: re-scattering it).
     pub fn await_response(&mut self, id: ShardedOpId, timeout: Duration) -> Option<T::Value> {
-        if id.client() != self.id || !self.placements.contains_key(&id.seq()) {
+        if id.client() != self.id
+            || !(self.placements.contains_key(&id.seq()) || self.gathers.contains_key(&id.seq()))
+        {
             return None;
         }
         if self.await_seq(id.seq(), timeout) {
@@ -615,8 +960,119 @@ where
             }
             self.maybe_retry();
             self.pump();
+            self.repair_gathers();
             std::thread::sleep(AWAIT_NAP);
         }
+    }
+
+    /// Re-scatters every unanswered gather whose scatter predates the
+    /// current table (a sub-operation was NAKed and the adopted table
+    /// may involve a different shard set). Runs only from blocking await
+    /// loops — a re-scatter can take barriers and wait on predecessors —
+    /// and never touches a gather already mid-scatter.
+    fn repair_gathers(&mut self) {
+        let stale: Vec<u64> = self
+            .gathers
+            .iter()
+            .filter(|(gid, g)| {
+                !self.scattering.contains(gid)
+                    && !self.values.contains_key(gid)
+                    && !g.subs.is_empty()
+                    && g.version != self.table.version()
+            })
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in stale {
+            let current = self.gathers[&gid].version == self.table.version();
+            if !current && !self.values.contains_key(&gid) {
+                self.scatter(gid);
+            }
+        }
+    }
+
+    /// Merges every gather whose sub-operations have all been answered
+    /// under the current table, caching the merged value at the gather's
+    /// own global sequence.
+    fn settle_gathers(&mut self) {
+        let ready: Vec<u64> = self
+            .gathers
+            .iter()
+            .filter(|(gid, g)| {
+                !self.values.contains_key(gid)
+                    && g.version == self.table.version()
+                    && !g.subs.is_empty()
+                    && g.subs.values().all(|s| self.values.contains_key(s))
+            })
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in ready {
+            let (op, parts): (T::Operator, Vec<T::Value>) = {
+                let g = &self.gathers[&gid];
+                // BTreeMap iteration gives ascending shard order — the
+                // part order `merge_gathered` documents.
+                (
+                    g.op.clone(),
+                    g.subs.values().map(|s| self.values[s].0.clone()).collect(),
+                )
+            };
+            let merged = self
+                .dt
+                .merge_gathered(&op, parts)
+                .expect("scattered operators are gatherable");
+            self.values.insert(gid, (merged, None));
+        }
+    }
+
+    /// The barrier on one shard: snapshot the relay's answered frontier,
+    /// then poll fresh stability probes until the relay knows the whole
+    /// frontier stable at every replica. `None` past `deadline`.
+    fn take_barrier(&mut self, shard: u32, deadline: Instant) -> Option<Vec<OpId>> {
+        let frontier = self.fresh_stability(shard, deadline)?.order;
+        loop {
+            let info = self.fresh_stability(shard, deadline)?;
+            let stable: BTreeSet<OpId> = info.stable_everywhere.iter().copied().collect();
+            if frontier.iter().all(|id| stable.contains(id)) {
+                return Some(frontier);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Probes `shard`'s relay with a `StabilityQuery` and waits for a
+    /// reply *newer than the probe* (the per-shard receive counter
+    /// advances), re-sending every retry period — probes and replies are
+    /// as losable as any other frame. `None` past `deadline`.
+    fn fresh_stability(&mut self, shard: u32, deadline: Instant) -> Option<StabilityInfoMsg> {
+        let baseline = self.stability_seen[shard as usize];
+        let mut next_probe = Instant::now();
+        loop {
+            if Instant::now() >= next_probe {
+                self.send_stability_query(shard);
+                next_probe = Instant::now() + RETRY_EVERY;
+            }
+            self.maybe_retry();
+            self.pump();
+            if self.stability_seen[shard as usize] > baseline {
+                return self.stability_last[shard as usize].clone();
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(AWAIT_NAP);
+        }
+    }
+
+    /// Sends a `StabilityQuery` frame to `shard`'s relay. The Hello
+    /// preamble is refreshed with it: the reply travels through the
+    /// node's registered-clients map, so registration must have arrived.
+    fn send_stability_query(&mut self, shard: u32) {
+        let msg: WireMessage<T::Operator, T::Value> = WireMessage::StabilityQuery;
+        let mut out = BytesMut::new();
+        encode_message(&msg, &mut out);
+        let id = self.id;
+        self.links[shard as usize].send(id, &out, true);
     }
 
     /// The slot an operator is attributed to (keyless → [`HOME_SLOT`]).
@@ -688,6 +1144,14 @@ where
         if self.values.contains_key(&seq) {
             return true; // answered in the meantime; nothing to move
         }
+        if self.placements[&seq].gather.is_some() {
+            // A gather's sub-operation is never re-routed alone: the
+            // adopted table may involve a different shard *set*, and a
+            // strict re-scatter must re-take barriers — blocking work
+            // the pump cannot do. Leave it queued; `repair_gathers`
+            // re-scatters the whole gather from the await loop.
+            return false;
+        }
         if self.placements[&seq].version == self.table.version() {
             // Already re-routed under the current table: this NAK is a
             // straggler or a duplicate (lossy/duplicating links retry
@@ -704,15 +1168,32 @@ where
         };
         let slot = self.slot_of_op(&op);
         let shard = self.table.shard_of_slot(slot);
-        // Every foreign predecessor must already be answered; a re-route
-        // happens inside the pump, so it must not block.
+        // Every foreign predecessor must already be answered — and every
+        // gathered predecessor either answered or freshly scattered
+        // under the current table (anchoring on a version-refused
+        // sub-operation would wait on an id the shard never accepted).
+        // A re-route happens inside the pump, so it must not block.
         let mut ready = true;
-        let local_prev: Vec<OpId> = esds_core::shard_frontier(&prev, shard, |s| {
-            let p = &self.placements[&s];
-            if p.shard != shard && !self.values.contains_key(&s) {
-                ready = false;
+        let local_prev: Vec<OpId> = esds_core::gather_frontier(&prev, shard, |s| {
+            if let Some(g) = self.gathers.get(&s) {
+                let answered = self.values.contains_key(&s);
+                if !answered && (g.version != self.table.version() || !g.subs.contains_key(&shard))
+                {
+                    ready = false;
+                }
+                let subs: Vec<(u32, OpId)> = g
+                    .subs
+                    .iter()
+                    .map(|(sh, sub)| (*sh, self.placements[sub].local))
+                    .collect();
+                (subs, g.prev.clone())
+            } else {
+                let p = &self.placements[&s];
+                if p.shard != shard && !self.values.contains_key(&s) {
+                    ready = false;
+                }
+                (vec![(p.shard, p.local)], p.prev.clone())
             }
-            (p.shard, p.local, p.prev.clone())
         });
         if !ready {
             return false;
@@ -732,7 +1213,7 @@ where
     /// Drains whatever response frames have arrived on any shard link.
     fn pump(&mut self) {
         let mut naks: Vec<(u64, RoutingTable)> = Vec::new();
-        for link in &mut self.links {
+        for (shard, link) in self.links.iter_mut().enumerate() {
             link.read_into_buf();
             loop {
                 match decode_frame(&mut link.buf) {
@@ -759,6 +1240,10 @@ where
                             }) if global.client() == self.id => {
                                 naks.push((global.seq(), table));
                             }
+                            WireMessage::StabilityInfo(info) => {
+                                self.stability_last[shard] = Some(info);
+                                self.stability_seen[shard] += 1;
+                            }
                             _ => {} // other clients' frames / plain frames: not ours
                         }
                     }
@@ -779,6 +1264,7 @@ where
                 self.needs_reroute.insert(seq);
             }
         }
+        self.settle_gathers();
     }
 }
 
@@ -1046,6 +1532,245 @@ mod tests {
         );
         let stats = svc.chaos_stats();
         assert!(stats.duplicated > 0, "duplication must actually happen");
+        svc.shutdown();
+    }
+
+    /// Finds `per_shard` keys owned by every shard of `table`, drawing
+    /// from a deterministic key stream.
+    fn keys_covering(table: &RoutingTable, per_shard: usize) -> Vec<String> {
+        let mut by_shard: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for i in 0..10_000 {
+            let k = format!("k{i}");
+            let owner = table.shard_of_key(&k);
+            let bucket = by_shard.entry(owner).or_default();
+            if bucket.len() < per_shard {
+                bucket.push(k);
+            }
+            if by_shard.len() == table.n_shards() as usize
+                && by_shard.values().all(|b| b.len() == per_shard)
+            {
+                break;
+            }
+        }
+        assert_eq!(by_shard.len(), table.n_shards() as usize, "coverage");
+        by_shard.into_values().flatten().collect()
+    }
+
+    #[test]
+    fn whole_object_keys_gathers_union_across_shards() {
+        // The PR's headline bug, on the wire: Keys is a whole-object
+        // query, so on a 2-shard deployment it must return *both*
+        // shards' key sets — not the home shard's slice. With every put
+        // in `prev`, each per-shard sub-operation is ordered after that
+        // shard's puts, so even the eventual-mode gather is exact.
+        let mut svc = ShardedWireService::launch(KvStore, 2, ShardedWireConfig::new(2));
+        let table = svc.table();
+        let mut c = svc.client();
+        let keys = keys_covering(&table, 3);
+        let mut puts = Vec::new();
+        for k in &keys {
+            puts.push(c.submit(KvOp::put(k, "v"), &[], false));
+        }
+        for id in &puts {
+            assert!(c.await_response(*id, Duration::from_secs(10)).is_some());
+        }
+        let q = c.submit(KvOp::Keys, &puts, false);
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(
+            c.await_response(q, Duration::from_secs(10)),
+            Some(KvValue::Keys(expect)),
+            "gathered Keys must union every shard's slice"
+        );
+        assert_eq!(c.shard_of(q), None, "a gather lives on every shard");
+        let (subs, frontier) = c.gather_detail(q).expect("gather bookkeeping");
+        assert_eq!(subs.len(), 2, "one sub-operation per involved shard");
+        assert!(frontier.is_empty(), "eventual gathers take no barrier");
+        // A gathered query works as a `prev`: the dependent get anchors
+        // on the gather's sub-operation on its own shard.
+        let dep = c.submit(KvOp::get(&keys[0]), &[q], false);
+        assert_eq!(
+            c.await_response(dep, Duration::from_secs(10)),
+            Some(KvValue::Value(Some("v".into())))
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn barrier_strict_keys_is_exact_on_four_shards() {
+        // Acceptance: on a live 4-shard TCP deployment, a barrier-strict
+        // Keys with *no* prev returns exactly the union a 1-shard
+        // deployment would — everything this client has been answered
+        // for is covered by each relay's frontier snapshot — and the
+        // recorded (frontier, sub) pairs satisfy the spec-level barrier
+        // predicate against each shard's stable watermark.
+        use esds_spec::{check_barrier_cut, ShardBarrier};
+        let mut svc = ShardedWireService::launch(KvStore, 4, ShardedWireConfig::new(2));
+        let table = svc.table();
+        let mut c = svc.client();
+        let keys = keys_covering(&table, 3);
+        let mut puts = Vec::new();
+        for k in &keys {
+            puts.push(c.submit(KvOp::put(k, "v"), &[], false));
+        }
+        for id in &puts {
+            assert!(c.await_response(*id, Duration::from_secs(10)).is_some());
+        }
+        let q = c.submit(KvOp::Keys, &[], true);
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(
+            c.await_response(q, Duration::from_secs(30)),
+            Some(KvValue::Keys(expect)),
+            "barrier-strict Keys must equal the 1-shard union"
+        );
+        let (subs, frontier) = c.gather_detail(q).expect("gather bookkeeping");
+        assert_eq!(subs.len(), 4);
+        assert_eq!(frontier.len(), 4, "strict gathers barrier every shard");
+        for (shard, sub) in &subs {
+            let b = ShardBarrier {
+                shard: *shard,
+                frontier: frontier[shard].clone(),
+                sub: *sub,
+            };
+            // The watermark grows to include the strict sub-operation
+            // (it was answered, hence stable); then the barrier cut must
+            // hold in the shard's final order prefix.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let order = loop {
+                let w = svc
+                    .stable_watermark(*shard, Duration::from_secs(5))
+                    .expect("node answers stability probes");
+                if w.contains(sub) {
+                    break w;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "sub-operation never entered shard {shard}'s watermark"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            assert_eq!(
+                check_barrier_cut(&b, &order),
+                Vec::new(),
+                "barrier violated on shard {shard}"
+            );
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn ungatherable_whole_object_is_refused_on_multishard_tables() {
+        // A keyless operator without a merge cannot be answered from one
+        // shard's slice: `try_submit` refuses it with the typed error on
+        // a multi-shard table, and `submit` would panic. On a 1-shard
+        // table the home slot's owner holds the whole object, so legacy
+        // routing stays exact and allowed.
+        #[derive(Clone)]
+        struct NoGatherKv;
+        impl esds_core::SerialDataType for NoGatherKv {
+            type State = <KvStore as esds_core::SerialDataType>::State;
+            type Operator = KvOp;
+            type Value = KvValue;
+            fn initial_state(&self) -> Self::State {
+                KvStore.initial_state()
+            }
+            fn apply(&self, s: &Self::State, op: &Self::Operator) -> (Self::State, Self::Value) {
+                KvStore.apply(s, op)
+            }
+        }
+        impl KeyedDataType for NoGatherKv {
+            fn shard_key<'a>(&self, op: &'a KvOp) -> Option<&'a str> {
+                KvStore.shard_key(op)
+            }
+            // merge_gathered: default None — Keys becomes un-gatherable.
+        }
+
+        let mut svc = ShardedWireService::launch(NoGatherKv, 2, ShardedWireConfig::new(1));
+        let mut c = svc.client();
+        assert_eq!(
+            c.try_submit(KvOp::Keys, &[], false),
+            Err(WholeObjectUnsupported)
+        );
+        assert_eq!(
+            c.try_submit(KvOp::Keys, &[], true),
+            Err(WholeObjectUnsupported),
+            "strictness does not make a partial answer true"
+        );
+        // Keyed operators are unaffected.
+        let put = c.submit(KvOp::put("a", "1"), &[], false);
+        assert!(c.await_response(put, Duration::from_secs(10)).is_some());
+        svc.shutdown();
+
+        let mut single = ShardedWireService::launch(NoGatherKv, 1, ShardedWireConfig::new(1));
+        let mut c1 = single.client();
+        let w = c1.submit(KvOp::put("a", "1"), &[], false);
+        let q = c1
+            .try_submit(KvOp::Keys, &[w], false)
+            .expect("one shard holds the whole object");
+        assert_eq!(
+            c1.await_response(q, Duration::from_secs(10)),
+            Some(KvValue::Keys(vec!["a".into()]))
+        );
+        single.shutdown();
+    }
+
+    #[test]
+    fn nakked_gather_rescatters_under_adopted_table() {
+        // Satellite: a gather scattered under a stale table is NAKed per
+        // sub-operation; the client must adopt the newer table and
+        // re-scatter the *whole* query across the new involved shard
+        // set — the fix for keyless routing racing a table flip.
+        let mut grown = RoutingTable::uniform(2);
+        grown.apply(&MigrationPlan::add_shard(&grown));
+        let mut svc = ShardedWireService::launch_with_table(
+            KvStore,
+            grown.clone(),
+            ShardedWireConfig::new(2),
+        );
+        // Seed all three shards through a current-table client.
+        let keys = keys_covering(&grown, 2);
+        let mut seeder = svc.client();
+        let mut puts = Vec::new();
+        for k in &keys {
+            puts.push(seeder.submit(KvOp::put(k, "v"), &[], false));
+        }
+        for id in &puts {
+            assert!(seeder
+                .await_response(*id, Duration::from_secs(10))
+                .is_some());
+        }
+        // The stale client's *first* submission is the gather: both v0
+        // sub-operations are refused, the v1 table is adopted, and the
+        // repair re-scatters across all three shards.
+        let mut c = svc.client_with_table(RoutingTable::uniform(2));
+        assert_eq!(c.table_version(), 0);
+        let q = c.submit(KvOp::Keys, &[], false);
+        assert!(
+            c.await_response(q, Duration::from_secs(30)).is_some(),
+            "re-scattered gather never answered"
+        );
+        assert_eq!(c.table_version(), 1, "NAK adopted");
+        assert_eq!(c.routed_version(q), Some(1), "gather re-scattered");
+        let (subs, _) = c.gather_detail(q).expect("gather bookkeeping");
+        assert_eq!(subs.len(), 3, "new shard set includes the added shard");
+        // An eventual read may predate gossip of the seeder's puts;
+        // poll until the union converges to the full key set (bounded).
+        let mut expect = keys.clone();
+        expect.sort();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let q = c.submit(KvOp::Keys, &[], false);
+            let v = c.await_response(q, Duration::from_secs(10));
+            if v == Some(KvValue::Keys(expect.clone())) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "gathered union never converged: {v:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
         svc.shutdown();
     }
 

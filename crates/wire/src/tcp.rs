@@ -45,7 +45,8 @@ pub type AddrTable = Arc<Mutex<Vec<SocketAddr>>>;
 use crate::codec::Wire;
 use crate::frame::decode_frame;
 use crate::message::{
-    decode_message, encode_message, HelloId, ShardedResponseMsg, SummarizedGossip, WireMessage,
+    decode_message, encode_message, HelloId, ShardedResponseMsg, StabilityInfoMsg,
+    SummarizedGossip, WireMessage,
 };
 
 /// Read-poll granularity: how often blocked readers check for shutdown.
@@ -439,7 +440,41 @@ fn read_connection<T>(
                                 break 'conn;
                             }
                         }
-                        WireMessage::Response(_) | WireMessage::ShardedResponse(_) => {} // nonsensical inbound; ignore
+                        WireMessage::StabilityQuery => {
+                            // Answered from the reader thread: the snapshot
+                            // is fetched over the core's input channel (so
+                            // it is consistent) and written back through
+                            // the registered-clients lock (so the frame
+                            // cannot interleave with a response the core
+                            // thread is writing). A dropped or timed-out
+                            // probe is simply not answered — the client's
+                            // barrier loop re-queries.
+                            let (tx, rx) = crossbeam::channel::bounded(1);
+                            if input_tx.send(NodeInput::Inspect(tx)).is_err() {
+                                break 'conn;
+                            }
+                            if let Ok(snap) = rx.recv_timeout(Duration::from_secs(5)) {
+                                let mut out = BytesMut::new();
+                                let info: WireMessage<T::Operator, T::Value> =
+                                    WireMessage::StabilityInfo(StabilityInfoMsg {
+                                        order: snap.order,
+                                        stable_everywhere: snap
+                                            .stable_everywhere
+                                            .into_iter()
+                                            .collect(),
+                                    });
+                                encode_message(&info, &mut out);
+                                if let Some(c) = registered {
+                                    let mut guard = clients.lock();
+                                    if let Some(w) = guard.get_mut(&c) {
+                                        let _ = w.write_all(&out);
+                                    }
+                                }
+                            }
+                        }
+                        WireMessage::Response(_)
+                        | WireMessage::ShardedResponse(_)
+                        | WireMessage::StabilityInfo(_) => {} // nonsensical inbound; ignore
                     }
                 }
                 Ok(None) => break,

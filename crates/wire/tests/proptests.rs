@@ -82,6 +82,11 @@ fn message_of(kind: FrameKind) -> Msg {
                 table,
             })
         }
+        FrameKind::StabilityQuery => Msg::StabilityQuery,
+        FrameKind::StabilityInfo => Msg::StabilityInfo(esds_wire::StabilityInfoMsg {
+            order: vec![id(0, 0), id(1, 3), id(0, 1)],
+            stable_everywhere: vec![id(0, 0), id(1, 3)],
+        }),
     }
 }
 

@@ -57,6 +57,38 @@
 //! assert_eq!(sys.response(get), Some(&KvValue::Value(Some("ada".into()))));
 //! ```
 //!
+//! Whole-object queries **scatter-gather**: `Keys` reads state no
+//! single shard holds, so the deployment fans one hidden sub-query out
+//! to every involved shard and merges the answers. Submitted *strict*,
+//! the gather takes a per-shard stability barrier first, and the
+//! merged answer is exactly what an unsharded deployment would return:
+//!
+//! ```rust
+//! use esds::harness::{ShardedSimSystem, ShardedSystemConfig, SystemConfig};
+//! use esds::datatypes::{KvOp, KvStore, KvValue};
+//!
+//! // 2 shards × 3 replicas.
+//! let cfg = ShardedSystemConfig::new(2, SystemConfig::new(3).with_seed(11));
+//! let mut sys = ShardedSimSystem::new(KvStore, cfg);
+//! let c = sys.add_client(0);
+//!
+//! // The writes land on whichever shard owns each key.
+//! let a = sys.submit(c, KvOp::put("user:1", "ada"), &[], false);
+//! let b = sys.submit(c, KvOp::put("user:2", "lin"), &[], false);
+//!
+//! // Barrier-strict `Keys`: each involved shard snapshots its answered
+//! // frontier, waits until that frontier is stable at every replica,
+//! // then runs a strict sub-query — the union is exact, never one
+//! // shard's partial slice.
+//! let keys = sys.submit(c, KvOp::Keys, &[a, b], true);
+//! sys.run_until_quiescent();
+//!
+//! assert_eq!(
+//!     sys.response(keys),
+//!     Some(&KvValue::Keys(vec!["user:1".into(), "user:2".into()]))
+//! );
+//! ```
+//!
 //! The threaded analogue is [`runtime::ShardedService`]; over real
 //! sockets it is [`wire::ShardedWireService`] (one TCP cluster per
 //! shard, with a routing-table-version handshake so reads never route

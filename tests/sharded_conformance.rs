@@ -118,6 +118,136 @@ fn sharded_system_conforms_to_esds2_under_batched_gossip() {
     );
 }
 
+/// Conformance of a **mixed keyed / whole-object workload**: scattered
+/// `Keys` queries ride alongside keyed puts and gets, and every shard's
+/// step trace — sub-operations included — must stay simulable by its own
+/// `ESDS-II` automaton. A gather adds nothing the per-shard spec must
+/// know about: each sub-operation is an ordinary `request(x)` on its
+/// shard, and the merge happens outside the protocol entirely.
+///
+/// On top of per-shard conformance, the **barrier predicate** of the
+/// strict gathers is asserted directly: for every involved shard, the
+/// recorded (frontier, sub-operation) pair must satisfy
+/// `check_barrier_cut` against the shard's eventual total order — the
+/// sub-operation present, the whole answered frontier present, and the
+/// sub-operation ordered after all of it (the per-shard half of the
+/// Theorem 5.7/5.8 argument for gathered strict reads).
+#[test]
+fn mixed_gather_workload_conforms_and_barrier_cuts_hold() {
+    use esds::spec::{check_barrier_cut, ShardBarrier};
+    let shard_cfg = SystemConfig::new(3)
+        .with_seed(83)
+        .with_replica(ReplicaConfig::default().with_witness())
+        .with_tracking();
+    let n_shards = 3usize;
+    let mut sys = ShardedSimSystem::new(KvStore, ShardedSystemConfig::new(n_shards, shard_cfg));
+    let mut observers: Vec<ConformanceObserver<KvStore>> = (0..n_shards)
+        .map(|_| ConformanceObserver::new(KvStore))
+        .collect();
+
+    let c = sys.add_client(0);
+    let mut last = None;
+    let mut gathers = Vec::new();
+    let mut keyed = 0usize;
+    let mut submitted = 0usize;
+    for i in 0..20u64 {
+        let key = format!("k{}", i % 10);
+        let (op, strict) = match i % 5 {
+            0..=2 => (KvOp::put(&key, format!("v{i}")), false),
+            3 => (KvOp::get(&key), i % 2 == 1),
+            _ => (KvOp::Keys, i % 10 == 9),
+        };
+        let is_gather = matches!(op, KvOp::Keys);
+        let prev: Vec<_> = if i % 4 == 1 {
+            last.into_iter().collect()
+        } else {
+            vec![]
+        };
+        let id = sys.submit(c, op, &prev, strict);
+        if is_gather {
+            gathers.push((id, strict));
+        } else {
+            keyed += 1;
+        }
+        last = Some(id);
+        submitted += 1;
+    }
+
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 200_000, "mixed gather conformance test runaway");
+        let mut all_trivial = true;
+        for (s, obs) in observers.iter_mut().enumerate() {
+            let Some((_, report)) = sys.step_shard(s) else {
+                continue;
+            };
+            all_trivial &= report.is_trivial();
+            let view = sys.shard_view(s).expect("no crashes in this test");
+            obs.observe(&report, &view)
+                .unwrap_or_else(|e| panic!("shard {s} conformance violated: {e}"));
+        }
+        if sys.is_converged() && all_trivial {
+            break;
+        }
+    }
+
+    // Every client operation answered — gathers merged, not partial.
+    assert_eq!(sys.completed_client_ops(), submitted);
+    // Each keyed op entered exactly one shard's spec; each gather entered
+    // every involved shard's spec as its sub-operation.
+    let spec_ops: usize = observers.iter().map(|o| o.spec().ops().len()).sum();
+    assert_eq!(
+        spec_ops,
+        keyed + gathers.len() * n_shards,
+        "sub-operations must enter exactly the involved shards' specs"
+    );
+    for (s, obs) in observers.iter().enumerate() {
+        assert_eq!(
+            obs.spec().ops().len(),
+            obs.spec().stabilized().len(),
+            "shard {s} left operations unstabilized"
+        );
+    }
+
+    // The barrier predicate, shard by shard, for every strict gather.
+    let mut strict_seen = 0usize;
+    for (id, strict) in &gathers {
+        let (subs, frontier) = sys.gather_detail(*id).expect("gather bookkeeping");
+        assert_eq!(subs.len(), n_shards, "one sub-operation per shard");
+        if !*strict {
+            assert!(frontier.is_empty(), "eventual gathers take no barrier");
+            continue;
+        }
+        strict_seen += 1;
+        assert_eq!(
+            frontier.len(),
+            n_shards,
+            "strict gathers barrier every shard"
+        );
+        for (shard, sub) in subs {
+            let order = sys.shards()[*shard as usize].minlabel_order();
+            let b = ShardBarrier {
+                shard: *shard,
+                frontier: frontier[shard].clone(),
+                sub: *sub,
+            };
+            assert_eq!(
+                check_barrier_cut(&b, &order),
+                Vec::new(),
+                "barrier violated on shard {shard} for {id}"
+            );
+        }
+    }
+    assert!(strict_seen > 0, "workload must include strict gathers");
+
+    for s in 0..n_shards {
+        let shard = &sys.shards()[s];
+        check_converged(&shard.local_orders(), &shard.replica_states())
+            .unwrap_or_else(|e| panic!("shard {s} diverged: {e}"));
+    }
+}
+
 /// Conformance **through a live slot handoff**: a shard is added in the
 /// middle of the workload, and every shard — source groups, the
 /// receiving group, before, during, and after the migration — must stay

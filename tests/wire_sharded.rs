@@ -161,6 +161,51 @@ fn kv_workload_across_two_shard_clusters_under_chaos() {
         ids.push(fence);
     }
 
+    // One barrier-strict scatter-gather read under the same fault model
+    // (the ISSUE's fixed bug, live on sockets): `Keys` is a whole-object
+    // query, so on this two-shard table it fans out one hidden
+    // sub-operation per shard behind a per-shard stability barrier, and
+    // the merged answer must be the exact cross-shard union — not the
+    // pre-fix single home shard's slice.
+    let mut expected: std::collections::BTreeSet<String> = keys
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| j % 3 != 2) // j and j+12 hash to the same op kind
+        .map(|(_, k)| k.clone())
+        .collect();
+    expected.insert(ka.clone());
+    expected.insert(kb.clone());
+    let gq = c.submit(KvOp::Keys, &ids.clone(), true);
+    assert_eq!(c.shard_of(gq), None, "a gather lives on every shard");
+    assert_eq!(
+        c.await_response(gq, Duration::from_secs(120)),
+        Some(KvValue::Keys(expected.into_iter().collect())),
+        "barrier-strict Keys must return the exact cross-shard union under chaos"
+    );
+    // Its hidden sub-operations are ordinary per-shard requests: feed
+    // them to the black-box checkers and the audit trace like any other
+    // traffic.
+    let subs = c.gather_sub_trace(gq).expect("gather answered above");
+    assert_eq!(subs.len(), n_shards as usize, "one sub-op per shard");
+    for (shard, desc, value, witness) in subs {
+        trace.push(encode_line(&TraceEvent {
+            shard,
+            event: AuditEvent::Request(desc.clone()),
+        }));
+        checkers[shard as usize]
+            .on_request(desc.clone())
+            .expect("well-formed gather sub-op");
+        trace.push(encode_line(&TraceEvent {
+            shard,
+            event: AuditEvent::Response {
+                id: desc.id,
+                value: value.clone(),
+                witness: witness.clone(),
+            },
+        }));
+        checkers[shard as usize].on_response(desc.id, value, witness);
+    }
+
     // Feed the recorded responses (with witnesses) to each shard's
     // checker.
     for id in &ids {
