@@ -1,0 +1,10 @@
+//! F7 — what observability costs on the hot path: closed-loop
+//! throughput of the 3-replica threaded service with metrics off
+//! (disabled registry, no-op handles), counters only (live registry),
+//! and counters plus 1-in-16 sampled op-lifecycle tracing into a null
+//! sink. The disabled path is the zero-cost claim's receipt; the other
+//! two bound what a fully instrumented fleet pays per operation (see
+//! [`esds_bench::experiments::fig_obs_overhead`]).
+fn main() {
+    esds_bench::experiments::fig_obs_overhead(4, 80);
+}

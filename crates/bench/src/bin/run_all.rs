@@ -149,6 +149,14 @@ fn main() {
             .map(|(mode, tp)| vec![s(mode), n(tp)])
             .collect(),
     ));
+    let f7 = ex::fig_obs_overhead(pick(4, 2), pick(80, 12));
+    series.push((
+        "fig_obs_overhead",
+        vec!["metrics", "ops_per_sec"],
+        f7.into_iter()
+            .map(|(mode, tp)| vec![s(mode), n(tp)])
+            .collect(),
+    ));
     let (t1, t1_ladder) = ex::tab_response_bounds(1);
     series.push((
         "tab_response_bounds",

@@ -20,6 +20,7 @@
 //! | `tab_gossip_interval` | Theorem 9.3 g-sensitivity (A5) |
 //! | `tab_memory`          | §10.2 local compaction (A6) |
 //! | `tab_baseline_compare`  | consistency/performance trade-off (B1) |
+//! | `fig_obs_overhead`    | metrics/tracing overhead on the hot path (F7) |
 //! | `run_all`             | all of the above |
 //!
 //! Criterion micro-benchmarks live in `benches/`.

@@ -1,0 +1,284 @@
+//! Bounded log-bucketed histogram: fixed ~2 KiB of atomics per
+//! histogram, lock-free recording, quantiles with a proven relative
+//! error bound.
+//!
+//! The exact `esds-sim` histogram stores every sample, which is fine
+//! for experiment-scale data but unbounded on a
+//! long-lived service. This one buckets values logarithmically: each
+//! power-of-two octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so any recorded value lands in a bucket whose width is
+//! at most a quarter of its lower bound (25% relative error). Quantiles
+//! use the same nearest-rank rule as the exact histogram, which yields
+//! the key differential property (proptested at the facade): **the
+//! approximate quantile always falls in the same bucket as the exact
+//! one** — see [`bucket_index`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket bits per power-of-two octave (4 sub-buckets/octave).
+pub const SUB_BITS: u32 = 2;
+/// Linear sub-buckets per octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count: `SUB_BUCKETS` exact low buckets plus
+/// `SUB_BUCKETS` per octave from `2^SUB_BITS` through `2^63`.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a value to its bucket. Monotone non-decreasing in `v`, which
+/// is what makes nearest-rank quantiles over bucket counts land in the
+/// bucket containing the exact nearest-rank sample.
+pub fn bucket_index(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros(); // bit length; 0 for v = 0
+    if bits <= SUB_BITS {
+        // 0..SUB_BUCKETS: one exact bucket per value.
+        v as usize
+    } else {
+        let octave = bits - 1; // v ∈ [2^octave, 2^(octave+1))
+        let sub = ((v >> (octave - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        SUB_BUCKETS + (octave - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB_BUCKETS {
+        return (i as u64, i as u64);
+    }
+    let octave = SUB_BITS + ((i - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((i - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-size, lock-free histogram of `u64` samples (latencies in
+/// microseconds, sizes in bytes, …).
+///
+/// Memory is constant: `BUCKETS` (= 252) atomic counters ≈ 2 KiB, plus
+/// exact count/sum/max. All updates are relaxed atomics — safe from
+/// any number of threads, no locks on the record path.
+///
+/// # Examples
+///
+/// ```
+/// use esds_obs::BoundedHistogram;
+/// let h = BoundedHistogram::new();
+/// for v in [10u64, 20, 30, 40, 50] {
+///     h.record(v);
+/// }
+/// let s = h.summarize();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.max, 50);
+/// // 30 lives in bucket [28, 31]: the quantile reports the bucket's
+/// // value-capped upper bound.
+/// assert!(s.p50 >= 30 && s.p50 <= 31);
+/// ```
+#[derive(Debug)]
+pub struct BoundedHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for BoundedHistogram {
+    fn default() -> Self {
+        BoundedHistogram::new()
+    }
+}
+
+impl BoundedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        BoundedHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the current contents. Concurrent recorders may land
+    /// between the bucket reads — each sample is still counted exactly
+    /// once overall, and a quiescent histogram summarizes exactly.
+    pub fn summarize(&self) -> HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let q = |p: f64| -> u64 {
+            // Nearest rank, identical to the exact histogram's rule.
+            let rank = (((p / 100.0) * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper bound of the bucket, capped at the true max:
+                    // stays inside the bucket containing the exact
+                    // quantile, and never over-reports the tail.
+                    return bucket_bounds(i).1.min(max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            mean: sum / count,
+            p50: q(50.0),
+            p95: q(95.0),
+            p99: q(99.0),
+            max,
+        }
+    }
+}
+
+/// The rendered quantile summary of a [`BoundedHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean (floor).
+    pub mean: u64,
+    /// Median (nearest-rank, bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// One-line rendering shared by bench tables and `esds_top`:
+    /// `n=5 mean=30µs p50=31µs p99=50µs max=50µs` (values are treated
+    /// as microseconds).
+    pub fn render_us(&self) -> String {
+        format_latency_summary(self.count, self.mean, self.p50, self.p99, self.max)
+    }
+}
+
+/// Formats a microsecond duration the way experiment tables do:
+/// `17µs`, `4.2ms`, `1.37s`.
+pub fn format_duration_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// The one-line latency summary format shared by the exact
+/// (`esds-sim`) and bounded histograms, so bench bins don't duplicate
+/// the string shape. All values in microseconds.
+pub fn format_latency_summary(count: u64, mean: u64, p50: u64, p99: u64, max: u64) -> String {
+    if count == 0 {
+        return "n=0".to_string();
+    }
+    format!(
+        "n={count} mean={} p50={} p99={} max={}",
+        format_duration_us(mean),
+        format_duration_us(p50),
+        format_duration_us(p99),
+        format_duration_us(max)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_line() {
+        // Every bucket's bounds invert bucket_index, and consecutive
+        // buckets tile without gap or overlap.
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(
+                lo, expected_lo,
+                "bucket {i} starts where bucket {i}-1 ended"
+            );
+            assert!(hi >= lo);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends at u64::MAX");
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for i in SUB_BUCKETS..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            // Bucket width ≤ lo / 4: ≤ 25% relative error at the
+            // lower edge.
+            assert!(hi - lo < lo / (SUB_BUCKETS as u64) + 1, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_footprint_is_about_2kib() {
+        let per_hist = std::mem::size_of::<BoundedHistogram>();
+        assert!(per_hist >= 2000, "buckets alone are ~2 KiB: {per_hist}");
+        assert!(per_hist <= 2200, "fixed ~2 KiB budget: {per_hist}");
+    }
+
+    #[test]
+    fn empty_summary() {
+        let h = BoundedHistogram::new();
+        assert_eq!(h.summarize(), HistogramSummary::default());
+        assert_eq!(h.summarize().render_us(), "n=0");
+    }
+
+    #[test]
+    fn quantiles_track_exact_values() {
+        let h = BoundedHistogram::new();
+        let mut samples: Vec<u64> = (0..1000u64).map(|i| i * i % 7919 + 1).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let s = h.summarize();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, *samples.last().unwrap());
+        for (p, got) in [(50.0, s.p50), (95.0, s.p95), (99.0, s.p99)] {
+            let rank = (((p / 100.0) * 1000.0f64).ceil() as usize).clamp(1, 1000);
+            let exact = samples[rank - 1];
+            assert_eq!(
+                bucket_index(got),
+                bucket_index(exact),
+                "p{p}: approx {got} must share a bucket with exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration_us(17), "17µs");
+        assert_eq!(format_duration_us(4200), "4.2ms");
+        assert_eq!(format_duration_us(1_370_000), "1.37s");
+    }
+}

@@ -1,0 +1,36 @@
+//! # esds-obs — observability for ESDS deployments
+//!
+//! The sensor layer the rest of the workspace reports into: a
+//! lock-free [`MetricsRegistry`] (atomic counters, gauges, and
+//! fixed-footprint log-bucketed histograms), and sampled
+//! [op-lifecycle tracing](OpTracer) whose JSONL spans coexist with the
+//! audit trace codec so one capture feeds both the serializability
+//! checker and latency analysis.
+//!
+//! Everything defaults to **disabled and free**: a disabled registry
+//! or tracer hands out handles whose operations are a predictable
+//! branch — no atomics, no allocation, no locks — so services that
+//! never asked for metrics pay nothing.
+//!
+//! ```
+//! use esds_obs::MetricsRegistry;
+//! let reg = MetricsRegistry::new();
+//! let shard = reg.scoped("shard0");
+//! shard.counter("requests").inc();
+//! shard.gauge("unstable_window").set(3);
+//! shard.histogram("wal_sync_us").record(180);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("shard0/requests"), Some(1));
+//! assert!(snap.render().contains("shard0/wal_sync_us"));
+//! ```
+
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::{
+    bucket_bounds, bucket_index, format_duration_us, format_latency_summary, BoundedHistogram,
+    HistogramSummary, BUCKETS, SUB_BITS, SUB_BUCKETS,
+};
+pub use registry::{Counter, Gauge, Histo, MetricsRegistry, MetricsSnapshot, Scope};
+pub use trace::{OpTracer, Stage};

@@ -1,0 +1,266 @@
+//! Sampled op-lifecycle tracing: spans keyed by `(op id, stage)`
+//! emitted as JSONL lines that coexist with the audit trace codec.
+//!
+//! Each sampled operation leaves a line per lifecycle stage it
+//! crosses — submit → route → replica-accept → label → stabilize →
+//! answer, plus the gather fan-out and NAK re-route side paths — so
+//! one capture file can feed both the serializability checker (which
+//! replays the `req`/`resp`/`stab` lines) and latency analysis (which
+//! reads the `span` lines). The audit replayer skips event kinds it
+//! does not know, which is what makes the formats composable.
+//!
+//! Line shape (stable, hand-rolled JSON like the audit codec):
+//!
+//! ```text
+//! {"e":"span","shard":0,"id":"c1:7","stage":"submit","us":12345}
+//! ```
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A lifecycle stage an operation crosses. Order in the enum is the
+/// nominal order on the happy path; `GatherFanout` and `NakReroute`
+/// are side paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Client handed the operation to the service.
+    Submit,
+    /// Client resolved the shard / replica to send it to.
+    Route,
+    /// A replica received and accepted the operation.
+    ReplicaAccept,
+    /// The operation got its (tentative) label in the eventual order.
+    Label,
+    /// The operation became stable everywhere (watermark crossed it).
+    Stabilize,
+    /// The client observed the response.
+    Answer,
+    /// A whole-object query fanned a sub-operation out to a shard.
+    GatherFanout,
+    /// A stale-table NAK re-routed the operation.
+    NakReroute,
+}
+
+impl Stage {
+    /// The stable wire name of the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Submit => "submit",
+            Stage::Route => "route",
+            Stage::ReplicaAccept => "replica_accept",
+            Stage::Label => "label",
+            Stage::Stabilize => "stabilize",
+            Stage::Answer => "answer",
+            Stage::GatherFanout => "gather_fanout",
+            Stage::NakReroute => "nak_reroute",
+        }
+    }
+}
+
+struct TracerInner {
+    sink: Mutex<Box<dyn Write + Send>>,
+    /// Keep 1 in `sample` operations (by id hash); 1 = everything.
+    sample: u64,
+    epoch: Instant,
+}
+
+/// A sampled span emitter. Cheap to clone (shares the sink); a
+/// disabled tracer is a `None` and every call is a branch.
+///
+/// # Examples
+///
+/// ```
+/// use esds_obs::{OpTracer, Stage};
+/// let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+/// let tracer = OpTracer::to_shared_buffer(std::sync::Arc::clone(&buf), 1);
+/// tracer.emit(0, "c1:7", Stage::Submit);
+/// tracer.emit(0, "c1:7", Stage::Answer);
+/// let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+/// assert!(text.lines().all(|l| l.starts_with("{\"e\":\"span\"")));
+/// assert_eq!(text.lines().count(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct OpTracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for OpTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "OpTracer(disabled)"),
+            Some(i) => write!(f, "OpTracer(sample=1/{})", i.sample),
+        }
+    }
+}
+
+impl OpTracer {
+    /// The no-op tracer (the default everywhere).
+    pub fn disabled() -> Self {
+        OpTracer { inner: None }
+    }
+
+    /// Traces into an arbitrary writer, keeping 1 in `sample_one_in`
+    /// operations (0 is treated as 1: keep everything).
+    pub fn to_writer(w: Box<dyn Write + Send>, sample_one_in: u64) -> Self {
+        OpTracer {
+            inner: Some(Arc::new(TracerInner {
+                sink: Mutex::new(w),
+                sample: sample_one_in.max(1),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Traces into a shared byte buffer — handy for tests and for
+    /// `esds_top`-style in-process capture.
+    pub fn to_shared_buffer(buf: Arc<Mutex<Vec<u8>>>, sample_one_in: u64) -> Self {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("trace buffer poisoned").write(b)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        OpTracer::to_writer(Box::new(SharedBuf(buf)), sample_one_in)
+    }
+
+    /// Traces into a file created at `path`.
+    pub fn to_file(path: &std::path::Path, sample_one_in: u64) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(OpTracer::to_writer(
+            Box::new(std::io::BufWriter::new(f)),
+            sample_one_in,
+        ))
+    }
+
+    /// Builds a tracer from the environment: `ESDS_OBS_TRACE=path`
+    /// enables it, `ESDS_OBS_SAMPLE=n` keeps 1 in `n` ops (default 16).
+    pub fn from_env() -> Self {
+        let Ok(path) = std::env::var("ESDS_OBS_TRACE") else {
+            return OpTracer::disabled();
+        };
+        if path.is_empty() {
+            return OpTracer::disabled();
+        }
+        let sample = std::env::var("ESDS_OBS_SAMPLE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(16);
+        OpTracer::to_file(std::path::Path::new(&path), sample).unwrap_or_else(|_| {
+            OpTracer::disabled() // unwritable path: trace off, service up
+        })
+    }
+
+    /// Whether any spans are emitted at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the operation with this id is in the sample. All stages
+    /// of one operation agree (the decision hashes only the id), so a
+    /// sampled op's whole lifecycle is captured.
+    pub fn sampled(&self, id: &str) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => fnv1a(id.as_bytes()).is_multiple_of(i.sample),
+        }
+    }
+
+    /// Emits one span line if the op is sampled. `id` is the display
+    /// form of the operation id (`c1:7`), matching the audit codec's
+    /// id field.
+    pub fn emit(&self, shard: u32, id: &str, stage: Stage) {
+        let Some(i) = &self.inner else { return };
+        if !fnv1a(id.as_bytes()).is_multiple_of(i.sample) {
+            return;
+        }
+        let us = i.epoch.elapsed().as_micros() as u64;
+        let line = format!(
+            "{{\"e\":\"span\",\"shard\":{shard},\"id\":\"{id}\",\"stage\":\"{}\",\"us\":{us}}}\n",
+            stage.name()
+        );
+        let mut sink = i.sink.lock().expect("trace sink poisoned");
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+/// FNV-1a, the same cheap hash the wire frames use for checksums.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(sample: u64, ids: &[&str]) -> String {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let t = OpTracer::to_shared_buffer(Arc::clone(&buf), sample);
+        for id in ids {
+            t.emit(1, id, Stage::Submit);
+            t.emit(1, id, Stage::Answer);
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        text
+    }
+
+    #[test]
+    fn disabled_emits_nothing() {
+        let t = OpTracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.sampled("c0:1"));
+        t.emit(0, "c0:1", Stage::Submit); // must not panic
+    }
+
+    #[test]
+    fn sample_one_keeps_everything_and_stages_pair_up() {
+        let text = capture(1, &["c0:1", "c0:2", "c9:3"]);
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("\"stage\":\"submit\""));
+        assert!(text.contains("\"stage\":\"answer\""));
+    }
+
+    #[test]
+    fn sampling_is_consistent_per_id() {
+        let ids: Vec<String> = (0..256).map(|i| format!("c{}:{}", i % 7, i)).collect();
+        let id_refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+        let text = capture(8, &id_refs);
+        // Each sampled id contributes exactly 2 lines (both stages or
+        // neither — never a torn lifecycle).
+        let mut per_id = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let id = line.split("\"id\":\"").nth(1).unwrap();
+            let id = &id[..id.find('"').unwrap()];
+            *per_id.entry(id.to_string()).or_insert(0u32) += 1;
+        }
+        assert!(!per_id.is_empty(), "1-in-8 of 256 ids keeps some");
+        assert!(per_id.len() < 256, "1-in-8 drops most");
+        assert!(per_id.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let all = [
+            (Stage::Submit, "submit"),
+            (Stage::Route, "route"),
+            (Stage::ReplicaAccept, "replica_accept"),
+            (Stage::Label, "label"),
+            (Stage::Stabilize, "stabilize"),
+            (Stage::Answer, "answer"),
+            (Stage::GatherFanout, "gather_fanout"),
+            (Stage::NakReroute, "nak_reroute"),
+        ];
+        for (s, n) in all {
+            assert_eq!(s.name(), n);
+        }
+    }
+}

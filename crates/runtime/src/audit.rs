@@ -120,22 +120,57 @@ where
     /// `interval`. The tap is shared with (clones handed to) the
     /// service's audited clients.
     pub fn attach(handle: InspectHandle<T>, tap: AuditTap<T>, interval: Duration) -> Self {
+        Self::attach_with_obs(
+            handle,
+            tap,
+            interval,
+            esds_obs::MetricsRegistry::disabled().scoped("audit"),
+        )
+    }
+
+    /// Like [`AuditSidecar::attach`], additionally publishing the
+    /// checker's [`AuditStatus`] as gauges under `scope` on every poll:
+    /// `watermark_lag` (requests not yet retired — the unstable window
+    /// the checker's memory is proportional to), `resident`,
+    /// `peak_resident`, and `stabilized`.
+    pub fn attach_with_obs(
+        handle: InspectHandle<T>,
+        tap: AuditTap<T>,
+        interval: Duration,
+        scope: esds_obs::Scope,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let tap2 = tap.clone();
+        let g_lag = scope.gauge("watermark_lag");
+        let g_resident = scope.gauge("resident");
+        let g_peak = scope.gauge("peak_resident");
+        let g_stabilized = scope.gauge("stabilized");
+        let obs_enabled = scope.is_enabled();
         let thread = std::thread::Builder::new()
             .name("esds-audit".into())
             .spawn(move || {
                 let mut fed = (0usize, 0u64);
+                let publish = |tap: &AuditTap<T>| {
+                    if obs_enabled {
+                        let st = tap.status();
+                        g_lag.set(st.lag());
+                        g_resident.set(st.resident as u64);
+                        g_peak.set(st.peak_resident as u64);
+                        g_stabilized.set(st.stabilized);
+                    }
+                };
                 while !stop2.load(Ordering::Relaxed) {
                     if Self::sync(&handle, &tap2, &mut fed).is_none() {
                         return; // service shut down
                     }
+                    publish(&tap2);
                     std::thread::sleep(interval);
                 }
                 // One final sync so a stop() after client quiescence
                 // observes the complete watermark.
                 let _ = Self::sync(&handle, &tap2, &mut fed);
+                publish(&tap2);
             })
             .expect("spawn audit sidecar");
         AuditSidecar {

@@ -30,17 +30,41 @@ pub struct RuntimeConfig {
     pub net_delay: Duration,
     /// Replica configuration.
     pub replica: ReplicaConfig,
+    /// Metrics registry replica threads and clients report into
+    /// (`replica{r}/…`, `client{c}/…`). Defaults to disabled: every
+    /// handle is a no-op and instrumentation costs one branch.
+    pub obs: esds_obs::MetricsRegistry,
+    /// Sampled op-lifecycle tracer. Defaults to disabled.
+    pub tracer: esds_obs::OpTracer,
 }
 
 impl RuntimeConfig {
-    /// Defaults: 1 ms delay, 5 ms gossip period.
+    /// Defaults: 1 ms delay, 5 ms gossip period, metrics and tracing
+    /// disabled.
     pub fn new(n_replicas: usize) -> Self {
         RuntimeConfig {
             n_replicas,
             gossip_interval: Duration::from_millis(5),
             net_delay: Duration::from_millis(1),
             replica: ReplicaConfig::default(),
+            obs: esds_obs::MetricsRegistry::disabled(),
+            tracer: esds_obs::OpTracer::disabled(),
         }
+    }
+
+    /// Installs a live metrics registry for the service's replica
+    /// threads and every client created from it.
+    #[must_use]
+    pub fn with_obs(mut self, obs: esds_obs::MetricsRegistry) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Installs a sampled op-lifecycle tracer.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: esds_obs::OpTracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -170,6 +194,14 @@ pub struct RuntimeClient<T: SerialDataType> {
     rx: Receiver<ResponseMsg<T::Value>>,
     net_tx: Sender<NetInput<T>>,
     audit: Option<crate::AuditTap<T>>,
+    m_submitted: esds_obs::Counter,
+    m_answered: esds_obs::Counter,
+    m_resends: esds_obs::Counter,
+    /// Bounded (log-bucketed) histogram of await-to-answer times — the
+    /// fixed-footprint service-side replacement for the simulator's
+    /// exact, unbounded `esds_sim::Histogram`.
+    m_await_us: esds_obs::Histo,
+    tracer: esds_obs::OpTracer,
 }
 
 impl<T: SerialDataType> RuntimeClient<T>
@@ -180,6 +212,11 @@ where
     /// Submits an operation; returns its id immediately.
     pub fn submit(&mut self, op: T::Operator, prev: &[OpId], strict: bool) -> OpId {
         let (id, sends) = self.fe.submit(op, prev.iter().copied(), strict);
+        self.m_submitted.inc();
+        if self.tracer.is_enabled() {
+            self.tracer
+                .emit(0, &id.to_string(), esds_obs::Stage::Submit);
+        }
         if let (Some(tap), Some((_, first))) = (&self.audit, sends.first()) {
             tap.tap_request(first.desc.clone());
         }
@@ -196,10 +233,14 @@ where
     /// responses that arrive meanwhile. Re-sends pending requests every
     /// 50 ms while waiting (the front-end retry of paper footnote 3).
     pub fn await_response(&mut self, id: OpId, timeout: Duration) -> Option<T::Value> {
-        let deadline = Instant::now() + timeout;
-        let mut next_retry = Instant::now() + Duration::from_millis(50);
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut next_retry = start + Duration::from_millis(50);
         loop {
             if let Some(v) = self.fe.value_of(id) {
+                if self.m_await_us.is_enabled() {
+                    self.m_await_us.record(start.elapsed().as_micros() as u64);
+                }
                 return Some(v.clone());
             }
             let now = Instant::now();
@@ -208,6 +249,7 @@ where
             }
             if now >= next_retry {
                 for (r, msg) in self.fe.resend_pending() {
+                    self.m_resends.inc();
                     let _ = self.net_tx.send(NetInput::Msg(NetMsg {
                         to: Endpoint::Replica(r),
                         payload: Payload::Request(msg),
@@ -245,6 +287,11 @@ where
     fn take_response(&mut self, msg: ResponseMsg<T::Value>) {
         let witness = msg.witness.clone();
         if let Some(d) = self.fe.on_response(msg) {
+            self.m_answered.inc();
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .emit(0, &d.id.to_string(), esds_obs::Stage::Answer);
+            }
             if let Some(tap) = &self.audit {
                 tap.tap_response(d.id, d.value, witness);
             }
@@ -281,6 +328,8 @@ pub struct RuntimeService<T: SerialDataType> {
     replica_threads: Vec<JoinHandle<Replica<T>>>,
     replica_inputs: Vec<Sender<ReplicaInput<T>>>,
     net_thread: Option<JoinHandle<()>>,
+    obs: esds_obs::MetricsRegistry,
+    tracer: esds_obs::OpTracer,
 }
 
 impl<T> RuntimeService<T>
@@ -367,6 +416,11 @@ where
             replica_inputs.push(tx);
             let net = net_tx.clone();
             let interval = config.gossip_interval;
+            // No-op handles when the registry is disabled.
+            let scope = config.obs.scoped(format!("replica{i}"));
+            let m_requests = scope.counter("requests");
+            let m_gossip_out = scope.counter("gossip_out");
+            let tracer = config.tracer.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("esds-replica-{i}"))
                 .spawn(move || {
@@ -394,6 +448,7 @@ where
                                         break 'run;
                                     }
                                 }
+                                m_gossip_out.inc();
                                 let _ = net.send(NetInput::Msg(NetMsg {
                                     to: Endpoint::Replica(p),
                                     payload: Payload::Gossip(Box::new(g)),
@@ -408,7 +463,17 @@ where
                             Err(RecvTimeoutError::Disconnected) => break,
                         };
                         let effects = match input {
-                            ReplicaInput::Request(m) => rep.on_request(m.desc),
+                            ReplicaInput::Request(m) => {
+                                m_requests.inc();
+                                if tracer.is_enabled() {
+                                    tracer.emit(
+                                        0,
+                                        &m.desc.id.to_string(),
+                                        esds_obs::Stage::ReplicaAccept,
+                                    );
+                                }
+                                rep.on_request(m.desc)
+                            }
                             ReplicaInput::Gossip(g) => rep.on_gossip_envelope(*g),
                             ReplicaInput::Inspect(tx) => {
                                 let _ = tx.send(ReplicaSnapshot {
@@ -523,7 +588,15 @@ where
             replica_threads,
             replica_inputs,
             net_thread: Some(net_thread),
+            obs: config.obs,
+            tracer: config.tracer,
         }
+    }
+
+    /// The service's metrics registry (disabled unless installed via
+    /// [`RuntimeConfig::with_obs`]).
+    pub fn metrics(&self) -> &esds_obs::MetricsRegistry {
+        &self.obs
     }
 
     /// Number of replica threads in this group.
@@ -582,6 +655,7 @@ where
         self.next_client += 1;
         let (tx, rx) = bounded(1024);
         self.client_reg.lock().push(tx);
+        let scope = self.obs.scoped(format!("client{}", c.0));
         RuntimeClient {
             fe: FrontEnd::new(
                 c,
@@ -591,6 +665,11 @@ where
             rx,
             net_tx: self.net_tx.clone(),
             audit,
+            m_submitted: scope.counter("ops_submitted"),
+            m_answered: scope.counter("ops_answered"),
+            m_resends: scope.counter("resends"),
+            m_await_us: scope.histogram("await_us"),
+            tracer: self.tracer.clone(),
         }
     }
 

@@ -23,5 +23,10 @@ mod time;
 
 pub use channel::{ChannelConfig, ChannelModel, ChannelStats, DelayModel};
 pub use metrics::{derive_seed, Histogram};
+// The bounded-histogram counterpart and the shared one-line summary
+// format live in `esds-obs`; re-exported so experiment code and
+// long-running services render percentiles identically without
+// duplicating the format strings.
+pub use esds_obs::{format_duration_us, format_latency_summary, BoundedHistogram};
 pub use scheduler::{run, run_steps, EventQueue, RunStats, StopReason, World};
 pub use time::{SimDuration, SimTime};

@@ -87,7 +87,9 @@ impl Histogram {
         Some(SimDuration::from_micros(self.samples[idx]))
     }
 
-    /// One-line summary for experiment tables.
+    /// One-line summary for experiment tables, in the shared
+    /// `esds-obs` format (identical to what the bounded service-side
+    /// histograms render, so tables from either source line up).
     pub fn summary(&mut self) -> String {
         if self.samples.is_empty() {
             return "n=0".to_string();
@@ -96,13 +98,12 @@ impl Histogram {
         let p50 = self.percentile(50.0).expect("nonempty");
         let p99 = self.percentile(99.0).expect("nonempty");
         let max = self.max().expect("nonempty");
-        format!(
-            "n={} mean={} p50={} p99={} max={}",
-            self.count(),
-            mean,
-            p50,
-            p99,
-            max
+        esds_obs::format_latency_summary(
+            self.count() as u64,
+            mean.as_micros(),
+            p50.as_micros(),
+            p99.as_micros(),
+            max.as_micros(),
         )
     }
 }

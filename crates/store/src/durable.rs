@@ -150,7 +150,21 @@ pub struct DurableStore<T: SerialDataType, S> {
     cfg: DurableConfig,
     records_since_snapshot: u64,
     stats: WalStats,
+    obs: StoreMetrics,
     _dt: PhantomData<fn() -> T>,
+}
+
+/// Registry handles of the persistence hot path. All no-ops until
+/// [`DurableStore::attach_metrics`] is called.
+#[derive(Clone, Debug, Default)]
+struct StoreMetrics {
+    /// Latency of one durable append + fsync barrier, µs.
+    sync_us: esds_obs::Histo,
+    records: esds_obs::Counter,
+    bytes: esds_obs::Counter,
+    syncs: esds_obs::Counter,
+    checkpoints: esds_obs::Counter,
+    generation: esds_obs::Gauge,
 }
 
 impl<T, S> DurableStore<T, S>
@@ -330,6 +344,7 @@ where
             cfg,
             records_since_snapshot: report.wal_records,
             stats: WalStats::default(),
+            obs: StoreMetrics::default(),
             _dt: PhantomData,
         };
         Ok((store, replica, report))
@@ -368,11 +383,18 @@ where
                 n += 1;
             }
             let name = wal_name(self.gen);
+            let t0 = self.obs.sync_us.is_enabled().then(std::time::Instant::now);
             self.storage.append(&name, &buf)?;
             self.storage.sync(&name)?;
+            if let Some(t0) = t0 {
+                self.obs.sync_us.record(t0.elapsed().as_micros() as u64);
+            }
             self.stats.appended_records += n;
             self.stats.appended_bytes += buf.len() as u64;
             self.stats.syncs += 1;
+            self.obs.records.add(n);
+            self.obs.bytes.add(buf.len() as u64);
+            self.obs.syncs.inc();
             self.records_since_snapshot += n;
         }
         if let Some(every) = self.cfg.snapshot_every {
@@ -425,6 +447,9 @@ where
             self.stats.appended_records += n;
             self.stats.appended_bytes += buf.len() as u64;
             self.stats.syncs += 1;
+            self.obs.records.add(n);
+            self.obs.bytes.add(buf.len() as u64);
+            self.obs.syncs.inc();
         }
 
         // Older generations are now redundant.
@@ -439,7 +464,26 @@ where
         // that never shrinks must not cause a checkpoint per persist.
         self.records_since_snapshot = 0;
         self.stats.snapshots += 1;
+        self.obs.checkpoints.inc();
+        self.obs.generation.set(new_gen);
         Ok(true)
+    }
+
+    /// Reports the persistence hot path into a metrics scope
+    /// (conventionally `shard{s}/replica{r}/wal`): `sync_us` append +
+    /// fsync latency histogram, `records`/`bytes`/`syncs` counters,
+    /// `checkpoints` counter, and the `generation` gauge. No-op cost
+    /// when the scope's registry is disabled.
+    pub fn attach_metrics(&mut self, scope: &esds_obs::Scope) {
+        self.obs = StoreMetrics {
+            sync_us: scope.histogram("sync_us"),
+            records: scope.counter("records"),
+            bytes: scope.counter("bytes"),
+            syncs: scope.counter("syncs"),
+            checkpoints: scope.counter("checkpoints"),
+            generation: scope.gauge("generation"),
+        };
+        self.obs.generation.set(self.gen);
     }
 
     /// Hot-path counters.

@@ -62,7 +62,7 @@ fn io_err(e: io::Error) -> StoreError {
     StoreError::Io(e.to_string())
 }
 
-/// A flat namespace of append-only files — everything [`DurableStore`]
+/// A flat namespace of append-only files — everything [`DurableStore`](crate::durable::DurableStore)
 /// (see [`crate::durable`]) needs from a disk.
 ///
 /// The contract mirrors POSIX semantics: [`append`](Storage::append) may

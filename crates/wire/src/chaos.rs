@@ -232,6 +232,18 @@ impl ChaosProxy {
         self.reordered.load(Ordering::SeqCst)
     }
 
+    /// Registers the proxy's live fault counters into a metrics scope
+    /// (conventionally `shard{s}/chaos`): `dropped`, `forwarded`,
+    /// `duplicated`, `reordered`. The registry reads the proxy's own
+    /// atomics, so snapshots track faults as they happen — no copy, no
+    /// extra work on the pump threads.
+    pub fn attach_metrics(&self, scope: &esds_obs::Scope) {
+        scope.counter_source("dropped", self.dropped.clone());
+        scope.counter_source("forwarded", self.forwarded.clone());
+        scope.counter_source("duplicated", self.duplicated.clone());
+        scope.counter_source("reordered", self.reordered.clone());
+    }
+
     /// Stops accepting new connections. Existing pump threads drain and
     /// exit when either endpoint closes.
     pub fn shutdown(mut self) {

@@ -59,13 +59,18 @@ pub enum FrameKind {
     /// The probed replica's answer: its local label order and the set it
     /// knows stable at every replica.
     StabilityInfo = 10,
+    /// A client's request for the node's metrics snapshot (no payload).
+    MetricsQuery = 11,
+    /// The node's answer: a rendered metrics snapshot (counters,
+    /// gauges, histogram summaries) of its process-wide registry.
+    MetricsInfo = 12,
 }
 
 impl FrameKind {
     /// Every frame kind the protocol defines, in tag order. Exhaustive by
     /// construction — the round-trip tests iterate this so a new variant
     /// cannot be added without entering the coverage.
-    pub const ALL: [FrameKind; 10] = [
+    pub const ALL: [FrameKind; 12] = [
         FrameKind::Request,
         FrameKind::Response,
         FrameKind::Gossip,
@@ -76,6 +81,8 @@ impl FrameKind {
         FrameKind::ShardedResponse,
         FrameKind::StabilityQuery,
         FrameKind::StabilityInfo,
+        FrameKind::MetricsQuery,
+        FrameKind::MetricsInfo,
     ];
 
     /// Decodes a tag byte.
@@ -95,6 +102,8 @@ impl FrameKind {
             8 => Ok(FrameKind::ShardedResponse),
             9 => Ok(FrameKind::StabilityQuery),
             10 => Ok(FrameKind::StabilityInfo),
+            11 => Ok(FrameKind::MetricsQuery),
+            12 => Ok(FrameKind::MetricsInfo),
             tag => Err(WireError::InvalidTag {
                 context: "FrameKind",
                 tag,

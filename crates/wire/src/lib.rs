@@ -62,5 +62,5 @@ pub use sharded::{
     ChaosStats, ShardedWireClient, ShardedWireConfig, ShardedWireService, WholeObjectUnsupported,
 };
 pub use tcp::{
-    AddrTable, StabilitySnapshot, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode,
+    AddrTable, NodeObs, StabilitySnapshot, TcpClient, TcpCluster, TcpClusterConfig, TcpReplicaNode,
 };

@@ -302,6 +302,42 @@ impl Wire for StabilityInfoMsg {
     }
 }
 
+impl Wire for esds_obs::HistogramSummary {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.count.encode(buf);
+        self.mean.encode(buf);
+        self.p50.encode(buf);
+        self.p95.encode(buf);
+        self.p99.encode(buf);
+        self.max.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        Ok(esds_obs::HistogramSummary {
+            count: u64::decode(buf)?,
+            mean: u64::decode(buf)?,
+            p50: u64::decode(buf)?,
+            p95: u64::decode(buf)?,
+            p99: u64::decode(buf)?,
+            max: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for esds_obs::MetricsSnapshot {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.counters.encode(buf);
+        self.gauges.encode(buf);
+        self.histograms.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        Ok(esds_obs::MetricsSnapshot {
+            counters: Vec::decode(buf)?,
+            gauges: Vec::decode(buf)?,
+            histograms: Vec::decode(buf)?,
+        })
+    }
+}
+
 /// Any message the transport can carry, tagged by [`FrameKind`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireMessage<O, V> {
@@ -326,6 +362,11 @@ pub enum WireMessage<O, V> {
     StabilityQuery,
     /// Replica → client: the probed stability knowledge.
     StabilityInfo(StabilityInfoMsg),
+    /// Client → node: request the process-wide metrics snapshot (no
+    /// payload).
+    MetricsQuery,
+    /// Node → client: the registry snapshot at query time.
+    MetricsInfo(esds_obs::MetricsSnapshot),
 }
 
 /// Encodes a message as a complete frame appended to `out`.
@@ -369,6 +410,11 @@ pub fn encode_message<O: Wire, V: Wire>(msg: &WireMessage<O, V>, out: &mut Bytes
             m.encode(&mut payload);
             FrameKind::StabilityInfo
         }
+        WireMessage::MetricsQuery => FrameKind::MetricsQuery,
+        WireMessage::MetricsInfo(m) => {
+            m.encode(&mut payload);
+            FrameKind::MetricsInfo
+        }
     };
     encode_frame(kind, &payload, out);
 }
@@ -395,6 +441,10 @@ pub fn decode_message<O: Wire, V: Wire>(frame: &Frame) -> Result<WireMessage<O, 
         }
         FrameKind::StabilityQuery => WireMessage::StabilityQuery,
         FrameKind::StabilityInfo => WireMessage::StabilityInfo(StabilityInfoMsg::decode(&mut buf)?),
+        FrameKind::MetricsQuery => WireMessage::MetricsQuery,
+        FrameKind::MetricsInfo => {
+            WireMessage::MetricsInfo(esds_obs::MetricsSnapshot::decode(&mut buf)?)
+        }
     };
     if buf.has_remaining() {
         return Err(WireError::InvalidTag {
@@ -501,6 +551,19 @@ mod tests {
             order: vec![],
             stable_everywhere: vec![],
         }));
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        roundtrip(Msg::MetricsQuery);
+        roundtrip(Msg::MetricsInfo(esds_obs::MetricsSnapshot::default()));
+        let reg = esds_obs::MetricsRegistry::new();
+        reg.counter("shard0/replica1/requests").add(7);
+        reg.gauge("shard0/watermark_age_ms").set(42);
+        for v in [3u64, 900, 15_000] {
+            reg.histogram("shard0/replica0/wal/sync_us").record(v);
+        }
+        roundtrip(Msg::MetricsInfo(reg.snapshot()));
     }
 
     #[test]

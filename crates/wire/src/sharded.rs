@@ -115,7 +115,7 @@ use crate::message::{
     decode_message, encode_message, HelloId, ShardedRequestMsg, ShardedResponseMsg,
     StabilityInfoMsg, WireMessage,
 };
-use crate::tcp::{AddrTable, ShardCtx, TcpClusterConfig, TcpReplicaNode};
+use crate::tcp::{AddrTable, NodeObs, ShardCtx, TcpClusterConfig, TcpReplicaNode};
 
 /// How often a client re-sends unanswered requests (paper footnote 3).
 const RETRY_EVERY: Duration = Duration::from_millis(50);
@@ -139,16 +139,27 @@ pub struct ShardedWireConfig {
     /// How long a submitting client waits for a foreign-shard
     /// predecessor's response before declaring the deployment broken.
     pub cross_shard_wait: Duration,
+    /// Metrics registry shared by every node, proxy, and client of the
+    /// deployment (node metrics scoped `shard{s}/replica{r}/…`, proxy
+    /// counters `shard{s}/chaos{r}/…`, client counters `client{c}/…`).
+    /// Defaults to disabled: every handle is a no-op.
+    pub obs: esds_obs::MetricsRegistry,
+    /// Sampled op-lifecycle tracer shared by nodes and clients.
+    /// Defaults to disabled.
+    pub tracer: esds_obs::OpTracer,
 }
 
 impl ShardedWireConfig {
     /// Defaults: `n_replicas` per shard, 5 ms gossip, plain gossip
-    /// encoding, no chaos, 30 s cross-shard wait.
+    /// encoding, no chaos, 30 s cross-shard wait, metrics and tracing
+    /// disabled.
     pub fn new(n_replicas: usize) -> Self {
         ShardedWireConfig {
             cluster: TcpClusterConfig::new(n_replicas),
             chaos: None,
             cross_shard_wait: Duration::from_secs(30),
+            obs: esds_obs::MetricsRegistry::disabled(),
+            tracer: esds_obs::OpTracer::disabled(),
         }
     }
 
@@ -163,6 +174,22 @@ impl ShardedWireConfig {
     #[must_use]
     pub fn with_cross_shard_wait(mut self, d: Duration) -> Self {
         self.cross_shard_wait = d;
+        self
+    }
+
+    /// Installs a live metrics registry: every node, chaos proxy, and
+    /// client of the deployment reports into it, and any node answers
+    /// [`WireMessage::MetricsQuery`] frames from it.
+    #[must_use]
+    pub fn with_obs(mut self, obs: esds_obs::MetricsRegistry) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Installs a sampled op-lifecycle tracer (see `esds_obs::OpTracer`).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: esds_obs::OpTracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -214,6 +241,8 @@ pub struct ShardedWireService<T: KeyedDataType> {
     dt: T,
     cross_shard_wait: Duration,
     next_client: u32,
+    obs: esds_obs::MetricsRegistry,
+    tracer: esds_obs::OpTracer,
 }
 
 impl<T> ShardedWireService<T>
@@ -253,7 +282,15 @@ where
             dt,
             cross_shard_wait: config.cross_shard_wait,
             next_client: 0,
+            obs: config.obs.clone(),
+            tracer: config.tracer.clone(),
         }
+    }
+
+    /// The deployment's metrics registry (disabled unless installed via
+    /// [`ShardedWireConfig::with_obs`]).
+    pub fn metrics(&self) -> &esds_obs::MetricsRegistry {
+        &self.obs
     }
 
     fn launch_shard(
@@ -285,6 +322,9 @@ where
                         .wrapping_add(u64::from(shard) * 1009)
                         .wrapping_add(i as u64 * 31);
                     let p = ChaosProxy::spawn(*a, c);
+                    // The proxy's live fault counters become registry
+                    // sources, read at snapshot time.
+                    p.attach_metrics(&config.obs.scoped(format!("shard{shard}/chaos{i}")));
                     let addr = p.addr();
                     (p, addr)
                 })
@@ -293,6 +333,14 @@ where
         };
         let addrs: AddrTable = Arc::new(Mutex::new(dialed));
         let globals: Arc<Mutex<HashMap<OpId, ShardedOpId>>> = Arc::new(Mutex::new(HashMap::new()));
+        // Every node of this shard reports under `shard{s}/replica{r}`
+        // and stamps shard `s` on its trace spans.
+        let cluster = config.cluster.clone().with_obs(NodeObs {
+            registry: config.obs.clone(),
+            prefix: format!("shard{shard}"),
+            shard,
+            tracer: config.tracer.clone(),
+        });
         let nodes = listeners
             .into_iter()
             .enumerate()
@@ -302,7 +350,7 @@ where
                     ReplicaId(i as u32),
                     l,
                     addrs.clone(),
-                    &config.cluster,
+                    &cluster,
                     ShardCtx {
                         table: table.clone(),
                         globals: globals.clone(),
@@ -401,6 +449,7 @@ where
                 }
             })
             .collect();
+        let scope = self.obs.scoped(format!("client{}", id.0));
         ShardedWireClient {
             dt: self.dt.clone(),
             id,
@@ -416,8 +465,19 @@ where
             scattering: BTreeSet::new(),
             stability_seen: vec![0; self.shards.len()],
             stability_last: vec![None; self.shards.len()],
+            metrics_seen: vec![0; self.shards.len()],
+            metrics_last: vec![None; self.shards.len()],
             cross_shard_wait: self.cross_shard_wait,
             next_retry: Instant::now() + RETRY_EVERY,
+            m_submitted: scope.counter("ops_submitted"),
+            m_answered: scope.counter("ops_answered"),
+            m_resends: scope.counter("resends"),
+            m_naks: scope.counter("nak_reroutes"),
+            m_gathers: scope.counter("gathers"),
+            m_await_us: scope.histogram("await_us"),
+            slot_ops: HashMap::new(),
+            scope,
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -556,8 +616,26 @@ pub struct ShardedWireClient<T: KeyedDataType> {
     /// snapshot.
     stability_seen: Vec<u64>,
     stability_last: Vec<Option<StabilityInfoMsg>>,
+    /// Per shard: how many [`WireMessage::MetricsInfo`] replies have
+    /// arrived, and the latest one — the same probe-and-advance protocol
+    /// as stability, so a poll never reads a stale snapshot.
+    metrics_seen: Vec<u64>,
+    metrics_last: Vec<Option<esds_obs::MetricsSnapshot>>,
     cross_shard_wait: Duration,
     next_retry: Instant,
+    m_submitted: esds_obs::Counter,
+    m_answered: esds_obs::Counter,
+    m_resends: esds_obs::Counter,
+    m_naks: esds_obs::Counter,
+    m_gathers: esds_obs::Counter,
+    /// Bounded (log-bucketed) histogram of await-to-answer times — the
+    /// fixed-footprint service-side replacement for the simulator's
+    /// exact, unbounded `esds_sim::Histogram`.
+    m_await_us: esds_obs::Histo,
+    /// Lazily created per-slot operation counters (`slot{n}/ops`).
+    slot_ops: HashMap<u16, esds_obs::Counter>,
+    scope: esds_obs::Scope,
+    tracer: esds_obs::OpTracer,
 }
 
 impl<T> ShardedWireClient<T>
@@ -758,6 +836,18 @@ where
         self.next_local[shard as usize] += 1;
         let seq = self.next_global;
         self.next_global += 1;
+        self.m_submitted.inc();
+        if self.scope.is_enabled() {
+            self.slot_ops
+                .entry(slot)
+                .or_insert_with(|| self.scope.counter(&format!("slot{slot}/ops")))
+                .inc();
+        }
+        if self.tracer.is_enabled() {
+            let gid = ShardedOpId::new(self.id, seq).to_string();
+            self.tracer.emit(shard, &gid, esds_obs::Stage::Submit);
+            self.tracer.emit(shard, &gid, esds_obs::Stage::Route);
+        }
         self.placements.insert(
             seq,
             WirePlacement {
@@ -779,6 +869,14 @@ where
     fn submit_gather(&mut self, op: T::Operator, prev: Vec<u64>, strict: bool) -> ShardedOpId {
         let gid = self.next_global;
         self.next_global += 1;
+        self.m_submitted.inc();
+        self.m_gathers.inc();
+        if self.tracer.is_enabled() {
+            let gs = ShardedOpId::new(self.id, gid).to_string();
+            // A gather has no single home shard; its spans carry shard 0
+            // and the per-shard sub-operations trace under their own ids.
+            self.tracer.emit(0, &gs, esds_obs::Stage::Submit);
+        }
         let version = self.table.version();
         self.gathers.insert(
             gid,
@@ -839,6 +937,10 @@ where
             self.needs_reroute.remove(&s);
         }
         let mut subs = BTreeMap::new();
+        if self.tracer.is_enabled() {
+            let gs = ShardedOpId::new(self.id, gid).to_string();
+            self.tracer.emit(0, &gs, esds_obs::Stage::GatherFanout);
+        }
         for shard in involved {
             let local_prev = self.local_frontier(&prev, shard);
             let local = OpId::new(self.id, self.next_local[shard as usize]);
@@ -950,9 +1052,13 @@ where
     }
 
     fn await_seq(&mut self, seq: u64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         loop {
             if self.values.contains_key(&seq) {
+                if self.m_await_us.is_enabled() {
+                    self.m_await_us.record(start.elapsed().as_micros() as u64);
+                }
                 return true;
             }
             if Instant::now() >= deadline {
@@ -1064,6 +1170,41 @@ where
         }
     }
 
+    /// Polls `shard`'s relay node for its **process-wide** metrics
+    /// snapshot (a [`WireMessage::MetricsQuery`] frame), waiting up to
+    /// `timeout` for a reply *newer than the probe* — probes and replies
+    /// ride the same lossy links as everything else, so the probe is
+    /// re-sent every retry period. `None` past the timeout. A node
+    /// running with metrics disabled answers an empty snapshot.
+    pub fn metrics_snapshot(
+        &mut self,
+        shard: u32,
+        timeout: Duration,
+    ) -> Option<esds_obs::MetricsSnapshot> {
+        let deadline = Instant::now() + timeout;
+        let baseline = self.metrics_seen[shard as usize];
+        let mut next_probe = Instant::now();
+        loop {
+            if Instant::now() >= next_probe {
+                let msg: WireMessage<T::Operator, T::Value> = WireMessage::MetricsQuery;
+                let mut out = BytesMut::new();
+                encode_message(&msg, &mut out);
+                let id = self.id;
+                self.links[shard as usize].send(id, &out, true);
+                next_probe = Instant::now() + RETRY_EVERY;
+            }
+            self.maybe_retry();
+            self.pump();
+            if self.metrics_seen[shard as usize] > baseline {
+                return self.metrics_last[shard as usize].clone();
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(AWAIT_NAP);
+        }
+    }
+
     /// Sends a `StabilityQuery` frame to `shard`'s relay. The Hello
     /// preamble is refreshed with it: the reply travels through the
     /// node's registered-clients map, so registration must have arrived.
@@ -1102,6 +1243,7 @@ where
         // the void. Re-registering is idempotent and a Hello frame is a
         // few bytes, so every retry tick repairs registration for free.
         for seq in due {
+            self.m_resends.inc();
             self.send_placed_refreshing(seq, true);
         }
         let rerouted: Vec<u64> = self.needs_reroute.iter().copied().collect();
@@ -1230,19 +1372,40 @@ where
                             }) if global.client() == self.id => {
                                 self.pending.remove(&global.seq());
                                 self.needs_reroute.remove(&global.seq());
-                                self.values
-                                    .entry(global.seq())
-                                    .or_insert((resp.value, resp.witness));
+                                // Count only first deliveries: a duplicating
+                                // link may replay the response frame, and
+                                // `ops_answered` must stay ≤ `ops_submitted`.
+                                if let std::collections::btree_map::Entry::Vacant(e) =
+                                    self.values.entry(global.seq())
+                                {
+                                    e.insert((resp.value, resp.witness));
+                                    self.m_answered.inc();
+                                    self.tracer.emit(
+                                        shard as u32,
+                                        &global.to_string(),
+                                        esds_obs::Stage::Answer,
+                                    );
+                                }
                             }
                             WireMessage::ShardedResponse(ShardedResponseMsg::Nak {
                                 global,
                                 table,
                             }) if global.client() == self.id => {
+                                self.m_naks.inc();
+                                self.tracer.emit(
+                                    shard as u32,
+                                    &global.to_string(),
+                                    esds_obs::Stage::NakReroute,
+                                );
                                 naks.push((global.seq(), table));
                             }
                             WireMessage::StabilityInfo(info) => {
                                 self.stability_last[shard] = Some(info);
                                 self.stability_seen[shard] += 1;
+                            }
+                            WireMessage::MetricsInfo(snap) => {
+                                self.metrics_last[shard] = Some(snap);
+                                self.metrics_seen[shard] += 1;
                             }
                             _ => {} // other clients' frames / plain frames: not ours
                         }

@@ -34,6 +34,7 @@ use esds_alg::{
     RequestMsg,
 };
 use esds_core::{ClientId, OpId, ReplicaId, RoutingTable, SerialDataType, ShardedOpId};
+use esds_obs::Stage;
 use parking_lot::Mutex;
 
 /// The cluster's address table, shared by nodes and clients. Restarting a
@@ -63,16 +64,20 @@ pub struct TcpClusterConfig {
     pub summarized_gossip: bool,
     /// Replica state-machine configuration.
     pub replica: ReplicaConfig,
+    /// Observability plumbing (registry, prefix, tracer). Defaults to
+    /// fully disabled — zero cost unless a registry is installed.
+    pub obs: NodeObs,
 }
 
 impl TcpClusterConfig {
-    /// Defaults: 5 ms gossip, plain gossip encoding.
+    /// Defaults: 5 ms gossip, plain gossip encoding, metrics disabled.
     pub fn new(n_replicas: usize) -> Self {
         TcpClusterConfig {
             n_replicas,
             gossip_interval: Duration::from_millis(5),
             summarized_gossip: false,
             replica: ReplicaConfig::default(),
+            obs: NodeObs::default(),
         }
     }
 
@@ -81,6 +86,55 @@ impl TcpClusterConfig {
     pub fn with_summarized_gossip(mut self) -> Self {
         self.summarized_gossip = true;
         self
+    }
+
+    /// Installs a metrics registry (and optionally a tracer) for every
+    /// node spawned under this config.
+    #[must_use]
+    pub fn with_obs(mut self, obs: NodeObs) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
+/// The observability plumbing a node carries: the **process-wide**
+/// registry it reports into (and answers [`WireMessage::MetricsQuery`]
+/// frames from), the node's hierarchical metric prefix, the shard
+/// index stamped on trace spans, and the sampled lifecycle tracer.
+///
+/// Default is everything disabled: handles are no-ops and queries
+/// answer an empty snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct NodeObs {
+    /// Registry the node's counters, gauges, and histograms live in.
+    pub registry: esds_obs::MetricsRegistry,
+    /// Hierarchical name prefix, e.g. `shard0` (empty for unsharded
+    /// deployments: metrics are named `replica{r}/…` directly).
+    pub prefix: String,
+    /// Shard index stamped on lifecycle trace spans.
+    pub shard: u32,
+    /// Sampled op-lifecycle tracer.
+    pub tracer: esds_obs::OpTracer,
+}
+
+impl NodeObs {
+    /// Observability for an unsharded deployment: all nodes report
+    /// into `registry`, trace spans carry shard 0.
+    pub fn with_registry(registry: esds_obs::MetricsRegistry) -> Self {
+        NodeObs {
+            registry,
+            ..NodeObs::default()
+        }
+    }
+
+    /// The node-level scope (`[prefix/]replica{r}`) for replica `id`.
+    pub fn replica_scope(&self, id: ReplicaId) -> esds_obs::Scope {
+        if self.prefix.is_empty() {
+            self.registry.scoped(format!("replica{}", id.0))
+        } else {
+            self.registry
+                .scoped(format!("{}/replica{}", self.prefix, id.0))
+        }
     }
 }
 
@@ -234,6 +288,7 @@ where
             clients.clone(),
             stop.clone(),
             shard.clone(),
+            config.obs.registry.clone(),
         );
         let core = spawn_core::<T>(
             rep,
@@ -293,6 +348,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_acceptor<T>(
     id: ReplicaId,
     listener: TcpListener,
@@ -300,6 +356,7 @@ fn spawn_acceptor<T>(
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
     shard: Option<ShardCtx>,
+    registry: esds_obs::MetricsRegistry,
 ) -> JoinHandle<()>
 where
     T: SerialDataType + Send + 'static,
@@ -321,9 +378,12 @@ where
                 let clients = clients.clone();
                 let stop = stop.clone();
                 let shard = shard.clone();
+                let registry = registry.clone();
                 let _ = std::thread::Builder::new()
                     .name(format!("esds-tcp-read-{}", id.0))
-                    .spawn(move || read_connection::<T>(stream, tx, clients, stop, shard));
+                    .spawn(move || {
+                        read_connection::<T>(stream, tx, clients, stop, shard, registry)
+                    });
             }
         })
         .expect("spawn acceptor")
@@ -338,6 +398,7 @@ fn read_connection<T>(
     clients: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
     stop: Arc<AtomicBool>,
     shard: Option<ShardCtx>,
+    registry: esds_obs::MetricsRegistry,
 ) where
     T: SerialDataType,
     T::Operator: Wire,
@@ -472,9 +533,30 @@ fn read_connection<T>(
                                 }
                             }
                         }
+                        WireMessage::MetricsQuery => {
+                            // Answered straight from the reader thread:
+                            // the registry is lock-free to read and
+                            // process-global, so no core round-trip is
+                            // needed. Written through the registered-
+                            // clients lock like every other reply. A
+                            // node running with metrics disabled answers
+                            // an empty snapshot rather than erroring, so
+                            // pollers need not know the server's config.
+                            let mut out = BytesMut::new();
+                            let info: WireMessage<T::Operator, T::Value> =
+                                WireMessage::MetricsInfo(registry.snapshot());
+                            encode_message(&info, &mut out);
+                            if let Some(c) = registered {
+                                let mut guard = clients.lock();
+                                if let Some(w) = guard.get_mut(&c) {
+                                    let _ = w.write_all(&out);
+                                }
+                            }
+                        }
                         WireMessage::Response(_)
                         | WireMessage::ShardedResponse(_)
-                        | WireMessage::StabilityInfo(_) => {} // nonsensical inbound; ignore
+                        | WireMessage::StabilityInfo(_)
+                        | WireMessage::MetricsInfo(_) => {} // nonsensical inbound; ignore
                     }
                 }
                 Ok(None) => break,
@@ -515,12 +597,37 @@ where
 {
     let id = rep.id();
     let n = rep.n();
+    // Metric handles resolve to no-ops when the registry is disabled;
+    // the per-tick gauge math below is additionally gated on
+    // `obs_enabled` so the disabled path costs one predictable branch.
+    let scope = config.obs.replica_scope(id);
+    let obs_enabled = scope.is_enabled();
+    let m_requests = scope.counter("requests");
+    let m_gossip_in = scope.counter("gossip_in");
+    let m_responses = scope.counter("responses");
+    let m_unstable = scope.gauge("unstable_window");
+    let m_wm_age = scope.gauge("stable_watermark_age_ms");
+    let m_peers: Vec<(esds_obs::Counter, esds_obs::Counter)> = (0..n)
+        .map(|p| {
+            (
+                scope.counter(&format!("peer{p}/gossip_msgs")),
+                scope.counter(&format!("peer{p}/gossip_bytes")),
+            )
+        })
+        .collect();
+    let tracer = config.obs.tracer.clone();
+    let trace_shard = config.obs.shard;
     std::thread::Builder::new()
         .name(format!("esds-tcp-core-{}", id.0))
         .spawn(move || {
             let mut peers: Vec<Option<(SocketAddr, TcpStream)>> = (0..n).map(|_| None).collect();
             let mut next_gossip = Instant::now() + config.gossip_interval;
             let mut out = BytesMut::new();
+            // Sampled in-flight ops awaiting a `stabilize` span, and the
+            // watermark-advance clock behind `stable_watermark_age_ms`.
+            let mut pending_stab: Vec<(OpId, String)> = Vec::new();
+            let mut last_stable_n = 0usize;
+            let mut last_advance = Instant::now();
             'run: loop {
                 if stop.load(Ordering::SeqCst) {
                     break;
@@ -563,11 +670,36 @@ where
                             }
                         }
                         let peer_addr = addrs.lock()[p];
-                        if !send_to_peer(peer, peer_addr, id, &out) {
+                        if send_to_peer(peer, peer_addr, id, &out) {
+                            m_peers[p].0.inc();
+                            m_peers[p].1.add(out.len() as u64);
+                        } else {
                             // Connection failed: the §10.4 delta state
                             // (incremental watermark / batched handshake)
                             // must rewind so nothing is lost.
                             rep.reset_watermark(pid);
+                        }
+                    }
+                    if obs_enabled || !pending_stab.is_empty() {
+                        let stable_n = rep.stable_everywhere().len();
+                        if stable_n > last_stable_n {
+                            last_stable_n = stable_n;
+                            last_advance = now;
+                        }
+                        if obs_enabled {
+                            m_wm_age.set(last_advance.elapsed().as_millis() as u64);
+                            m_unstable.set(rep.rcvd().len().saturating_sub(stable_n) as u64);
+                        }
+                        if !pending_stab.is_empty() {
+                            let se = rep.stable_everywhere();
+                            pending_stab.retain(|(opid, s)| {
+                                if se.contains(opid) {
+                                    tracer.emit(trace_shard, s, Stage::Stabilize);
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
                         }
                     }
                     next_gossip = now + config.gossip_interval;
@@ -579,8 +711,21 @@ where
                     Err(RecvTimeoutError::Disconnected) => break,
                 };
                 let effects = match input {
-                    NodeInput::Request(m) => rep.on_request(m.desc),
-                    NodeInput::Gossip(g) => rep.on_gossip_envelope(g),
+                    NodeInput::Request(m) => {
+                        m_requests.inc();
+                        if tracer.is_enabled() {
+                            let ids = m.desc.id.to_string();
+                            if tracer.sampled(&ids) {
+                                tracer.emit(trace_shard, &ids, Stage::ReplicaAccept);
+                                pending_stab.push((m.desc.id, ids));
+                            }
+                        }
+                        rep.on_request(m.desc)
+                    }
+                    NodeInput::Gossip(g) => {
+                        m_gossip_in.inc();
+                        rep.on_gossip_envelope(g)
+                    }
                     NodeInput::Inspect(tx) => {
                         let _ = tx.send(StabilitySnapshot {
                             order: rep.local_order(),
@@ -600,6 +745,12 @@ where
                     }
                 }
                 for e in effects {
+                    m_responses.inc();
+                    if tracer.is_enabled() {
+                        // The op carries its minlabel by the time the
+                        // replica answers (Thm 5.7's labelling step).
+                        tracer.emit(trace_shard, &e.msg.id.to_string(), Stage::Label);
+                    }
                     out.clear();
                     // Operations accepted through the sharded handshake
                     // answer with their global identity attached. The
@@ -687,6 +838,9 @@ pub struct TcpClient<T: SerialDataType> {
     conns: Vec<Option<(SocketAddr, TcpStream)>>,
     addrs: AddrTable,
     buf: BytesMut,
+    m_submitted: esds_obs::Counter,
+    m_answered: esds_obs::Counter,
+    m_resends: esds_obs::Counter,
 }
 
 impl<T> TcpClient<T>
@@ -718,7 +872,18 @@ where
             conns: (0..n).map(|_| None).collect(),
             addrs,
             buf: BytesMut::with_capacity(4 * 1024),
+            m_submitted: esds_obs::Counter::noop(),
+            m_answered: esds_obs::Counter::noop(),
+            m_resends: esds_obs::Counter::noop(),
         }
+    }
+
+    /// Registers client-side counters (`ops_submitted`, `ops_answered`,
+    /// `resends`) under `scope`. Until called, the handles are no-ops.
+    pub fn attach_metrics(&mut self, scope: &esds_obs::Scope) {
+        self.m_submitted = scope.counter("ops_submitted");
+        self.m_answered = scope.counter("ops_answered");
+        self.m_resends = scope.counter("resends");
     }
 
     /// The client identity.
@@ -728,6 +893,7 @@ where
 
     /// Submits an operation; returns its id immediately.
     pub fn submit(&mut self, op: T::Operator, prev: &[OpId], strict: bool) -> OpId {
+        self.m_submitted.inc();
         let (id, sends) = self.fe.submit(op, prev.iter().copied(), strict);
         for (r, msg) in sends {
             self.send_request(r, &msg);
@@ -747,6 +913,7 @@ where
         let mut next_retry = Instant::now() + Duration::from_millis(50);
         loop {
             if let Some(v) = self.fe.value_of(id) {
+                self.m_answered.inc();
                 return Some(v.clone());
             }
             let now = Instant::now();
@@ -755,6 +922,7 @@ where
             }
             if now >= next_retry {
                 for (r, msg) in self.fe.resend_pending() {
+                    self.m_resends.inc();
                     self.send_request(r, &msg);
                 }
                 next_retry = now + Duration::from_millis(50);
@@ -763,11 +931,63 @@ where
         }
     }
 
-    fn send_request(&mut self, r: ReplicaId, msg: &RequestMsg<T::Operator>) {
-        let mut out = BytesMut::new();
-        let wire: WireMessage<T::Operator, T::Value> = WireMessage::Request(msg.clone());
-        encode_message(&wire, &mut out);
+    /// Polls replica `r` for its process's metrics snapshot, waiting up
+    /// to `timeout`. `None` on connection failure or timeout. Any frames
+    /// that arrive ahead of the answer (responses to in-flight ops) are
+    /// fed to the front end as usual.
+    pub fn metrics(
+        &mut self,
+        r: ReplicaId,
+        timeout: Duration,
+    ) -> Option<esds_obs::MetricsSnapshot> {
         let idx = r.0 as usize;
+        let mut out = BytesMut::new();
+        let q: WireMessage<T::Operator, T::Value> = WireMessage::MetricsQuery;
+        encode_message(&q, &mut out);
+        self.ensure_conn(idx);
+        let (_, s) = self.conns[idx].as_mut()?;
+        s.write_all(&out).ok()?;
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 4096];
+        while Instant::now() < deadline {
+            let Some((_, s)) = &mut self.conns[idx] else {
+                return None;
+            };
+            match s.read(&mut chunk) {
+                Ok(0) => {
+                    self.conns[idx] = None;
+                    return None;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => {
+                    self.conns[idx] = None;
+                    return None;
+                }
+            }
+            loop {
+                match decode_frame(&mut self.buf) {
+                    Ok(Some(frame)) => match decode_message::<T::Operator, T::Value>(&frame) {
+                        Ok(WireMessage::MetricsInfo(snap)) => return Some(snap),
+                        Ok(WireMessage::Response(m)) => {
+                            let _ = self.fe.on_response(m);
+                        }
+                        _ => {}
+                    },
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.buf.clear();
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Dials replica `idx` (with the client Hello) if the slot is empty
+    /// or was dialed to a stale address.
+    fn ensure_conn(&mut self, idx: usize) {
         let addr = self.addrs.lock()[idx];
         if self.conns[idx]
             .as_ref()
@@ -788,6 +1008,14 @@ where
                 }
             }
         }
+    }
+
+    fn send_request(&mut self, r: ReplicaId, msg: &RequestMsg<T::Operator>) {
+        let mut out = BytesMut::new();
+        let wire: WireMessage<T::Operator, T::Value> = WireMessage::Request(msg.clone());
+        encode_message(&wire, &mut out);
+        let idx = r.0 as usize;
+        self.ensure_conn(idx);
         if let Some((_, s)) = &mut self.conns[idx] {
             if s.write_all(&out).is_err() {
                 self.conns[idx] = None;

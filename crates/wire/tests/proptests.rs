@@ -87,6 +87,14 @@ fn message_of(kind: FrameKind) -> Msg {
             order: vec![id(0, 0), id(1, 3), id(0, 1)],
             stable_everywhere: vec![id(0, 0), id(1, 3)],
         }),
+        FrameKind::MetricsQuery => Msg::MetricsQuery,
+        FrameKind::MetricsInfo => {
+            let reg = esds_obs::MetricsRegistry::new();
+            reg.counter("replica0/requests").add(17);
+            reg.gauge("replica0/unstable_window").set(3);
+            reg.histogram("replica0/sync_us").record(250);
+            Msg::MetricsInfo(reg.snapshot())
+        }
     }
 }
 

@@ -401,24 +401,35 @@ fn parse_value(j: &Json) -> Result<KvValue, String> {
     }
 }
 
-/// Parses one JSONL trace line.
+/// Parses one JSONL trace line. `Ok(None)` for a well-formed line of an
+/// *unknown* event kind: trace files may interleave records from other
+/// codecs sharing the `{"e":…}` envelope — notably `esds_obs::OpTracer`
+/// lifecycle spans (`"e":"span"`) — and the audit replay skips them
+/// rather than rejecting the whole file.
 ///
 /// # Errors
 ///
 /// A description of the first malformed token.
-pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+pub fn parse_line(line: &str) -> Result<Option<TraceEvent>, String> {
     let mut p = Parser {
         s: line.as_bytes(),
         i: 0,
     };
     let j = p.value()?;
+    let kind = field(&j, "e")?
+        .str()
+        .ok_or("\"e\" must be a string")?
+        .to_string();
+    if !matches!(kind.as_str(), "req" | "resp" | "stab") {
+        return Ok(None);
+    }
     let shard = match field(&j, "shard")? {
         Json::Num(n) => *n as u32,
         _ => return Err("\"shard\" must be a number".into()),
     };
     let id = parse_id(field(&j, "id")?.str().ok_or("\"id\" must be a string")?)?;
-    let event = match field(&j, "e")?.str() {
-        Some("req") => {
+    let event = match kind.as_str() {
+        "req" => {
             let strict = match field(&j, "strict")? {
                 Json::Bool(b) => *b,
                 _ => return Err("\"strict\" must be a bool".into()),
@@ -429,15 +440,15 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
             desc.prev = prev;
             AuditEvent::Request(desc)
         }
-        Some("resp") => AuditEvent::Response {
+        "resp" => AuditEvent::Response {
             id,
             value: parse_value(field(&j, "value")?)?,
             witness: j.get("witness").map(parse_ids).transpose()?,
         },
-        Some("stab") => AuditEvent::Stabilize(id),
-        other => return Err(format!("unknown event kind {other:?}")),
+        "stab" => AuditEvent::Stabilize(id),
+        _ => unreachable!("kind was matched above"),
     };
-    Ok(TraceEvent { shard, event })
+    Ok(Some(TraceEvent { shard, event }))
 }
 
 // ---------------------------------------------------------------------
@@ -498,6 +509,9 @@ pub fn replay(lines: impl IntoIterator<Item = String>) -> Result<ReplayReport, R
             shard: u32::MAX,
             detail,
         })?;
+        // Foreign-but-well-formed lines (e.g. lifecycle spans) interleave
+        // freely with audit events; they carry no audit obligations.
+        let Some(ev) = ev else { continue };
         while checkers.len() <= ev.shard as usize {
             checkers.push(StreamingChecker::new(KvStore));
         }
@@ -529,7 +543,7 @@ mod tests {
 
     fn rt(ev: TraceEvent) {
         let line = encode_line(&ev);
-        assert_eq!(parse_line(&line).unwrap(), ev, "roundtrip of {line}");
+        assert_eq!(parse_line(&line).unwrap(), Some(ev), "roundtrip of {line}");
     }
 
     #[test]
@@ -638,8 +652,41 @@ mod tests {
     fn malformed_lines_are_located() {
         let err = replay(vec!["{\"e\":\"req\"".to_string()]).expect_err("truncated");
         assert_eq!(err.line, 1);
-        let err = replay(vec!["{\"e\":\"nope\",\"shard\":0,\"id\":\"c0:0\"}".into()])
-            .expect_err("unknown kind");
-        assert!(err.detail.contains("unknown event"), "{err}");
+        let err = replay(vec!["{\"shard\":0,\"id\":\"c0:0\"}".into()]).expect_err("missing kind");
+        assert!(err.detail.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn foreign_event_kinds_are_skipped() {
+        // Lifecycle spans (esds-obs) share the trace stream; replay must
+        // step over them without audit obligations — and still verify
+        // the audit events around them.
+        assert_eq!(
+            parse_line(r#"{"e":"span","shard":0,"id":"c0:0","stage":"submit","us":12}"#).unwrap(),
+            None
+        );
+        let id0 = OpId::new(ClientId(0), 0);
+        let lines = vec![
+            encode_line(&TraceEvent {
+                shard: 0,
+                event: AuditEvent::Request(OpDescriptor::new(id0, KvOp::put("a", "1"))),
+            }),
+            r#"{"e":"span","shard":0,"id":"c0:0","stage":"replica_accept","us":40}"#.into(),
+            encode_line(&TraceEvent {
+                shard: 0,
+                event: AuditEvent::Response {
+                    id: id0,
+                    value: KvValue::Ack,
+                    witness: None,
+                },
+            }),
+            r#"{"e":"span","shard":0,"id":"c0:0","stage":"answer","us":90}"#.into(),
+            encode_line(&TraceEvent {
+                shard: 0,
+                event: AuditEvent::Stabilize(id0),
+            }),
+        ];
+        let report = replay(lines).expect("spans interleave with audit events");
+        assert_eq!(report.certificates[0].ops, 1);
     }
 }

@@ -184,7 +184,8 @@ fn read_trace(path: &Path) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::with_capacity(lines.len());
     for (n, line) in lines.iter().enumerate() {
         match parse_line(line) {
-            Ok(ev) => events.push(ev),
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => {} // foreign codec line (e.g. a lifecycle span)
             Err(e) if n + 1 == lines.len() => {
                 println!("durability_lane: dropped torn trailing trace line: {e}");
             }

@@ -103,6 +103,7 @@ pub use esds_core as core;
 pub use esds_datatypes as datatypes;
 pub use esds_harness as harness;
 pub use esds_mc as mc;
+pub use esds_obs as obs;
 pub use esds_runtime as runtime;
 pub use esds_sim as sim;
 pub use esds_spec as spec;
